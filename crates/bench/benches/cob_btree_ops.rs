@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the HI cache-oblivious B-tree against the
+//! external B-tree baseline (Theorem 2 support): keyed insert and point
+//! lookup latency.
+
+use btree::BTree;
+use cob_btree::CobBTree;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+const N: u64 = 20_000;
+
+fn bench_keyed_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyed_inserts_20k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("cob_btree", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut t: CobBTree<u64, u64> = CobBTree::new(1);
+                for k in 0..N {
+                    t.insert(k * 2_654_435_761 % (4 * N), k);
+                }
+                t.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("btree", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut t: BTree<u64, u64> = BTree::new(128);
+                for k in 0..N {
+                    t.insert(k * 2_654_435_761 % (4 * N), k);
+                }
+                t.len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_point_lookups(c: &mut Criterion) {
+    let mut cob: CobBTree<u64, u64> = CobBTree::new(2);
+    let mut bt: BTree<u64, u64> = BTree::new(128);
+    for k in 0..N {
+        cob.insert(k * 3, k);
+        bt.insert(k * 3, k);
+    }
+    let mut group = c.benchmark_group("point_lookups");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut i = 0u64;
+    group.bench_function("cob_btree", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            cob.get(&(i * 3))
+        })
+    });
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            bt.get(&(i * 3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keyed_inserts, bench_point_lookups);
+criterion_main!(benches);

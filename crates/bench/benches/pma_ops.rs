@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the two PMAs (E2 support): per-insert and
+//! per-range-query latency of the HI PMA vs. the classic PMA.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pma::{ClassicPma, HiPma};
+use std::time::Duration;
+use workloads::{random_inserts, Op};
+
+fn ranks_of(trace: &workloads::Trace) -> Vec<(usize, u64)> {
+    let mut keys: Vec<u64> = Vec::new();
+    let mut out = Vec::new();
+    for op in &trace.ops {
+        let Op::Insert(key, _) = op else { unreachable!() };
+        let rank = keys.partition_point(|k| k < key);
+        keys.insert(rank, *key);
+        out.push((rank, *key));
+    }
+    out
+}
+
+fn build_hi(ops: &[(usize, u64)]) -> HiPma<u64> {
+    let mut pma = HiPma::new(1);
+    for &(rank, key) in ops {
+        pma.insert(rank, key).unwrap();
+    }
+    pma
+}
+
+fn build_classic(ops: &[(usize, u64)]) -> ClassicPma<u64> {
+    let mut pma = ClassicPma::new();
+    for &(rank, key) in ops {
+        pma.insert(rank, key).unwrap();
+    }
+    pma
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let n = 20_000;
+    let ops = ranks_of(&random_inserts(n, 7));
+    let mut group = c.benchmark_group("pma_random_inserts");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("hi_pma", n), |b| {
+        b.iter_batched(|| ops.clone(), |ops| build_hi(&ops), BatchSize::LargeInput)
+    });
+    group.bench_function(BenchmarkId::new("classic_pma", n), |b| {
+        b.iter_batched(|| ops.clone(), |ops| build_classic(&ops), BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+fn bench_range_queries(c: &mut Criterion) {
+    let n = 50_000;
+    let ops = ranks_of(&random_inserts(n, 9));
+    let hi = build_hi(&ops);
+    let classic = build_classic(&ops);
+    let mut group = c.benchmark_group("pma_range_query_1000");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("hi_pma", |b| {
+        b.iter(|| hi.range_query(10_000, 10_999).unwrap().len())
+    });
+    group.bench_function("classic_pma", |b| {
+        b.iter(|| classic.range_query(10_000, 10_999).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_range_queries);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for range queries across all dictionaries
+//! (the `log_B N + k/B` experiments of Theorems 2 and 3): latency of range
+//! scans of increasing result size.
+
+use btree::BTree;
+use cob_btree::CobBTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiplist::ExternalSkipList;
+use std::time::Duration;
+
+const N: u64 = 50_000;
+
+fn bench_ranges(c: &mut Criterion) {
+    let mut cob: CobBTree<u64, u64> = CobBTree::new(1);
+    let mut skip: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(64, 0.5, 2);
+    let mut bt: BTree<u64, u64> = BTree::new(128);
+    for k in 0..N {
+        cob.insert(k, k);
+        skip.insert(k, k);
+        bt.insert(k, k);
+    }
+    let mut group = c.benchmark_group("range_query_by_k");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [64u64, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::new("cob_btree", k), &k, |b, &k| {
+            b.iter(|| cob.range(&10_000, &(10_000 + k - 1)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("hi_skiplist", k), &k, |b, &k| {
+            b.iter(|| skip.range(&10_000, &(10_000 + k - 1)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("btree", k), &k, |b, &k| {
+            b.iter(|| bt.range(&10_000, &(10_000 + k - 1)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranges);
+criterion_main!(benches);

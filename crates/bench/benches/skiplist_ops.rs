@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the three skip-list variants (Theorem 3 /
+//! Lemma 15 support): insert and lookup latency at a fixed size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skiplist::ExternalSkipList;
+use std::time::Duration;
+
+const N: u64 = 20_000;
+const B: usize = 64;
+
+fn filled(kind: &str) -> ExternalSkipList<u64, u64> {
+    let mut list = match kind {
+        "hi" => ExternalSkipList::history_independent(B, 0.5, 1),
+        "folklore" => ExternalSkipList::folklore_b(B, 2),
+        _ => ExternalSkipList::in_memory(3),
+    };
+    for k in 0..N {
+        list.insert(k, k);
+    }
+    list
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist_inserts_20k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in ["hi", "folklore", "memory"] {
+        group.bench_function(kind, |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    let list = filled(kind);
+                    list.len()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let hi = filled("hi");
+    let folklore = filled("folklore");
+    let memory = filled("memory");
+    let mut group = c.benchmark_group("skiplist_lookups");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut i = 0u64;
+    group.bench_function("hi", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            hi.get(&i)
+        })
+    });
+    group.bench_function("folklore", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            folklore.get(&i)
+        })
+    });
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            memory.get(&i)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_lookups);
+criterion_main!(benches);

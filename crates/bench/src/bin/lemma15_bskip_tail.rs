@@ -1,0 +1,59 @@
+//! **E8 / Lemma 15** — the folklore B-skip list (promotion `1/B`) has, with
+//! high probability, elements whose search cost is `Ω(log(N/B))` blocks — no
+//! better than an in-memory skip list run on disk — while the paper's
+//! `1/B^γ` structure keeps the whole search-cost distribution at `O(log_B N)`.
+//! The table reports the per-element search-cost distribution (mean / p99 /
+//! max) for all three structures.
+//!
+//! Run: `cargo run -p ap-bench --release --bin lemma15_bskip_tail`
+
+use ap_bench::{emit, scaled, Row};
+use hi_common::stats::Summary;
+use skiplist::ExternalSkipList;
+
+fn search_cost_distribution(list: &ExternalSkipList<u64, u64>, n: u64) -> Summary {
+    let mut costs = Vec::new();
+    for k in (0..n).step_by(7) {
+        list.get(&k);
+        costs.push(list.last_op_ios());
+    }
+    Summary::of_counts(&costs).expect("non-empty sample")
+}
+
+fn main() {
+    let b = 64usize;
+    let mut rows = Vec::new();
+    for &n in &[scaled(20_000) as u64, scaled(60_000) as u64, scaled(150_000) as u64] {
+        let mut hi: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(b, 0.5, 1);
+        let mut folk: ExternalSkipList<u64, u64> = ExternalSkipList::folklore_b(b, 2);
+        let mut mem: ExternalSkipList<u64, u64> = ExternalSkipList::in_memory(3);
+        for k in 0..n {
+            hi.insert(k, k);
+            folk.insert(k, k);
+            mem.insert(k, k);
+        }
+        let hi_s = search_cost_distribution(&hi, n);
+        let folk_s = search_cost_distribution(&folk, n);
+        let mem_s = search_cost_distribution(&mem, n);
+        for (name, s) in [
+            ("HI skip list (1/B^γ)", &hi_s),
+            ("folklore B-skip list (1/B)", &folk_s),
+            ("in-memory skip list on disk", &mem_s),
+        ] {
+            rows.push(Row::new(&format!("{name} mean"), n as f64, s.mean, "I/Os per search"));
+            rows.push(Row::new(&format!("{name} p99"), n as f64, s.p99, "I/Os per search"));
+            rows.push(Row::new(&format!("{name} max"), n as f64, s.max, "I/Os per search"));
+        }
+        println!(
+            "N={n}: HI max {:.0} | folklore max {:.0} (log(N/B) = {:.1}) | in-memory max {:.0}",
+            hi_s.max,
+            folk_s.max,
+            (n as f64 / b as f64).log2(),
+            mem_s.max
+        );
+    }
+    emit(
+        "Lemma 15: search-cost distribution — the folklore B-skip list's tail grows like log(N/B)",
+        &rows,
+    );
+}

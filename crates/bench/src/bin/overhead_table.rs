@@ -1,0 +1,68 @@
+//! **E2 / runtime-overhead table** — wall-clock comparison of the HI PMA
+//! against the classic PMA on the same random-insert workload. The paper
+//! reports "approximately a factor of 7 overhead in the run time".
+//!
+//! Run: `cargo run -p ap-bench --release --bin overhead_table`
+
+use ap_bench::{emit, scaled, timed, Row};
+use pma::{ClassicPma, HiPma};
+use workloads::{random_inserts, Op};
+
+fn ranks_of(trace: &workloads::Trace) -> Vec<usize> {
+    let mut keys: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut ranks = Vec::with_capacity(trace.len());
+    for op in &trace.ops {
+        let Op::Insert(key, _) = op else { unreachable!() };
+        let rank = keys.partition_point(|k| k < key);
+        keys.insert(rank, *key);
+        ranks.push(rank);
+    }
+    ranks
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &n in &[scaled(50_000), scaled(100_000), scaled(200_000)] {
+        let trace = random_inserts(n, 7);
+        let ranks = ranks_of(&trace);
+        let keys: Vec<u64> = trace
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Insert(k, _) => *k,
+                _ => unreachable!(),
+            })
+            .collect();
+
+        let (_, hi_secs) = timed(|| {
+            let mut hi: HiPma<u64> = HiPma::new(1);
+            for (rank, key) in ranks.iter().zip(&keys) {
+                hi.insert(*rank, *key).unwrap();
+            }
+            hi.len()
+        });
+        let (_, classic_secs) = timed(|| {
+            let mut classic: ClassicPma<u64> = ClassicPma::new();
+            for (rank, key) in ranks.iter().zip(&keys) {
+                classic.insert(*rank, *key).unwrap();
+            }
+            classic.len()
+        });
+        rows.push(Row::new("HI PMA (s)", n as f64, hi_secs, "seconds"));
+        rows.push(Row::new("classic PMA (s)", n as f64, classic_secs, "seconds"));
+        rows.push(Row::new(
+            "overhead factor",
+            n as f64,
+            hi_secs / classic_secs.max(1e-9),
+            "seconds",
+        ));
+        println!(
+            "N = {n}: HI {hi_secs:.3}s, classic {classic_secs:.3}s, overhead {:.2}x",
+            hi_secs / classic_secs.max(1e-9)
+        );
+    }
+    emit(
+        "Runtime overhead of history independence (paper: ~7x)",
+        &rows,
+    );
+}

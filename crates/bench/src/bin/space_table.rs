@@ -1,0 +1,48 @@
+//! **E3 / space-overhead table** — ratio of allocated slots to stored
+//! elements for the HI PMA over a long insert run. The paper reports a space
+//! overhead ranging from 1.8× to 5×.
+//!
+//! Run: `cargo run -p ap-bench --release --bin space_table`
+
+use ap_bench::{emit, scaled, Row};
+use pma::{ClassicPma, HiPma};
+use workloads::{random_inserts, Op};
+
+fn main() {
+    let n = scaled(200_000);
+    let samples = 25usize;
+    let trace = random_inserts(n, 13);
+
+    let mut hi: HiPma<u64> = HiPma::new(5);
+    let mut classic: ClassicPma<u64> = ClassicPma::new();
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    let mut rows = Vec::new();
+    let mut hi_min = f64::MAX;
+    let mut hi_max: f64 = 0.0;
+
+    let checkpoint = (n / samples).max(1);
+    for (i, op) in trace.ops.iter().enumerate() {
+        let Op::Insert(key, _) = op else { unreachable!() };
+        let rank = keys.partition_point(|k| k < key);
+        keys.insert(rank, *key);
+        hi.insert(rank, *key).unwrap();
+        classic.insert(rank, *key).unwrap();
+        if (i + 1) % checkpoint == 0 {
+            let hi_ratio = hi.total_slots() as f64 / hi.len() as f64;
+            let classic_ratio = classic.total_slots() as f64 / classic.len() as f64;
+            hi_min = hi_min.min(hi_ratio);
+            hi_max = hi_max.max(hi_ratio);
+            rows.push(Row::new("HI PMA slots/N", (i + 1) as f64, hi_ratio, "ratio"));
+            rows.push(Row::new(
+                "classic PMA slots/N",
+                (i + 1) as f64,
+                classic_ratio,
+                "ratio",
+            ));
+        }
+    }
+    emit("Space overhead over a random-insert run", &rows);
+    println!(
+        "\nHI PMA slots/N ranged over [{hi_min:.2}, {hi_max:.2}]  (paper: 1.8x to 5x)"
+    );
+}

@@ -1,0 +1,58 @@
+//! **E5 / Theorem 1** — amortized element moves and simulated I/Os of the HI
+//! PMA as N grows. The theorem predicts `O(log²N)` moves and
+//! `O(log²N/B + log_B N)` I/Os per update; the table reports the measured
+//! quantities divided by their predictions, which should stay roughly flat.
+//!
+//! Run: `cargo run -p ap-bench --release --bin thm1_pma_scaling`
+
+use ap_bench::{emit, scaled, Row};
+use hi_common::SharedCounters;
+use io_sim::{IoConfig, Tracer};
+use pma::HiPma;
+use workloads::{random_inserts, Op};
+
+fn main() {
+    let block_bytes = 4096u64;
+    let mut rows = Vec::new();
+    for &n in &[scaled(20_000), scaled(50_000), scaled(100_000), scaled(200_000)] {
+        let trace = random_inserts(n, 3);
+        let tracer = Tracer::enabled(IoConfig::new(block_bytes as usize, 1 << 12));
+        let counters = SharedCounters::new();
+        let mut pma: HiPma<u64> = HiPma::with_parts(
+            hi_common::RngSource::from_seed(n as u64),
+            counters.clone(),
+            tracer.clone(),
+            16,
+        );
+        let mut keys: Vec<u64> = Vec::with_capacity(n);
+        for op in &trace.ops {
+            let Op::Insert(key, _) = op else { unreachable!() };
+            let rank = keys.partition_point(|k| k < key);
+            keys.insert(rank, *key);
+            pma.insert(rank, *key).unwrap();
+        }
+        let log2n = (n as f64).log2();
+        let moves_per_op = counters.snapshot().element_moves as f64 / n as f64;
+        let ios_per_op = tracer.stats().transfers() as f64 / n as f64;
+        let records_per_block = block_bytes as f64 / 16.0;
+        let io_prediction = log2n * log2n / records_per_block + log2n / records_per_block.log2();
+        rows.push(Row::new("moves/op", n as f64, moves_per_op, "per-op cost"));
+        rows.push(Row::new(
+            "moves/op ÷ log²N",
+            n as f64,
+            moves_per_op / (log2n * log2n),
+            "per-op cost",
+        ));
+        rows.push(Row::new("sim I/Os per op", n as f64, ios_per_op, "per-op cost"));
+        rows.push(Row::new(
+            "I/Os ÷ (log²N/B + log_B N)",
+            n as f64,
+            ios_per_op / io_prediction,
+            "per-op cost",
+        ));
+    }
+    emit(
+        "Theorem 1: HI PMA update cost scaling (normalized columns should stay flat)",
+        &rows,
+    );
+}

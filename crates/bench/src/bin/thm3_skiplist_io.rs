@@ -1,0 +1,57 @@
+//! **E7 / Theorem 3** — I/O cost of the history-independent external-memory
+//! skip list across N, B and ε: searches and inserts should track `log_B N`
+//! (amortized, whp), range queries `(1/ε)·log_B N + k/B`, and the worst-case
+//! insert should stay below `B^ε · log N`.
+//!
+//! Run: `cargo run -p ap-bench --release --bin thm3_skiplist_io`
+
+use ap_bench::{emit, scaled, Row};
+use hi_common::stats::Summary;
+use skiplist::ExternalSkipList;
+
+fn main() {
+    let mut rows = Vec::new();
+    for &b in &[16usize, 64, 256] {
+        for &eps in &[0.2f64, 0.5] {
+            let n = scaled(60_000) as u64;
+            let mut list: ExternalSkipList<u64, u64> =
+                ExternalSkipList::history_independent(b, eps, b as u64);
+            let mut insert_costs = Vec::with_capacity(n as usize);
+            for k in 0..n {
+                list.insert(k * 7 % (2 * n), k);
+                insert_costs.push(list.last_op_ios());
+            }
+            let mut search_costs = Vec::new();
+            for k in (0..2 * n).step_by(197) {
+                list.get(&k);
+                search_costs.push(list.last_op_ios());
+            }
+            let mut range_costs = Vec::new();
+            let k_range = 4096u64;
+            for start in (0..n).step_by((n / 20).max(1) as usize) {
+                list.range(&start, &(start + k_range));
+                range_costs.push(list.last_op_ios());
+            }
+            let ins = Summary::of_counts(&insert_costs).unwrap();
+            let srch = Summary::of_counts(&search_costs).unwrap();
+            let rng = Summary::of_counts(&range_costs).unwrap();
+            let series = format!("B={b} eps={eps}");
+            let log_b_n = (n as f64).log2() / (b as f64).log2();
+            rows.push(Row::new(&format!("{series} search mean"), b as f64, srch.mean, "I/Os"));
+            rows.push(Row::new(&format!("{series} search p99"), b as f64, srch.p99, "I/Os"));
+            rows.push(Row::new(&format!("{series} insert mean"), b as f64, ins.mean, "I/Os"));
+            rows.push(Row::new(&format!("{series} insert max"), b as f64, ins.max, "I/Os"));
+            rows.push(Row::new(&format!("{series} range(k=4096) mean"), b as f64, rng.mean, "I/Os"));
+            println!(
+                "B={b:<4} eps={eps:<4} N={n}: search mean {:.2} (log_B N = {:.2}), insert mean {:.2}, insert max {:.0} (bound B^eps*logN = {:.0}), range mean {:.1}",
+                srch.mean,
+                log_b_n,
+                ins.mean,
+                ins.max,
+                (b as f64).powf(eps) * (n as f64).log2(),
+                rng.mean
+            );
+        }
+    }
+    emit("Theorem 3: HI external skip list I/O costs", &rows);
+}

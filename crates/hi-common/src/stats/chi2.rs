@@ -1,0 +1,151 @@
+//! χ² goodness-of-fit testing.
+//!
+//! Used to reproduce the paper's §4.3 uniformity experiment and as the
+//! workhorse behind the workspace's statistical tests of history
+//! independence.
+
+use super::gamma::reg_gamma_upper;
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Outcome {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// The p-value (survival function of the statistic).
+    pub p_value: f64,
+}
+
+impl Chi2Outcome {
+    /// Returns `true` when the null hypothesis is *not* rejected at the given
+    /// significance level (e.g. 0.01).
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Survival function of the χ² distribution with `dof` degrees of freedom:
+/// `Pr[X ≥ x]`.
+pub fn chi2_survival(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi-square requires at least one degree of freedom");
+    assert!(x >= 0.0, "chi-square statistic must be non-negative");
+    reg_gamma_upper(dof as f64 / 2.0, x / 2.0)
+}
+
+/// χ² statistic of observed counts against a uniform expectation.
+pub fn chi2_statistic_uniform(observed: &[u64]) -> f64 {
+    assert!(
+        observed.len() >= 2,
+        "need at least two categories for a chi-square test"
+    );
+    let total: u64 = observed.iter().sum();
+    let expected = total as f64 / observed.len() as f64;
+    assert!(expected > 0.0, "cannot test with zero observations");
+    observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// χ² statistic of observed counts against explicit expected counts.
+pub fn chi2_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must have the same length"
+    );
+    assert!(observed.len() >= 2, "need at least two categories");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Goodness-of-fit test of observed counts against the uniform distribution
+/// over the categories. Degrees of freedom are `categories − 1`.
+pub fn chi2_gof_uniform(observed: &[u64]) -> Chi2Outcome {
+    let statistic = chi2_statistic_uniform(observed);
+    let dof = observed.len() - 1;
+    Chi2Outcome {
+        statistic,
+        dof,
+        p_value: chi2_survival(statistic, dof),
+    }
+}
+
+/// Goodness-of-fit test against explicit expected counts.
+pub fn chi2_gof(observed: &[u64], expected: &[f64]) -> Chi2Outcome {
+    let statistic = chi2_statistic(observed, expected);
+    let dof = observed.len() - 1;
+    Chi2Outcome {
+        statistic,
+        dof,
+        p_value: chi2_survival(statistic, dof),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_known_values() {
+        // chi2 with 1 dof: Pr[X >= 3.841] ≈ 0.05.
+        assert!((chi2_survival(3.841, 1) - 0.05).abs() < 2e-3);
+        // chi2 with 5 dof: Pr[X >= 11.07] ≈ 0.05.
+        assert!((chi2_survival(11.07, 5) - 0.05).abs() < 2e-3);
+        // chi2 with 10 dof: Pr[X >= 23.209] ≈ 0.01.
+        assert!((chi2_survival(23.209, 10) - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_counts_give_zero_statistic() {
+        let outcome = chi2_gof_uniform(&[100, 100, 100, 100]);
+        assert!(outcome.statistic.abs() < 1e-12);
+        assert!((outcome.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(outcome.dof, 3);
+    }
+
+    #[test]
+    fn skewed_counts_give_small_p() {
+        let outcome = chi2_gof_uniform(&[1000, 10, 10, 10]);
+        assert!(outcome.p_value < 1e-6);
+        assert!(!outcome.consistent_at(0.01));
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // observed [12, 8], expected [10, 10]: chi2 = 0.4 + 0.4 = 0.8.
+        let s = chi2_statistic_uniform(&[12, 8]);
+        assert!((s - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_expected_counts() {
+        let outcome = chi2_gof(&[30, 70], &[25.0, 75.0]);
+        // chi2 = 25/25 + 25/75 = 1.3333…
+        assert!((outcome.statistic - (1.0 + 1.0 / 3.0)).abs() < 1e-9);
+        assert!(outcome.consistent_at(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two categories")]
+    fn single_category_panics() {
+        chi2_statistic_uniform(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        chi2_statistic(&[1, 2], &[1.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! A small, dependency-free statistics toolkit.
+//!
+//! The paper's §4.3 validates history independence empirically: balance
+//! elements are recorded over many runs, a χ² goodness-of-fit test is run per
+//! candidate set, and the resulting p-values are themselves χ²-tested against
+//! a uniform distribution. Reproducing that experiment (and writing
+//! *statistical* unit tests for the reservoir sampler, the capacity rule and
+//! the layout distribution of whole structures) requires:
+//!
+//! * [`gamma`] — log-gamma and the regularized incomplete gamma functions;
+//! * [`chi2`] — the χ² statistic, its survival function and a goodness-of-fit
+//!   helper returning a p-value;
+//! * [`uniformity`] — convenience harnesses for "are these discrete samples
+//!   uniform?" and the paper's two-level p-value-of-p-values test;
+//! * [`summary`] — mean/percentile summaries used by the I/O-distribution
+//!   experiments (Lemma 15's tail comparison).
+
+pub mod chi2;
+pub mod gamma;
+pub mod summary;
+pub mod uniformity;
+
+pub use chi2::{chi2_gof_uniform, chi2_statistic_uniform, chi2_survival, Chi2Outcome};
+pub use gamma::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
+pub use summary::Summary;
+pub use uniformity::{uniformity_p_value, uniformity_of_p_values, UniformityReport};

@@ -1,0 +1,191 @@
+//! Uniformity testing harnesses.
+//!
+//! The paper's §4.3 experiment works in two stages:
+//!
+//! 1. For every candidate set (of size ≥ 8, with expected bucket counts
+//!    ≥ 10), χ²-test the observed balance-element positions against the
+//!    uniform distribution, producing one p-value per candidate set.
+//! 2. The p-values themselves should be uniform on `[0, 1]` under the null
+//!    hypothesis, so run a second χ² test on the binned p-values. The paper
+//!    reports `p = 0.47` over `n = 148` p-values.
+//!
+//! [`uniformity_p_value`] implements stage 1 and [`uniformity_of_p_values`]
+//! stage 2; [`UniformityReport`] bundles the combined outcome for the E4
+//! harness and the history-independence integration tests.
+
+use super::chi2::{chi2_gof_uniform, Chi2Outcome};
+
+/// Minimum expected count per bucket for a χ² test to be considered valid
+/// (the paper uses ten).
+pub const MIN_EXPECTED_PER_BUCKET: f64 = 10.0;
+
+/// Stage-1 test: are these discrete observations (category counts) uniform?
+/// Returns `None` if the test would be invalid (fewer than two categories or
+/// expected bucket counts below [`MIN_EXPECTED_PER_BUCKET`]).
+pub fn uniformity_p_value(counts: &[u64]) -> Option<Chi2Outcome> {
+    if counts.len() < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    let expected = total as f64 / counts.len() as f64;
+    if expected < MIN_EXPECTED_PER_BUCKET {
+        return None;
+    }
+    Some(chi2_gof_uniform(counts))
+}
+
+/// Stage-2 test: are these p-values uniform on `[0, 1]`?
+///
+/// The p-values are binned into `bins` equal-width buckets and χ²-tested
+/// against uniform. Returns `None` when there are too few p-values for the
+/// expected bucket counts to reach [`MIN_EXPECTED_PER_BUCKET`].
+pub fn uniformity_of_p_values(p_values: &[f64], bins: usize) -> Option<Chi2Outcome> {
+    assert!(bins >= 2, "need at least two bins");
+    if (p_values.len() as f64) / (bins as f64) < MIN_EXPECTED_PER_BUCKET {
+        return None;
+    }
+    let mut counts = vec![0u64; bins];
+    for &p in p_values {
+        assert!((0.0..=1.0).contains(&p), "p-value {p} outside [0, 1]");
+        let idx = ((p * bins as f64) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    Some(chi2_gof_uniform(&counts))
+}
+
+/// Combined two-stage uniformity report, mirroring the paper's §4.3 numbers.
+#[derive(Debug, Clone)]
+pub struct UniformityReport {
+    /// Stage-1 p-values, one per tested candidate set.
+    pub per_set_p_values: Vec<f64>,
+    /// Number of candidate sets skipped because they had too few samples.
+    pub skipped_sets: usize,
+    /// Stage-2 outcome over the p-values (None when too few p-values).
+    pub meta: Option<Chi2Outcome>,
+}
+
+impl UniformityReport {
+    /// Builds a report from per-candidate-set position counts.
+    ///
+    /// Each entry of `per_set_counts` is the histogram of observed balance
+    /// positions for one candidate set across all trials.
+    pub fn from_counts(per_set_counts: &[Vec<u64>], meta_bins: usize) -> Self {
+        let mut per_set_p_values = Vec::new();
+        let mut skipped_sets = 0usize;
+        for counts in per_set_counts {
+            match uniformity_p_value(counts) {
+                Some(outcome) => per_set_p_values.push(outcome.p_value),
+                None => skipped_sets += 1,
+            }
+        }
+        let meta = uniformity_of_p_values(&per_set_p_values, meta_bins);
+        Self {
+            per_set_p_values,
+            skipped_sets,
+            meta,
+        }
+    }
+
+    /// Number of candidate sets that produced a valid p-value (the paper's
+    /// `n = 148`).
+    pub fn tested_sets(&self) -> usize {
+        self.per_set_p_values.len()
+    }
+
+    /// The stage-2 p-value (the paper's `p = 0.47`), if available.
+    pub fn meta_p_value(&self) -> Option<f64> {
+        self.meta.map(|m| m.p_value)
+    }
+
+    /// Returns `true` when no statistically significant deviation from
+    /// uniformity was found at level `alpha`.
+    pub fn consistent_with_uniform(&self, alpha: f64) -> bool {
+        match self.meta {
+            Some(m) => m.p_value >= alpha,
+            // Without a meta test fall back to requiring most individual sets
+            // to pass (Bonferroni-ish; only used at tiny scales in tests).
+            None => {
+                let failures = self
+                    .per_set_p_values
+                    .iter()
+                    .filter(|&&p| p < alpha / (self.per_set_p_values.len().max(1) as f64))
+                    .count();
+                failures == 0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_counts_pass() {
+        let outcome = uniformity_p_value(&[50, 48, 52, 50]).unwrap();
+        assert!(outcome.p_value > 0.5);
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        assert!(uniformity_p_value(&[3, 2, 4]).is_none());
+        assert!(uniformity_p_value(&[500]).is_none());
+    }
+
+    #[test]
+    fn skewed_counts_fail() {
+        let outcome = uniformity_p_value(&[500, 20, 20, 20]).unwrap();
+        assert!(outcome.p_value < 1e-6);
+    }
+
+    #[test]
+    fn p_values_from_uniform_samples_are_uniform() {
+        // Simulate the full two-stage pipeline with genuinely uniform data.
+        let mut rng = StdRng::seed_from_u64(12345);
+        let sets = 150usize;
+        let buckets = 8usize;
+        let samples_per_set = 400usize;
+        let mut per_set_counts = Vec::new();
+        for _ in 0..sets {
+            let mut counts = vec![0u64; buckets];
+            for _ in 0..samples_per_set {
+                counts[rng.gen_range(0..buckets)] += 1;
+            }
+            per_set_counts.push(counts);
+        }
+        let report = UniformityReport::from_counts(&per_set_counts, 10);
+        assert_eq!(report.tested_sets(), sets);
+        assert_eq!(report.skipped_sets, 0);
+        let meta = report.meta.expect("enough p-values for meta test");
+        assert!(
+            meta.p_value > 0.001,
+            "meta p-value unexpectedly small: {}",
+            meta.p_value
+        );
+        assert!(report.consistent_with_uniform(0.001));
+    }
+
+    #[test]
+    fn biased_sets_are_detected() {
+        // Every set heavily prefers bucket 0: stage-1 p-values collapse to 0
+        // and the meta test must reject.
+        let sets = 120usize;
+        let per_set_counts: Vec<Vec<u64>> = (0..sets).map(|_| vec![300, 20, 20, 20]).collect();
+        let report = UniformityReport::from_counts(&per_set_counts, 10);
+        assert!(!report.consistent_with_uniform(0.01));
+    }
+
+    #[test]
+    fn meta_test_needs_enough_p_values() {
+        assert!(uniformity_of_p_values(&[0.5; 30], 10).is_none());
+        assert!(uniformity_of_p_values(&[0.5; 200], 10).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_p_value_panics() {
+        uniformity_of_p_values(&[1.5; 200], 10);
+    }
+}

@@ -1,0 +1,200 @@
+//! Core abstractions shared by every structure in the workspace.
+//!
+//! The paper works with two kinds of interfaces:
+//!
+//! * a **ranked sequence** (the PMA, paper §3): elements are addressed by
+//!   *rank* — `Insert(i, x)`, `Delete(i)`, `Query(i, j)`;
+//! * a **dictionary** (the cache-oblivious B-tree of §5, the skip lists of
+//!   §6, and the baseline B-tree): elements are addressed by *key* —
+//!   insert/delete/search/range-query.
+//!
+//! Defining these as traits lets the integration tests and benchmark
+//! harnesses run the same workload against every structure and cross-check
+//! the results, and lets downstream users swap a history-independent
+//! dictionary for a conventional one without touching call sites.
+
+use std::fmt;
+
+/// Error returned by rank-addressed operations when the rank is out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankError {
+    /// The offending rank.
+    pub rank: usize,
+    /// The number of elements at the time of the call.
+    pub len: usize,
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} out of bounds for length {}", self.rank, self.len)
+    }
+}
+
+impl std::error::Error for RankError {}
+
+/// A dynamic sequence addressed by rank, in the style of the paper's PMA API
+/// (§3): `Query(i, j)`, `Insert(i, x)`, `Delete(i)`.
+pub trait RankedSequence {
+    /// Element type stored in the sequence.
+    type Item: Clone;
+
+    /// Number of elements currently stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `item` as the `rank`-th element (`0 ≤ rank ≤ len`). Elements
+    /// with rank `rank..len` before the insert have rank `rank+1..len+1`
+    /// afterwards.
+    fn insert_at(&mut self, rank: usize, item: Self::Item) -> Result<(), RankError>;
+
+    /// Deletes and returns the `rank`-th element (`0 ≤ rank < len`).
+    fn delete_at(&mut self, rank: usize) -> Result<Self::Item, RankError>;
+
+    /// Returns the `rank`-th element without removing it.
+    fn get(&self, rank: usize) -> Option<Self::Item>;
+
+    /// Returns the `i`-th through `j`-th elements inclusive
+    /// (`0 ≤ i ≤ j < len`), the paper's `Query(i, j)`.
+    fn query(&self, i: usize, j: usize) -> Result<Vec<Self::Item>, RankError>;
+
+    /// Collects the whole sequence in rank order. Intended for tests and
+    /// small examples; cost is `Θ(len)`.
+    fn to_vec(&self) -> Vec<Self::Item> {
+        if self.is_empty() {
+            Vec::new()
+        } else {
+            self.query(0, self.len() - 1).expect("full range is valid")
+        }
+    }
+}
+
+/// A key–value pair, the unit stored by the dictionary structures.
+pub type KeyValue<K, V> = (K, V);
+
+/// An ordered dictionary: the external-memory B-tree interface the paper's
+/// structures implement as history-independent alternatives.
+pub trait Dictionary {
+    /// Key type (totally ordered).
+    type Key: Ord + Clone;
+    /// Value type.
+    type Value: Clone;
+
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the dictionary is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a key–value pair. Returns the previous value if the key was
+    /// already present (in which case the pair is replaced).
+    fn insert(&mut self, key: Self::Key, value: Self::Value) -> Option<Self::Value>;
+
+    /// Removes a key, returning its value if it was present.
+    fn remove(&mut self, key: &Self::Key) -> Option<Self::Value>;
+
+    /// Looks up a key.
+    fn get(&self, key: &Self::Key) -> Option<Self::Value>;
+
+    /// Returns `true` when the key is present.
+    fn contains(&self, key: &Self::Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns every pair with `low ≤ key ≤ high`, in ascending key order.
+    fn range(&self, low: &Self::Key, high: &Self::Key) -> Vec<KeyValue<Self::Key, Self::Value>>;
+
+    /// Returns the smallest key ≥ `key` together with its value.
+    fn successor(&self, key: &Self::Key) -> Option<KeyValue<Self::Key, Self::Value>>;
+
+    /// Returns the largest key ≤ `key` together with its value.
+    fn predecessor(&self, key: &Self::Key) -> Option<KeyValue<Self::Key, Self::Value>>;
+
+    /// Collects the whole dictionary in ascending key order. Intended for
+    /// tests and small examples; cost is `Θ(len)`.
+    fn to_sorted_vec(&self) -> Vec<KeyValue<Self::Key, Self::Value>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial `Vec`-backed ranked sequence used to exercise the trait's
+    /// default methods (and reused as a reference model elsewhere).
+    struct VecSeq(Vec<u32>);
+
+    impl RankedSequence for VecSeq {
+        type Item = u32;
+
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        fn insert_at(&mut self, rank: usize, item: u32) -> Result<(), RankError> {
+            if rank > self.0.len() {
+                return Err(RankError {
+                    rank,
+                    len: self.0.len(),
+                });
+            }
+            self.0.insert(rank, item);
+            Ok(())
+        }
+
+        fn delete_at(&mut self, rank: usize) -> Result<u32, RankError> {
+            if rank >= self.0.len() {
+                return Err(RankError {
+                    rank,
+                    len: self.0.len(),
+                });
+            }
+            Ok(self.0.remove(rank))
+        }
+
+        fn get(&self, rank: usize) -> Option<u32> {
+            self.0.get(rank).copied()
+        }
+
+        fn query(&self, i: usize, j: usize) -> Result<Vec<u32>, RankError> {
+            if i > j || j >= self.0.len() {
+                return Err(RankError {
+                    rank: j,
+                    len: self.0.len(),
+                });
+            }
+            Ok(self.0[i..=j].to_vec())
+        }
+    }
+
+    #[test]
+    fn default_methods_work() {
+        let mut s = VecSeq(vec![]);
+        assert!(s.is_empty());
+        s.insert_at(0, 5).unwrap();
+        s.insert_at(1, 9).unwrap();
+        s.insert_at(1, 7).unwrap();
+        assert_eq!(s.to_vec(), vec![5, 7, 9]);
+        assert_eq!(s.get(1), Some(7));
+        assert_eq!(s.delete_at(0).unwrap(), 5);
+        assert_eq!(s.to_vec(), vec![7, 9]);
+    }
+
+    #[test]
+    fn rank_error_display() {
+        let e = RankError { rank: 9, len: 3 };
+        assert_eq!(e.to_string(), "rank 9 out of bounds for length 3");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = VecSeq(vec![1, 2, 3]);
+        assert!(s.insert_at(5, 0).is_err());
+        assert!(s.delete_at(3).is_err());
+        assert!(s.query(1, 3).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! A fixed-capacity LRU set of block identifiers.
+//!
+//! The DAM model's internal memory holds `M/B` blocks; the simulator models
+//! it as an LRU cache (the standard choice in cache-oblivious analysis, which
+//! assumes an optimal or LRU replacement policy — LRU is within a factor of
+//! two of optimal with a cache of twice the size, by Sleator–Tarjan).
+//!
+//! Implemented as a hash map from block id to an intrusive doubly-linked list
+//! node kept in a slab, giving `O(1)` touch and eviction without unsafe code.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    block: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU set of `u64` block ids.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruCache {
+    /// Creates a cache that holds at most `capacity` blocks.
+    ///
+    /// A capacity of zero is allowed and means every access misses.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of blocks currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if `block` is currently resident (without touching it).
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Touches `block`: returns `true` on a hit (block was resident) and
+    /// `false` on a miss. On a miss the block is brought in, evicting the
+    /// least-recently-used block if the cache is full. Either way the block
+    /// becomes the most recently used (unless capacity is zero).
+    pub fn touch(&mut self, block: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc_node(block);
+        self.push_front(idx);
+        self.map.insert(block, idx);
+        false
+    }
+
+    /// Empties the cache (a "cold cache" reset).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Removes `block` from the cache if present (used to model explicit
+    /// invalidation, e.g. freeing simulated disk space).
+    pub fn invalidate(&mut self, block: u64) {
+        if let Some(idx) = self.map.remove(&block) {
+            self.unlink(idx);
+            self.free.push(idx);
+        }
+    }
+
+    fn alloc_node(&mut self, block: u64) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Node {
+                block,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slab.push(Node {
+                block,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.slab[idx];
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert!(idx != NIL, "evicting from an empty cache");
+        let block = self.slab[idx].block;
+        self.unlink(idx);
+        self.map.remove(&block);
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut lru = LruCache::new(2);
+        assert!(!lru.touch(1));
+        assert!(lru.touch(1));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(1); // 1 is now MRU, 2 is LRU
+        lru.touch(3); // evicts 2
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+        assert!(lru.contains(3));
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut lru = LruCache::new(0);
+        assert!(!lru.touch(7));
+        assert!(!lru.touch(7));
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruCache::new(1);
+        assert!(!lru.touch(1));
+        assert!(lru.touch(1));
+        assert!(!lru.touch(2));
+        assert!(!lru.touch(1));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut lru = LruCache::new(4);
+        for b in 0..4 {
+            lru.touch(b);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.touch(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut lru = LruCache::new(4);
+        lru.touch(1);
+        lru.touch(2);
+        lru.invalidate(1);
+        assert!(!lru.contains(1));
+        assert!(lru.contains(2));
+        assert_eq!(lru.len(), 1);
+        // Invalidating an absent block is a no-op.
+        lru.invalidate(99);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn sequential_scan_with_large_cache_hits_after_warmup() {
+        let mut lru = LruCache::new(64);
+        let mut misses = 0;
+        for _ in 0..3 {
+            for b in 0..64u64 {
+                if !lru.touch(b) {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 64);
+    }
+
+    #[test]
+    fn cyclic_scan_larger_than_cache_always_misses() {
+        // Classic LRU worst case: scanning N+1 blocks with capacity N.
+        let mut lru = LruCache::new(4);
+        let mut misses = 0;
+        for _ in 0..5 {
+            for b in 0..5u64 {
+                if !lru.touch(b) {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 25);
+    }
+
+    #[test]
+    fn slab_reuse_after_many_evictions() {
+        let mut lru = LruCache::new(8);
+        for b in 0..10_000u64 {
+            lru.touch(b);
+        }
+        assert_eq!(lru.len(), 8);
+        // The slab should not have grown without bound.
+        assert!(lru.slab.len() <= 16);
+    }
+}

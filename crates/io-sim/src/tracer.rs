@@ -1,0 +1,141 @@
+//! The access-tracing handle shared by all data structures.
+//!
+//! A [`Tracer`] is either disabled (the default; all methods are no-ops that
+//! the optimizer removes) or connected to a shared [`IoModel`]. Structures
+//! hold a `Tracer` and report the byte ranges they touch; benchmark harnesses
+//! construct one `IoModel`, hand clones of the connected tracer to every
+//! structure under test, and read the transfer counts per operation.
+//!
+//! Cache-oblivious structures stay oblivious: they only know *addresses*,
+//! never the block size.
+
+use crate::model::{IoConfig, IoModel, IoStats};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A cloneable handle for reporting memory accesses into a shared [`IoModel`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    model: Option<Rc<RefCell<IoModel>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every call is a no-op.
+    pub fn disabled() -> Self {
+        Self { model: None }
+    }
+
+    /// A tracer connected to a fresh [`IoModel`] with the given config.
+    pub fn enabled(config: IoConfig) -> Self {
+        Self {
+            model: Some(Rc::new(RefCell::new(IoModel::new(config)))),
+        }
+    }
+
+    /// Wraps an existing model (shared with other tracers).
+    pub fn with_model(model: Rc<RefCell<IoModel>>) -> Self {
+        Self { model: Some(model) }
+    }
+
+    /// Returns `true` when connected to a model.
+    pub fn is_enabled(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Records a read of `len` bytes at `addr`.
+    #[inline]
+    pub fn read(&self, addr: u64, len: u64) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().read(addr, len);
+        }
+    }
+
+    /// Records a write of `len` bytes at `addr`.
+    #[inline]
+    pub fn write(&self, addr: u64, len: u64) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().write(addr, len);
+        }
+    }
+
+    /// Current transfer counters (zeros when disabled).
+    pub fn stats(&self) -> IoStats {
+        self.model
+            .as_ref()
+            .map(|m| m.borrow().stats())
+            .unwrap_or_default()
+    }
+
+    /// The model configuration, if enabled.
+    pub fn config(&self) -> Option<IoConfig> {
+        self.model.as_ref().map(|m| m.borrow().config())
+    }
+
+    /// Resets counters, keeping the cache warm.
+    pub fn reset_stats(&self) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().reset_stats();
+        }
+    }
+
+    /// Empties the cache and resets counters.
+    pub fn reset_cold(&self) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().reset_cold();
+        }
+    }
+
+    /// Flushes dirty blocks (charging write-backs).
+    pub fn flush(&self) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_noop() {
+        let t = Tracer::disabled();
+        t.read(0, 100);
+        t.write(0, 100);
+        t.flush();
+        assert_eq!(t.stats(), IoStats::default());
+        assert!(!t.is_enabled());
+        assert!(t.config().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_counts() {
+        let t = Tracer::enabled(IoConfig::new(64, 8));
+        t.read(0, 128);
+        assert_eq!(t.stats().reads, 2);
+        assert!(t.is_enabled());
+        assert_eq!(t.config().unwrap().block_size, 64);
+    }
+
+    #[test]
+    fn clones_share_a_model() {
+        let t = Tracer::enabled(IoConfig::new(64, 8));
+        let u = t.clone();
+        t.read(0, 64);
+        u.read(0, 64); // cached because t already fetched it
+        assert_eq!(t.stats().reads, 1);
+        assert_eq!(u.stats().reads, 1);
+    }
+
+    #[test]
+    fn reset_cold_and_warm() {
+        let t = Tracer::enabled(IoConfig::new(64, 8));
+        t.read(0, 64);
+        t.reset_stats();
+        t.read(0, 64);
+        assert_eq!(t.stats().reads, 0);
+        t.reset_cold();
+        t.read(0, 64);
+        assert_eq!(t.stats().reads, 1);
+    }
+}

@@ -1,0 +1,622 @@
+//! The classic (non-history-independent) packed-memory array baseline.
+//!
+//! This is the textbook density-threshold PMA of Itai–Konheim–Rodeh /
+//! Bender–Demaine–Farach-Colton / Bender–Hu that the paper compares against
+//! in §4.3: an array of `Θ(N)` slots divided into segments of `Θ(log N)`
+//! slots, with an implicit binary tree of *windows* above the segments. Every
+//! window has a depth-dependent density band; an update rebalances the
+//! smallest enclosing window that is back within its band, and the whole
+//! array is resized when even the root is out of bounds.
+//!
+//! The rebalance windows — and therefore the final layout — depend heavily on
+//! *where* previous inserts and deletes happened, which is exactly the
+//! history leak the HI PMA removes. Keeping this baseline around lets the
+//! benchmarks reproduce the paper's "factor of ~7 runtime overhead" claim and
+//! lets the tests demonstrate the leak itself.
+
+use hi_common::counters::SharedCounters;
+use hi_common::traits::{RankError, RankedSequence};
+use io_sim::{Region, Tracer};
+
+use crate::fenwick::Fenwick;
+use crate::spread::{count_occupied, gather_from, spread_into};
+
+/// Density thresholds for the classic PMA, linearly interpolated by depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityBands {
+    /// Maximum density allowed at the root (whole array).
+    pub root_max: f64,
+    /// Maximum density allowed at a leaf (single segment).
+    pub leaf_max: f64,
+    /// Minimum density allowed at the root.
+    pub root_min: f64,
+    /// Minimum density allowed at a leaf.
+    pub leaf_min: f64,
+}
+
+impl DensityBands {
+    /// The conventional thresholds (root 0.30–0.70, leaf 0.08–0.92).
+    pub fn standard() -> Self {
+        Self {
+            root_max: 0.70,
+            leaf_max: 0.92,
+            root_min: 0.30,
+            leaf_min: 0.08,
+        }
+    }
+
+    /// Upper threshold for a window at `depth` out of `height` levels
+    /// (depth 0 = root, depth == height = leaf).
+    pub fn upper(&self, depth: u32, height: u32) -> f64 {
+        if height == 0 {
+            return self.leaf_max;
+        }
+        self.root_max + (self.leaf_max - self.root_max) * depth as f64 / height as f64
+    }
+
+    /// Lower threshold for a window at `depth` out of `height` levels.
+    pub fn lower(&self, depth: u32, height: u32) -> f64 {
+        if height == 0 {
+            return self.leaf_min;
+        }
+        self.root_min - (self.root_min - self.leaf_min) * depth as f64 / height as f64
+    }
+}
+
+/// The classic density-threshold PMA. Rank-addressed, like [`crate::HiPma`].
+#[derive(Debug, Clone)]
+pub struct ClassicPma<T: Clone> {
+    slots: Vec<Option<T>>,
+    /// Elements per segment.
+    seg_counts: Fenwick,
+    seg_size: usize,
+    segments: usize,
+    /// log2(segments): depth of the window tree.
+    height: u32,
+    len: usize,
+    bands: DensityBands,
+    counters: SharedCounters,
+    tracer: Tracer,
+    region: Region,
+    elem_size: u64,
+}
+
+impl<T: Clone> ClassicPma<T> {
+    /// Creates an empty PMA with the standard density bands.
+    pub fn new() -> Self {
+        Self::with_parts(
+            DensityBands::standard(),
+            SharedCounters::new(),
+            Tracer::disabled(),
+            16,
+        )
+    }
+
+    /// Creates an empty PMA with explicit bands, counters, tracer and
+    /// per-element on-disk size.
+    pub fn with_parts(
+        bands: DensityBands,
+        counters: SharedCounters,
+        tracer: Tracer,
+        elem_size: u64,
+    ) -> Self {
+        let mut pma = Self {
+            slots: Vec::new(),
+            seg_counts: Fenwick::new(0),
+            seg_size: 0,
+            segments: 0,
+            height: 0,
+            len: 0,
+            bands,
+            counters,
+            tracer,
+            region: Region::new(0, elem_size, 1),
+            elem_size,
+        };
+        pma.resize_to(8, &[]);
+        pma
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots in the backing array.
+    pub fn total_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current segment size (`Θ(log N)` slots).
+    pub fn segment_size(&self) -> usize {
+        self.seg_size
+    }
+
+    /// The shared operation counters.
+    pub fn counters(&self) -> &SharedCounters {
+        &self.counters
+    }
+
+    /// Occupancy bitmap of the backing array (used by the history-leak
+    /// demonstrations: unlike the HI PMA, this bitmap betrays where inserts
+    /// happened).
+    pub fn occupancy(&self) -> Vec<bool> {
+        self.slots.iter().map(|s| s.is_some()).collect()
+    }
+
+    /// Verifies structural invariants (rank index consistent with slots,
+    /// densities within the root band). Intended for tests.
+    pub fn check_invariants(&self) {
+        assert_eq!(count_occupied(&self.slots), self.len);
+        assert_eq!(self.seg_counts.total() as usize, self.len);
+        for seg in 0..self.segments {
+            let start = seg * self.seg_size;
+            let occ = count_occupied(&self.slots[start..start + self.seg_size]);
+            assert_eq!(occ as u64, self.seg_counts.get(seg), "segment {seg}");
+            assert!(occ <= self.seg_size);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sizing and rebuilds
+    // ------------------------------------------------------------------
+
+    /// Picks the array size for `n` elements: the smallest power of two that
+    /// keeps the root density at ~0.5, at least 8 slots.
+    fn target_slots(n: usize) -> usize {
+        ((2 * n).max(8)).next_power_of_two()
+    }
+
+    /// Rebuilds the array with `total_slots` slots containing `elements`.
+    fn resize_to(&mut self, total_slots: usize, elements: &[T]) {
+        debug_assert!(total_slots.is_power_of_two());
+        // Segment size ≈ log2(total_slots), rounded so the segment count is a
+        // power of two.
+        let target_seg = (total_slots.trailing_zeros() as usize).max(2);
+        let segments = (total_slots / target_seg).next_power_of_two().max(1);
+        let seg_size = total_slots / segments;
+        debug_assert!(seg_size * segments == total_slots);
+        self.slots = vec![None; total_slots];
+        self.seg_size = seg_size;
+        self.segments = segments;
+        self.height = segments.trailing_zeros();
+        self.len = elements.len();
+        self.region = Region::new(0, self.elem_size, total_slots as u64);
+        // Spread evenly across the whole array, then record per-segment
+        // counts.
+        let moves = spread_into(elements, &mut self.slots);
+        self.counters.add_moves(moves);
+        self.counters.add_resize();
+        self.tracer.write(self.region.base, self.region.byte_len());
+        let mut counts = vec![0u64; segments];
+        for (seg, chunk) in self.slots.chunks(seg_size).enumerate() {
+            counts[seg] = count_occupied(chunk) as u64;
+        }
+        self.seg_counts = Fenwick::from_counts(&counts);
+    }
+
+    /// Gathers every element in rank order.
+    fn collect_all(&self) -> Vec<T> {
+        self.tracer.read(self.region.base, self.region.byte_len());
+        let mut out = Vec::with_capacity(self.len);
+        gather_from(&self.slots, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Rank navigation
+    // ------------------------------------------------------------------
+
+    /// Segment index and within-segment rank for a global rank. For
+    /// `rank == len` (append) returns the last segment holding elements (or
+    /// segment 0 when empty).
+    fn segment_for_rank(&self, rank: usize) -> (usize, usize) {
+        if rank >= self.len {
+            // Append: place after the last element.
+            if self.len == 0 {
+                return (0, 0);
+            }
+            let (seg, within) = self
+                .seg_counts
+                .find_rank((self.len - 1) as u64)
+                .expect("len - 1 is a valid rank");
+            return (seg, within as usize + 1);
+        }
+        let (seg, within) = self
+            .seg_counts
+            .find_rank(rank as u64)
+            .expect("rank < len was checked");
+        (seg, within as usize)
+    }
+
+    /// Rebalances the window of `1 << level` segments containing `seg` so it
+    /// holds `elements` evenly. Updates the segment counts.
+    fn rebalance_window(&mut self, seg: usize, level: u32, elements: &[T]) {
+        let window_segs = 1usize << level;
+        let first_seg = (seg / window_segs) * window_segs;
+        let start = first_seg * self.seg_size;
+        let slot_count = window_segs * self.seg_size;
+        let moves = spread_into(elements, &mut self.slots[start..start + slot_count]);
+        self.counters.add_moves(moves);
+        self.counters.add_rebuild(slot_count as u64);
+        self.tracer.write(
+            self.region.addr(start as u64),
+            self.region.span(slot_count as u64),
+        );
+        for s in first_seg..first_seg + window_segs {
+            let occ = count_occupied(&self.slots[s * self.seg_size..(s + 1) * self.seg_size]);
+            let old = self.seg_counts.get(s) as i64;
+            self.seg_counts.add(s, occ as i64 - old);
+        }
+    }
+
+    /// Gathers the elements of the window of `1 << level` segments containing
+    /// `seg`.
+    fn collect_window(&self, seg: usize, level: u32) -> Vec<T> {
+        let window_segs = 1usize << level;
+        let first_seg = (seg / window_segs) * window_segs;
+        let start = first_seg * self.seg_size;
+        let slot_count = window_segs * self.seg_size;
+        self.tracer.read(
+            self.region.addr(start as u64),
+            self.region.span(slot_count as u64),
+        );
+        let mut out = Vec::new();
+        gather_from(&self.slots[start..start + slot_count], &mut out);
+        out
+    }
+
+    /// Number of elements currently in the window of `1 << level` segments
+    /// containing `seg`.
+    fn window_count(&self, seg: usize, level: u32) -> usize {
+        let window_segs = 1usize << level;
+        let first_seg = (seg / window_segs) * window_segs;
+        (self.seg_counts.prefix_sum(first_seg + window_segs) - self.seg_counts.prefix_sum(first_seg))
+            as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    /// Inserts `item` as the `rank`-th element.
+    pub fn insert(&mut self, rank: usize, item: T) -> Result<(), RankError> {
+        if rank > self.len {
+            return Err(RankError {
+                rank,
+                len: self.len,
+            });
+        }
+        self.counters.add_insert();
+        let (seg, _within) = self.segment_for_rank(rank);
+        // Find the smallest window (starting from the single segment) whose
+        // density after the insert is within its upper threshold.
+        let mut level = 0u32;
+        loop {
+            let window_slots = (1usize << level) * self.seg_size;
+            let count_after = self.window_count(seg, level) + 1;
+            let depth = self.height - level;
+            let threshold = self.bands.upper(depth, self.height);
+            if count_after as f64 <= threshold * window_slots as f64 && count_after <= window_slots
+            {
+                // Rebalance this window with the new element included.
+                let mut elements = self.collect_window(seg, level);
+                let window_segs = 1usize << level;
+                let first_seg = (seg / window_segs) * window_segs;
+                let rank_of_window_start = self.seg_counts.prefix_sum(first_seg) as usize;
+                let pos = if rank >= self.len {
+                    elements.len()
+                } else {
+                    rank - rank_of_window_start
+                };
+                elements.insert(pos.min(elements.len()), item);
+                self.rebalance_window(seg, level, &elements);
+                self.len += 1;
+                return Ok(());
+            }
+            if level == self.height {
+                // Even the root is too dense: grow and retry by rebuilding.
+                let mut elements = self.collect_all();
+                elements.insert(rank, item);
+                let new_slots = Self::target_slots(elements.len());
+                self.resize_to(new_slots, &elements);
+                return Ok(());
+            }
+            level += 1;
+        }
+    }
+
+    /// Deletes and returns the `rank`-th element.
+    pub fn delete(&mut self, rank: usize) -> Result<T, RankError> {
+        if rank >= self.len {
+            return Err(RankError {
+                rank,
+                len: self.len,
+            });
+        }
+        self.counters.add_delete();
+        let (seg, _within) = self.segment_for_rank(rank);
+        let mut level = 0u32;
+        loop {
+            let window_slots = (1usize << level) * self.seg_size;
+            let count_after = self.window_count(seg, level) - 1;
+            let depth = self.height - level;
+            let threshold = self.bands.lower(depth, self.height);
+            let root_level = level == self.height;
+            if count_after as f64 >= threshold * window_slots as f64 && !root_level {
+                let window_segs = 1usize << level;
+                let first_seg = (seg / window_segs) * window_segs;
+                let rank_of_window_start = self.seg_counts.prefix_sum(first_seg) as usize;
+                let mut elements = self.collect_window(seg, level);
+                let removed = elements.remove(rank - rank_of_window_start);
+                self.rebalance_window(seg, level, &elements);
+                self.len -= 1;
+                return Ok(removed);
+            }
+            if root_level {
+                // Shrink (or just rebuild at the same size when small).
+                let mut elements = self.collect_all();
+                let removed = elements.remove(rank);
+                let new_slots = Self::target_slots(elements.len());
+                self.resize_to(new_slots, &elements);
+                return Ok(removed);
+            }
+            level += 1;
+        }
+    }
+
+    /// Returns the `rank`-th element, if any.
+    pub fn get_rank(&self, rank: usize) -> Option<T> {
+        if rank >= self.len {
+            return None;
+        }
+        let (seg, within) = self.segment_for_rank(rank);
+        let start = seg * self.seg_size;
+        self.tracer.read(
+            self.region.addr(start as u64),
+            self.region.span(self.seg_size as u64),
+        );
+        let mut seen = 0usize;
+        for slot in &self.slots[start..start + self.seg_size] {
+            if let Some(v) = slot {
+                if seen == within {
+                    return Some(v.clone());
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// The `i`-th through `j`-th elements inclusive.
+    pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
+        if i > j || j >= self.len {
+            return Err(RankError { rank: j, len: self.len });
+        }
+        self.counters.add_query();
+        let k = j - i + 1;
+        let (seg, within) = self.segment_for_rank(i);
+        let mut slot = seg * self.seg_size;
+        // Skip to the `within`-th occupied slot of the starting segment.
+        let mut seen = 0usize;
+        while seen < within || self.slots[slot].is_none() {
+            if self.slots[slot].is_some() {
+                seen += 1;
+            }
+            slot += 1;
+        }
+        let start_slot = slot;
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            if let Some(v) = &self.slots[slot] {
+                out.push(v.clone());
+            }
+            slot += 1;
+        }
+        self.tracer.read(
+            self.region.addr(start_slot as u64),
+            self.region.span((slot - start_slot) as u64),
+        );
+        Ok(out)
+    }
+}
+
+impl<T: Clone> Default for ClassicPma<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> RankedSequence for ClassicPma<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        ClassicPma::len(self)
+    }
+
+    fn insert_at(&mut self, rank: usize, item: T) -> Result<(), RankError> {
+        self.insert(rank, item)
+    }
+
+    fn delete_at(&mut self, rank: usize) -> Result<T, RankError> {
+        self.delete(rank)
+    }
+
+    fn get(&self, rank: usize) -> Option<T> {
+        self.get_rank(rank)
+    }
+
+    fn query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
+        self.range_query(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filled(n: usize) -> ClassicPma<u64> {
+        let mut pma = ClassicPma::new();
+        for i in 0..n {
+            pma.insert(i, i as u64).unwrap();
+        }
+        pma
+    }
+
+    #[test]
+    fn empty() {
+        let pma: ClassicPma<u32> = ClassicPma::new();
+        assert!(pma.is_empty());
+        assert_eq!(pma.get_rank(0), None);
+    }
+
+    #[test]
+    fn bands_interpolate() {
+        let b = DensityBands::standard();
+        assert!((b.upper(0, 4) - 0.70).abs() < 1e-12);
+        assert!((b.upper(4, 4) - 0.92).abs() < 1e-12);
+        assert!(b.upper(2, 4) > 0.70 && b.upper(2, 4) < 0.92);
+        assert!((b.lower(0, 4) - 0.30).abs() < 1e-12);
+        assert!((b.lower(4, 4) - 0.08).abs() < 1e-12);
+        assert!((b.upper(0, 0) - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_appends() {
+        let pma = filled(3000);
+        assert_eq!(pma.len(), 3000);
+        assert_eq!(
+            pma.range_query(0, 2999).unwrap(),
+            (0..3000u64).collect::<Vec<_>>()
+        );
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn front_inserts() {
+        let mut pma = ClassicPma::new();
+        for i in 0..2000u64 {
+            pma.insert(0, i).unwrap();
+        }
+        let expected: Vec<u64> = (0..2000u64).rev().collect();
+        assert_eq!(pma.range_query(0, 1999).unwrap(), expected);
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn random_ops_match_reference_model() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pma = ClassicPma::new();
+        let mut model: Vec<u64> = Vec::new();
+        for step in 0..5000u64 {
+            if !model.is_empty() && rng.gen_bool(0.35) {
+                let rank = rng.gen_range(0..model.len());
+                assert_eq!(pma.delete(rank).unwrap(), model.remove(rank), "step {step}");
+            } else {
+                let rank = rng.gen_range(0..=model.len());
+                pma.insert(rank, step).unwrap();
+                model.insert(rank, step);
+            }
+            if step % 1000 == 0 {
+                pma.check_invariants();
+            }
+        }
+        if !model.is_empty() {
+            assert_eq!(pma.range_query(0, model.len() - 1).unwrap(), model);
+        }
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn get_rank_works() {
+        let pma = filled(500);
+        for rank in [0usize, 1, 250, 499] {
+            assert_eq!(pma.get_rank(rank), Some(rank as u64));
+        }
+        assert_eq!(pma.get_rank(500), None);
+    }
+
+    #[test]
+    fn space_stays_linear() {
+        let pma = filled(20_000);
+        let ratio = pma.total_slots() as f64 / pma.len() as f64;
+        assert!(ratio <= 4.0, "space ratio {ratio}");
+    }
+
+    #[test]
+    fn deletes_shrink_the_array() {
+        let mut pma = filled(10_000);
+        let slots_full = pma.total_slots();
+        for _ in 0..9_500 {
+            pma.delete(0).unwrap();
+        }
+        assert!(pma.total_slots() < slots_full);
+        assert_eq!(pma.len(), 500);
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut pma = filled(5);
+        assert!(pma.insert(7, 0).is_err());
+        assert!(pma.delete(5).is_err());
+        assert!(pma.range_query(3, 9).is_err());
+    }
+
+    #[test]
+    fn amortized_moves_are_polylogarithmic() {
+        let n = 30_000usize;
+        let pma = filled(n);
+        let per_insert = pma.counters().snapshot().element_moves as f64 / n as f64;
+        let log2n = (n as f64).log2();
+        assert!(
+            per_insert <= 8.0 * log2n * log2n,
+            "moves per insert {per_insert}"
+        );
+    }
+
+    #[test]
+    fn layout_leaks_history() {
+        // The motivating observation of the paper (§1.2): hammering inserts
+        // at the front leaves the front of a classic PMA denser than the
+        // back. Build the same *set* via front-loaded and back-loaded
+        // histories and observe different occupancy patterns.
+        let n = 4000usize;
+        // History A: append ascending (inserts always at the back).
+        let mut a = ClassicPma::new();
+        for i in 0..n {
+            a.insert(i, i as u64).unwrap();
+        }
+        // History B: insert descending values always at the front.
+        let mut b = ClassicPma::new();
+        for i in (0..n).rev() {
+            b.insert(0, i as u64).unwrap();
+        }
+        // Same logical contents…
+        assert_eq!(
+            a.range_query(0, n - 1).unwrap(),
+            b.range_query(0, n - 1).unwrap()
+        );
+        // …but the physical layouts differ: the classic PMA is *not*
+        // history independent. (If the arrays ended up different sizes the
+        // leak is already visible in the size.)
+        let leak = a.total_slots() != b.total_slots() || a.occupancy() != b.occupancy();
+        assert!(leak, "expected the classic PMA layout to depend on history");
+    }
+
+    #[test]
+    fn ranked_sequence_trait() {
+        let mut pma: ClassicPma<&'static str> = ClassicPma::new();
+        RankedSequence::insert_at(&mut pma, 0, "b").unwrap();
+        RankedSequence::insert_at(&mut pma, 0, "a").unwrap();
+        assert_eq!(pma.to_vec(), vec!["a", "b"]);
+        assert_eq!(RankedSequence::delete_at(&mut pma, 1).unwrap(), "b");
+    }
+}

@@ -1,0 +1,169 @@
+//! A Fenwick (binary-indexed) tree over per-segment element counts.
+//!
+//! The classic PMA needs to translate a global rank into a segment index
+//! quickly (`find the first segment whose prefix sum exceeds r`). A Fenwick
+//! tree gives `O(log n)` point updates and prefix-search, which keeps the
+//! baseline PMA honest when benchmarked against the HI PMA (whose rank tree
+//! plays the same role).
+
+/// Fenwick tree of `u64` counts with prefix-sum search.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over `n` zero counts.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Builds a tree from initial counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut f = Self::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            f.add(i, c as i64);
+        }
+        f
+    }
+
+    /// Number of leaves (segments).
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to the count at `index`.
+    pub fn add(&mut self, index: usize, delta: i64) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counts in `[0, index)`.
+    pub fn prefix_sum(&self, index: usize) -> u64 {
+        let mut i = index.min(self.len());
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total of all counts.
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.len())
+    }
+
+    /// The count at `index`.
+    pub fn get(&self, index: usize) -> u64 {
+        self.prefix_sum(index + 1) - self.prefix_sum(index)
+    }
+
+    /// Finds the segment containing the element of rank `rank` (0-based):
+    /// the smallest `i` such that `prefix_sum(i + 1) > rank`. Also returns
+    /// the rank of the element within that segment.
+    ///
+    /// Returns `None` when `rank ≥ total()`.
+    pub fn find_rank(&self, rank: u64) -> Option<(usize, u64)> {
+        if rank >= self.total() {
+            return None;
+        }
+        let mut pos = 0usize;
+        let mut remaining = rank;
+        let mut bit = self.tree.len().next_power_of_two() / 2;
+        while bit > 0 {
+            let next = pos + bit;
+            if next < self.tree.len() && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            bit /= 2;
+        }
+        Some((pos, remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.find_rank(0), None);
+    }
+
+    #[test]
+    fn add_and_prefix_sum() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 3);
+        f.add(3, 5);
+        f.add(7, 2);
+        assert_eq!(f.prefix_sum(0), 0);
+        assert_eq!(f.prefix_sum(1), 3);
+        assert_eq!(f.prefix_sum(4), 8);
+        assert_eq!(f.prefix_sum(8), 10);
+        assert_eq!(f.total(), 10);
+        assert_eq!(f.get(3), 5);
+        assert_eq!(f.get(1), 0);
+    }
+
+    #[test]
+    fn from_counts_matches_manual() {
+        let counts = vec![2, 0, 7, 1, 4];
+        let f = Fenwick::from_counts(&counts);
+        for i in 0..counts.len() {
+            assert_eq!(f.get(i), counts[i]);
+        }
+        assert_eq!(f.total(), 14);
+    }
+
+    #[test]
+    fn find_rank_locates_segments() {
+        let f = Fenwick::from_counts(&[2, 0, 7, 1, 4]);
+        assert_eq!(f.find_rank(0), Some((0, 0)));
+        assert_eq!(f.find_rank(1), Some((0, 1)));
+        assert_eq!(f.find_rank(2), Some((2, 0)));
+        assert_eq!(f.find_rank(8), Some((2, 6)));
+        assert_eq!(f.find_rank(9), Some((3, 0)));
+        assert_eq!(f.find_rank(10), Some((4, 0)));
+        assert_eq!(f.find_rank(13), Some((4, 3)));
+        assert_eq!(f.find_rank(14), None);
+    }
+
+    #[test]
+    fn subtraction_via_negative_delta() {
+        let mut f = Fenwick::from_counts(&[5, 5, 5]);
+        f.add(1, -3);
+        assert_eq!(f.get(1), 2);
+        assert_eq!(f.total(), 12);
+    }
+
+    #[test]
+    fn find_rank_on_non_power_of_two_sizes() {
+        for n in [1usize, 3, 5, 6, 7, 9, 13] {
+            let counts: Vec<u64> = (0..n as u64).map(|i| i % 3 + 1).collect();
+            let f = Fenwick::from_counts(&counts);
+            let mut rank = 0u64;
+            for (seg, &c) in counts.iter().enumerate() {
+                for within in 0..c {
+                    assert_eq!(f.find_rank(rank), Some((seg, within)), "n={n} rank={rank}");
+                    rank += 1;
+                }
+            }
+            assert_eq!(f.find_rank(rank), None);
+        }
+    }
+}

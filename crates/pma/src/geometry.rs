@@ -1,0 +1,269 @@
+//! Geometry of the history-independent PMA (paper §3.3).
+//!
+//! Given the capacity parameter `N̂` (drawn by the WHI capacity rule), the
+//! PMA's layout is completely determined:
+//!
+//! * the tree of ranges has height `h = ⌈log N̂ − log log N̂⌉` (the root is the
+//!   whole array at depth 0, the leaves are at depth `h`);
+//! * every leaf range has `L = ⌈C_L · log N̂⌉` slots, so the array has
+//!   `N_S = 2^h · L = Θ(N̂)` slots;
+//! * a non-leaf range at depth `d` has a candidate set of
+//!   `|M_d| = ⌈c₁ · N̂ / (2^d · log N̂)⌉` middle elements.
+//!
+//! The constants must satisfy `C_L ≥ 1 + c₁ + 6/log N̂` (Lemma 7: ranges never
+//! overflow) and `c₁ < 1 − 6/log N̂` (Lemma 8: leaves stay constant-factor
+//! full). The paper uses `c₁ = 1/2`, `C_L = 2` for `N̂ > 4096` and falls back
+//! to a plain dynamic array for tiny `N̂`; [`Geometry`] does the same, using a
+//! single-leaf layout (height 0) below [`SMALL_LIMIT`] and adaptive constants
+//! between [`SMALL_LIMIT`] and 4096 so that both inequalities always hold.
+
+/// Below this `N̂` the PMA degenerates to a single evenly-spread leaf
+/// (the paper's "dynamic array" fallback, footnote 5).
+pub const SMALL_LIMIT: usize = 128;
+
+/// `N̂` at and above which the paper's headline constants (`c₁ = 1/2`,
+/// `C_L = 2`) are used.
+pub const PAPER_CONSTANTS_LIMIT: usize = 4096;
+
+/// The complete set of layout parameters derived from `N̂`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Geometry {
+    /// The capacity parameter this geometry was derived from.
+    pub n_hat: usize,
+    /// Height of the range tree (leaves at depth `h`; `h = 0` means the whole
+    /// array is one leaf).
+    pub height: u32,
+    /// Slots per leaf range.
+    pub leaf_slots: usize,
+    /// Total slots in the array (`2^h · leaf_slots`).
+    pub total_slots: usize,
+    /// The constant `c₁` used for candidate-set sizes.
+    pub c1: f64,
+    /// The constant `C_L` used for leaf sizes.
+    pub c_l: f64,
+}
+
+impl Geometry {
+    /// Derives the layout for capacity parameter `n_hat ≥ 1`.
+    pub fn for_n_hat(n_hat: usize) -> Self {
+        assert!(n_hat >= 1, "geometry requires N̂ ≥ 1");
+        if n_hat < SMALL_LIMIT {
+            // Single leaf with 2·N̂ slots (at least 4): the dynamic-array
+            // fallback. Elements are always evenly spread across the leaf.
+            let leaf_slots = (2 * n_hat).max(4);
+            return Self {
+                n_hat,
+                height: 0,
+                leaf_slots,
+                total_slots: leaf_slots,
+                c1: 0.0,
+                c_l: 2.0,
+            };
+        }
+        let lg = (n_hat as f64).log2();
+        let (c1, c_l) = if n_hat >= PAPER_CONSTANTS_LIMIT {
+            (0.5, 2.0)
+        } else {
+            // Adaptive constants that satisfy the Lemma 7/8 inequalities with
+            // a little slack for every N̂ in [SMALL_LIMIT, 4096).
+            let c1 = 0.9 * (1.0 - 6.0 / lg);
+            let c_l = 1.0 + c1 + 6.0 / lg + 0.05;
+            (c1, c_l)
+        };
+        let height = (lg - lg.log2()).ceil().max(1.0) as u32;
+        let leaf_slots = (c_l * lg).ceil() as usize;
+        let total_slots = (1usize << height) * leaf_slots;
+        Self {
+            n_hat,
+            height,
+            leaf_slots,
+            total_slots,
+            c1,
+            c_l,
+        }
+    }
+
+    /// Number of leaf ranges (`2^h`).
+    pub fn leaf_count(&self) -> usize {
+        1usize << self.height
+    }
+
+    /// Number of levels in the range tree (`h + 1`), which is also the number
+    /// of levels of the rank tree.
+    pub fn levels(&self) -> u32 {
+        self.height + 1
+    }
+
+    /// Total number of ranges (nodes of the range tree).
+    pub fn range_count(&self) -> usize {
+        (1usize << (self.height + 1)) - 1
+    }
+
+    /// Number of slots in a range at depth `d`.
+    pub fn slots_at_depth(&self, d: u32) -> usize {
+        debug_assert!(d <= self.height);
+        self.total_slots >> d
+    }
+
+    /// Candidate-set size `|M_d|` for a non-leaf range at depth `d`.
+    ///
+    /// Always at least 1 and never larger than the range's slot count.
+    pub fn candidate_size(&self, d: u32) -> usize {
+        debug_assert!(d < self.height, "leaves have no candidate set");
+        let lg = (self.n_hat as f64).log2();
+        let raw = (self.c1 * self.n_hat as f64 / ((1u64 << d) as f64 * lg)).ceil() as usize;
+        raw.clamp(1, self.slots_at_depth(d))
+    }
+
+    /// 0-based start of the candidate window for a range currently holding
+    /// `len` elements, with candidate-set size `m`: the paper's
+    /// "`1 + ⌈ℓ/2⌉ − ⌈m/2⌉`-th element" converted to 0-based indexing and
+    /// clamped into `[0, len − m_eff]`.
+    ///
+    /// Returns `(window_start, effective_window_size)` where the effective
+    /// size is `min(m, len)` (the window cannot exceed the elements present).
+    pub fn candidate_window(len: usize, m: usize) -> (usize, usize) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let m_eff = m.min(len);
+        let start_1based = (len.div_ceil(2) + 1).saturating_sub(m_eff.div_ceil(2));
+        let start = start_1based.saturating_sub(1).min(len - m_eff);
+        (start, m_eff)
+    }
+
+    /// Returns `true` when this geometry is the single-leaf fallback.
+    pub fn is_small(&self) -> bool {
+        self.height == 0
+    }
+
+    /// Verifies the Lemma 7 pre-condition `C_L ≥ 1 + c₁ + 6/log N̂` and the
+    /// Lemma 8 pre-condition `c₁ < 1 − 6/log N̂`. Used by tests and debug
+    /// assertions.
+    pub fn constants_are_valid(&self) -> bool {
+        if self.is_small() {
+            return true;
+        }
+        let lg = (self.n_hat as f64).log2();
+        self.c_l + 1e-9 >= 1.0 + self.c1 + 6.0 / lg && self.c1 < 1.0 - 6.0 / lg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_n_hat_is_single_leaf() {
+        for n_hat in 1..SMALL_LIMIT {
+            let g = Geometry::for_n_hat(n_hat);
+            assert!(g.is_small());
+            assert_eq!(g.leaf_count(), 1);
+            assert!(g.total_slots >= 2 * n_hat || g.total_slots >= 4);
+            assert!(g.constants_are_valid());
+        }
+    }
+
+    #[test]
+    fn large_n_hat_uses_paper_constants() {
+        let g = Geometry::for_n_hat(1 << 20);
+        assert_eq!(g.c1, 0.5);
+        assert_eq!(g.c_l, 2.0);
+        assert!(g.constants_are_valid());
+    }
+
+    #[test]
+    fn constants_valid_across_the_whole_range() {
+        for n_hat in (SMALL_LIMIT..20_000).step_by(37) {
+            let g = Geometry::for_n_hat(n_hat);
+            assert!(g.constants_are_valid(), "N̂ = {n_hat}: {g:?}");
+        }
+    }
+
+    #[test]
+    fn space_is_linear() {
+        // N_S ≤ (2·C_L + 1)·N̂ per the paper, and at least N̂ slots so
+        // everything fits.
+        for n_hat in [SMALL_LIMIT, 1_000, 4_096, 65_536, 1 << 20] {
+            let g = Geometry::for_n_hat(n_hat);
+            assert!(
+                g.total_slots as f64 <= (2.0 * g.c_l + 1.5) * n_hat as f64,
+                "N̂ = {n_hat}: {} slots",
+                g.total_slots
+            );
+            assert!(g.total_slots >= n_hat, "N̂ = {n_hat}: too few slots");
+        }
+    }
+
+    #[test]
+    fn heights_grow_logarithmically() {
+        let g1 = Geometry::for_n_hat(1 << 12);
+        let g2 = Geometry::for_n_hat(1 << 20);
+        assert!(g2.height > g1.height);
+        assert!(g2.height as usize <= 21);
+    }
+
+    #[test]
+    fn leaf_slots_hold_logarithmically_many() {
+        let g = Geometry::for_n_hat(1 << 16);
+        // C_L = 2, log2 = 16 → 32 slots per leaf.
+        assert_eq!(g.leaf_slots, 32);
+        assert_eq!(g.slots_at_depth(g.height), g.leaf_slots);
+        assert_eq!(g.slots_at_depth(0), g.total_slots);
+    }
+
+    #[test]
+    fn candidate_sizes_shrink_with_depth() {
+        let g = Geometry::for_n_hat(1 << 16);
+        let mut prev = usize::MAX;
+        for d in 0..g.height {
+            let m = g.candidate_size(d);
+            assert!(m >= 1);
+            assert!(m <= prev);
+            prev = m;
+        }
+        // Root candidate set: c1·N̂/log N̂ = 0.5·65536/16 = 2048.
+        assert_eq!(g.candidate_size(0), 2048);
+    }
+
+    #[test]
+    fn candidate_window_is_centred_and_clamped() {
+        // len = 100, m = 10 → 1-based start = 51 − 5 = 46 → 0-based 45.
+        assert_eq!(Geometry::candidate_window(100, 10), (45, 10));
+        // Window never extends past the elements present.
+        let (w, m_eff) = Geometry::candidate_window(6, 10);
+        assert_eq!(m_eff, 6);
+        assert_eq!(w, 0);
+        // Empty range.
+        assert_eq!(Geometry::candidate_window(0, 8), (0, 0));
+        // Single element.
+        assert_eq!(Geometry::candidate_window(1, 8), (0, 1));
+    }
+
+    #[test]
+    fn candidate_window_always_in_bounds() {
+        for len in 0..200usize {
+            for m in 1..50usize {
+                let (w, m_eff) = Geometry::candidate_window(len, m);
+                assert!(m_eff <= len.max(0));
+                if len > 0 {
+                    assert!(w + m_eff <= len, "len={len} m={m} w={w} m_eff={m_eff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_range_count() {
+        let g = Geometry::for_n_hat(1 << 14);
+        assert_eq!(g.levels(), g.height + 1);
+        assert_eq!(g.range_count(), (1 << (g.height + 1)) - 1);
+        assert_eq!(g.leaf_count(), 1 << g.height);
+    }
+
+    #[test]
+    #[should_panic(expected = "N̂ ≥ 1")]
+    fn zero_n_hat_panics() {
+        Geometry::for_n_hat(0);
+    }
+}

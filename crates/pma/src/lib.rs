@@ -1,0 +1,49 @@
+//! Packed-memory arrays (sparse tables).
+//!
+//! This crate contains the paper's primary contribution — the **weakly
+//! history-independent packed-memory array** ([`HiPma`], paper §3–§4) — and
+//! the conventional density-threshold PMA it is benchmarked against
+//! ([`ClassicPma`]).
+//!
+//! A packed-memory array maintains a dynamic sequence of elements, in
+//! caller-specified (rank) order, inside an array of `Θ(N)` slots with `O(1)`
+//! gaps between consecutive elements. It supports:
+//!
+//! * `Insert(i, x)` / `Delete(i)` — amortized `O(log² N)` element moves, and
+//!   amortized `O(log² N / B + log_B N)` I/Os (with high probability for the
+//!   HI variant, Theorem 1);
+//! * `Query(i, j)` — a range of `k` elements in `O(1 + k/B)` I/Os given the
+//!   starting rank.
+//!
+//! The history-independent variant guarantees that the bit layout of the
+//! array reveals nothing about the order of past inserts and deletes beyond
+//! the current contents (weak history independence, Definition 4 / Lemma 9).
+//!
+//! # Quick example
+//!
+//! ```
+//! use pma::HiPma;
+//! use hi_common::RankedSequence;
+//!
+//! let mut pma = HiPma::new(0xC0FFEE);
+//! for (rank, value) in ["a", "b", "d"].iter().enumerate() {
+//!     pma.insert(rank, value.to_string()).unwrap();
+//! }
+//! pma.insert(2, "c".to_string()).unwrap(); // insert by rank
+//! assert_eq!(pma.to_vec(), vec!["a", "b", "c", "d"]);
+//! assert_eq!(pma.range_query(1, 2).unwrap(), vec!["b", "c"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod classic;
+pub mod fenwick;
+pub mod geometry;
+pub mod hi_pma;
+pub mod spread;
+
+pub use classic::{ClassicPma, DensityBands};
+pub use geometry::Geometry;
+pub use hi_pma::{BalanceRecord, HiPma};

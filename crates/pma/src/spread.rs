@@ -1,0 +1,164 @@
+//! Even spreading of elements across a window of slots.
+//!
+//! Both PMAs place the elements of a leaf (or of a rebalance window) at
+//! deterministic, evenly spaced slot positions. Determinism matters for
+//! history independence: the layout of a leaf holding `n` elements in `L`
+//! slots must be a function of `(n, L)` only (paper §3.1, base case of the
+//! recursion), never of which element arrived when.
+
+/// Slot index of the `j`-th of `n` elements spread evenly over `slots` slots
+/// (`0 ≤ j < n ≤ slots`).
+///
+/// Uses the canonical `⌊j · slots / n⌋` spreading, which places the first
+/// element at slot 0 and leaves gaps as evenly as possible. Consecutive
+/// elements are at most `⌈slots / n⌉` slots apart, so a constant-factor-full
+/// leaf has `O(1)` gaps between consecutive elements (Lemma 8).
+#[inline]
+pub fn spread_position(j: usize, n: usize, slots: usize) -> usize {
+    debug_assert!(n > 0 && j < n && n <= slots);
+    // u128 arithmetic avoids overflow for absurdly large arrays.
+    ((j as u128 * slots as u128) / n as u128) as usize
+}
+
+/// Writes `elements` evenly into `slots[0..len]`, clearing every other slot.
+/// Returns the number of element placements performed (each placement is one
+/// "element move" in the paper's Figure 2 accounting).
+pub fn spread_into<T: Clone>(elements: &[T], slots: &mut [Option<T>]) -> u64 {
+    let n = elements.len();
+    let len = slots.len();
+    assert!(n <= len, "cannot pack {n} elements into {len} slots");
+    for s in slots.iter_mut() {
+        *s = None;
+    }
+    for (j, elem) in elements.iter().enumerate() {
+        slots[spread_position(j, n, len)] = Some(elem.clone());
+    }
+    n as u64
+}
+
+/// Collects the occupied slots of a window, in slot order, into `out`.
+pub fn gather_from<T: Clone>(slots: &[Option<T>], out: &mut Vec<T>) {
+    for slot in slots {
+        if let Some(v) = slot {
+            out.push(v.clone());
+        }
+    }
+}
+
+/// Counts the occupied slots of a window.
+pub fn count_occupied<T>(slots: &[Option<T>]) -> usize {
+    slots.iter().filter(|s| s.is_some()).count()
+}
+
+/// Largest run of consecutive empty slots *between two occupied slots* of the
+/// window (leading and trailing gaps are not counted). Used by the Lemma 8
+/// invariant checks.
+pub fn max_interior_gap<T>(slots: &[Option<T>]) -> usize {
+    let mut max_gap = 0usize;
+    let mut current = 0usize;
+    let mut seen_element = false;
+    for slot in slots {
+        match slot {
+            Some(_) => {
+                if seen_element {
+                    max_gap = max_gap.max(current);
+                }
+                seen_element = true;
+                current = 0;
+            }
+            None => current += 1,
+        }
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_monotone_and_in_bounds() {
+        for n in 1..=30usize {
+            for slots in n..=60usize {
+                let mut prev = None;
+                for j in 0..n {
+                    let p = spread_position(j, n, slots);
+                    assert!(p < slots);
+                    if let Some(q) = prev {
+                        assert!(p > q, "positions must be strictly increasing");
+                    }
+                    prev = Some(p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_window_is_dense() {
+        for n in 1..=20usize {
+            let positions: Vec<usize> = (0..n).map(|j| spread_position(j, n, n)).collect();
+            assert_eq!(positions, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn spread_into_places_all_elements_in_order() {
+        let elements = vec![10, 20, 30, 40];
+        let mut slots = vec![None; 10];
+        let moves = spread_into(&elements, &mut slots);
+        assert_eq!(moves, 4);
+        let mut gathered = Vec::new();
+        gather_from(&slots, &mut gathered);
+        assert_eq!(gathered, elements);
+        assert_eq!(count_occupied(&slots), 4);
+    }
+
+    #[test]
+    fn spread_into_clears_stale_slots() {
+        let mut slots = vec![Some(99); 8];
+        spread_into(&[1, 2], &mut slots);
+        assert_eq!(count_occupied(&slots), 2);
+        let mut gathered = Vec::new();
+        gather_from(&slots, &mut gathered);
+        assert_eq!(gathered, vec![1, 2]);
+    }
+
+    #[test]
+    fn spread_empty_clears_everything() {
+        let mut slots = vec![Some(7); 5];
+        let moves = spread_into::<i32>(&[], &mut slots);
+        assert_eq!(moves, 0);
+        assert_eq!(count_occupied(&slots), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn overfull_panics() {
+        let mut slots = vec![None; 2];
+        spread_into(&[1, 2, 3], &mut slots);
+    }
+
+    #[test]
+    fn interior_gaps_are_bounded_for_half_full_windows() {
+        // A window at least half full has interior gaps of at most 2 slots.
+        for n in 4..=40usize {
+            let slots_len = 2 * n;
+            let elements: Vec<usize> = (0..n).collect();
+            let mut slots = vec![None; slots_len];
+            spread_into(&elements, &mut slots);
+            assert!(max_interior_gap(&slots) <= 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn max_interior_gap_examples() {
+        let slots = vec![Some(1), None, None, Some(2), None, Some(3), None];
+        assert_eq!(max_interior_gap(&slots), 2);
+        let no_gap = vec![Some(1), Some(2)];
+        assert_eq!(max_interior_gap(&no_gap), 0);
+        let empty: Vec<Option<i32>> = vec![None; 4];
+        assert_eq!(max_interior_gap(&empty), 0);
+        let single = vec![None, Some(5), None];
+        assert_eq!(max_interior_gap(&single), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Index arithmetic for complete binary trees addressed by BFS index.
+//!
+//! The PMA's tree of ranges (paper §3.3) is a complete binary tree; ranges
+//! are identified by their BFS index: the root (the whole array) is node 0
+//! and node `i` has children `2i + 1` and `2i + 2`. These helpers are shared
+//! by the vEB trees and the PMA itself.
+
+/// BFS index of the left and right children of node `i`.
+#[inline]
+pub fn children(i: usize) -> (usize, usize) {
+    (2 * i + 1, 2 * i + 2)
+}
+
+/// BFS index of the parent of node `i`.
+///
+/// # Panics
+///
+/// Panics in debug builds when called on the root.
+#[inline]
+pub fn parent(i: usize) -> usize {
+    debug_assert!(i > 0, "the root has no parent");
+    (i - 1) / 2
+}
+
+/// Depth of node `i` (the root has depth 0).
+#[inline]
+pub fn depth_of(i: usize) -> u32 {
+    usize::BITS - 1 - (i + 1).leading_zeros()
+}
+
+/// BFS index of the first (leftmost) node at `depth`.
+#[inline]
+pub fn first_of_level(depth: u32) -> usize {
+    (1usize << depth) - 1
+}
+
+/// Returns `true` when nodes at `depth` are the leaves of a tree with
+/// `levels` levels.
+#[inline]
+pub fn is_leaf_level(depth: u32, levels: u32) -> bool {
+    depth + 1 == levels
+}
+
+/// Number of nodes in a complete binary tree with `levels` levels.
+#[inline]
+pub fn node_count(levels: u32) -> usize {
+    (1usize << levels) - 1
+}
+
+/// Number of leaves in a complete binary tree with `levels` levels.
+#[inline]
+pub fn leaf_count(levels: u32) -> usize {
+    1usize << (levels - 1)
+}
+
+/// The BFS index of the `k`-th leaf (left to right) in a tree with `levels`
+/// levels.
+#[inline]
+pub fn leaf_index(levels: u32, k: usize) -> usize {
+    first_of_level(levels - 1) + k
+}
+
+/// Offset of node `i` within its level (0 for the leftmost node).
+#[inline]
+pub fn offset_in_level(i: usize) -> usize {
+    i - first_of_level(depth_of(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_and_parent_roundtrip() {
+        for i in 0..1000usize {
+            let (l, r) = children(i);
+            assert_eq!(parent(l), i);
+            assert_eq!(parent(r), i);
+        }
+    }
+
+    #[test]
+    fn depths() {
+        assert_eq!(depth_of(0), 0);
+        assert_eq!(depth_of(1), 1);
+        assert_eq!(depth_of(2), 1);
+        assert_eq!(depth_of(3), 2);
+        assert_eq!(depth_of(6), 2);
+        assert_eq!(depth_of(7), 3);
+        assert_eq!(depth_of(14), 3);
+    }
+
+    #[test]
+    fn level_boundaries() {
+        assert_eq!(first_of_level(0), 0);
+        assert_eq!(first_of_level(1), 1);
+        assert_eq!(first_of_level(2), 3);
+        assert_eq!(first_of_level(3), 7);
+    }
+
+    #[test]
+    fn counting() {
+        assert_eq!(node_count(1), 1);
+        assert_eq!(node_count(3), 7);
+        assert_eq!(leaf_count(1), 1);
+        assert_eq!(leaf_count(4), 8);
+        assert_eq!(leaf_index(3, 0), 3);
+        assert_eq!(leaf_index(3, 3), 6);
+    }
+
+    #[test]
+    fn offsets() {
+        assert_eq!(offset_in_level(0), 0);
+        assert_eq!(offset_in_level(1), 0);
+        assert_eq!(offset_in_level(2), 1);
+        assert_eq!(offset_in_level(5), 2);
+    }
+
+    #[test]
+    fn leaf_level_detection() {
+        assert!(is_leaf_level(2, 3));
+        assert!(!is_leaf_level(1, 3));
+        assert!(is_leaf_level(0, 1));
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's motivating scenario: a shared database whose *history* is more
+//! sensitive than its contents.
+//!
+//! A police department keeps an index of known organised-crime members and
+//! wants to hand a copy to partner agencies without revealing when each entry
+//! was added (which would expose informants) or which entries were redacted
+//! before sharing. This example builds the same final database through two
+//! very different histories and shows that:
+//!
+//! * a **classic PMA** ends up with measurably different physical layouts, so
+//!   an observer of the raw bytes learns something about the history, while
+//! * the **history-independent PMA** produces layouts drawn from the same
+//!   distribution regardless of history — the deleted informant records and
+//!   the insertion order are statistically invisible.
+//!
+//! Run with: `cargo run --release --example secure_delete_audit`
+
+use anti_persistence::prelude::*;
+
+/// Summarises a layout by the density of the first half of the array — the
+/// statistic the paper's introduction calls out ("the front of the array will
+/// be denser than the back").
+fn front_density(occupancy: &[bool]) -> f64 {
+    let half = occupancy.len() / 2;
+    let front = occupancy[..half].iter().filter(|&&b| b).count();
+    let total = occupancy.iter().filter(|&&b| b).count().max(1);
+    front as f64 / total as f64
+}
+
+fn main() {
+    let n: u64 = 20_000;
+
+    println!("building the same {n}-record database via two histories...\n");
+
+    // History A: records arrive in ascending id order (bulk import).
+    // History B: records arrive newest-first (field reports trickling in),
+    //            and 2 000 informant records are added and later redacted.
+    let run = |label: &str, seed_a: u64, seed_b: u64| {
+        // --- classic PMA ----------------------------------------------------
+        let mut classic_a: ClassicPma<u64> = ClassicPma::new();
+        for k in 0..n {
+            let rank = classic_a.len();
+            classic_a.insert(rank, k).unwrap();
+        }
+        let mut classic_b: ClassicPma<u64> = ClassicPma::new();
+        for k in (0..n).rev() {
+            classic_b.insert(0, k).unwrap();
+        }
+        // --- HI cache-oblivious B-tree --------------------------------------
+        let mut hi_a: CobBTree<u64, u64> = CobBTree::new(seed_a);
+        for k in 0..n {
+            hi_a.insert(k, k);
+        }
+        let mut hi_b: CobBTree<u64, u64> = CobBTree::new(seed_b);
+        for k in (0..n).rev() {
+            hi_b.insert(k, k);
+        }
+        // Informant records: inserted, used, then redacted.
+        for k in n..n + 2_000 {
+            hi_b.insert(k, k);
+        }
+        for k in n..n + 2_000 {
+            hi_b.remove(&k);
+        }
+
+        assert_eq!(hi_a.to_sorted_vec(), hi_b.to_sorted_vec());
+
+        println!("{label}");
+        println!(
+            "  classic PMA   front-density: bulk-import {:.3} vs newest-first {:.3}  (slots {} vs {})",
+            front_density(&classic_a.occupancy()),
+            front_density(&classic_b.occupancy()),
+            classic_a.total_slots(),
+            classic_b.total_slots(),
+        );
+        println!(
+            "  HI structure  front-density: bulk-import {:.3} vs redacted     {:.3}  (slots {} vs {})",
+            front_density(&hi_a.occupancy()),
+            front_density(&hi_b.occupancy()),
+            hi_a.total_slots(),
+            hi_b.total_slots(),
+        );
+    };
+
+    run("trial 1", 11, 12);
+    run("trial 2", 21, 22);
+    run("trial 3", 31, 32);
+
+    println!();
+    println!("The classic PMA's layout statistic tracks the history (and its array size");
+    println!("can differ), while the HI structure's layout statistic is governed only by");
+    println!("the final contents and fresh randomness — exactly the weak history");
+    println!("independence guarantee of Definition 4 / Lemma 9.");
+}

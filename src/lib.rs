@@ -1,0 +1,88 @@
+//! # anti-persistence
+//!
+//! A from-scratch Rust reproduction of *“Anti-Persistence on Persistent
+//! Storage: History-Independent Sparse Tables and Dictionaries”* (Bender,
+//! Berry, Johnson, Kroeger, McCauley, Phillips, Simon, Singh, Zage —
+//! PODS 2016).
+//!
+//! A data structure is **history independent** when its bit representation
+//! reveals nothing about the sequence of operations that produced its current
+//! state — only the state itself. This crate provides weakly
+//! history-independent, I/O-efficient alternatives to the B-tree:
+//!
+//! | Structure | Crate | Paper result |
+//! |---|---|---|
+//! | History-independent packed-memory array | [`pma::HiPma`] | Theorem 1: `O(log²N)` amortized moves whp, `O(log²N/B + log_B N)` I/Os |
+//! | History-independent cache-oblivious B-tree | [`cob_btree::CobBTree`] | Theorem 2: B-tree-like bounds with no knowledge of `B` |
+//! | History-independent external-memory skip list | [`skiplist::ExternalSkipList`] | Theorem 3: `O(log_B N)` searches/updates whp |
+//! | Classic PMA, folklore B-skip list, external B-tree | [`pma::ClassicPma`], [`skiplist`], [`btree::BTree`] | the baselines the paper compares against |
+//!
+//! Everything runs on a simulated disk-access-machine ([`io_sim`]) so the
+//! paper's I/O bounds can be measured, not just proved.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//!
+//! // A keyed, history-independent index (the cache-oblivious B-tree).
+//! let mut index: CobBTree<u64, String> = CobBTree::new(0xDEADBEEF);
+//! index.insert(3, "three".into());
+//! index.insert(1, "one".into());
+//! index.insert(2, "two".into());
+//! index.remove(&2);
+//!
+//! assert_eq!(index.get(&1), Some("one".into()));
+//! assert_eq!(index.range(&0, &9).len(), 2);
+//! // The on-disk layout is a function of the *contents* plus secret coins —
+//! // nothing about the insertion order or the deleted key can be recovered
+//! // from it (weak history independence).
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment-by-experiment reproduction of the paper's evaluation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use btree;
+pub use cob_btree;
+pub use hi_common;
+pub use io_sim;
+pub use pma;
+pub use skiplist;
+pub use veb_tree;
+pub use workloads;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use btree::BTree;
+    pub use cob_btree::CobBTree;
+    pub use hi_common::capacity::HiCapacity;
+    pub use hi_common::counters::{OpCounters, SharedCounters};
+    pub use hi_common::rng::RngSource;
+    pub use hi_common::traits::{Dictionary, RankedSequence};
+    pub use io_sim::{IoConfig, IoModel, Tracer};
+    pub use pma::{ClassicPma, HiPma};
+    pub use skiplist::{ExternalSkipList, SkipParams};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_types_are_usable_together() {
+        let mut hi: CobBTree<u64, u64> = CobBTree::new(1);
+        let mut bt: BTree<u64, u64> = BTree::new(16);
+        let mut sl: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(16, 0.5, 2);
+        for k in 0..200u64 {
+            hi.insert(k, k);
+            bt.insert(k, k);
+            sl.insert(k, k);
+        }
+        assert_eq!(hi.to_sorted_vec(), bt.to_sorted_vec());
+        assert_eq!(hi.to_sorted_vec(), sl.to_sorted_vec());
+    }
+}
