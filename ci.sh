@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for the anti-persistence workspace. Mirrors the tier-1 verify and
+# adds lint/format/bench-compilation gates. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo bench --no-run (compile all criterion suites)"
+cargo bench --no-run
+
+echo "==> smoke-run the HI verification binary"
+AP_BENCH_SCALE=1 cargo run --release --bin hi_verification >/dev/null
+
+echo "CI OK"

@@ -10,7 +10,9 @@ fn ranks_of(trace: &workloads::Trace) -> Vec<(usize, u64)> {
     let mut keys: Vec<u64> = Vec::new();
     let mut out = Vec::new();
     for op in &trace.ops {
-        let Op::Insert(key, _) = op else { unreachable!() };
+        let Op::Insert(key, _) = op else {
+            unreachable!()
+        };
         let rank = keys.partition_point(|k| k < key);
         keys.insert(rank, *key);
         out.push((rank, *key));
@@ -45,7 +47,11 @@ fn bench_inserts(c: &mut Criterion) {
         b.iter_batched(|| ops.clone(), |ops| build_hi(&ops), BatchSize::LargeInput)
     });
     group.bench_function(BenchmarkId::new("classic_pma", n), |b| {
-        b.iter_batched(|| ops.clone(), |ops| build_classic(&ops), BatchSize::LargeInput)
+        b.iter_batched(
+            || ops.clone(),
+            |ops| build_classic(&ops),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

@@ -25,7 +25,9 @@ fn main() {
 
     let checkpoint = (n / samples).max(1);
     for (i, op) in trace.ops.iter().enumerate() {
-        let Op::Insert(key, _) = op else { unreachable!() };
+        let Op::Insert(key, _) = op else {
+            unreachable!()
+        };
         let rank = keys.partition_point(|k| k < key);
         keys.insert(rank, *key);
         hi.insert(rank, *key).unwrap();
@@ -54,5 +56,7 @@ fn main() {
         "\nfinal normalized moves: HI PMA = {hi_final:.4}, classic PMA = {classic_final:.4}, ratio = {:.2}",
         hi_final / classic_final.max(1e-12)
     );
-    println!("(the paper reports both curves flat, with the HI PMA a small constant factor higher)");
+    println!(
+        "(the paper reports both curves flat, with the HI PMA a small constant factor higher)"
+    );
 }

@@ -23,7 +23,11 @@ fn search_cost_distribution(list: &ExternalSkipList<u64, u64>, n: u64) -> Summar
 fn main() {
     let b = 64usize;
     let mut rows = Vec::new();
-    for &n in &[scaled(20_000) as u64, scaled(60_000) as u64, scaled(150_000) as u64] {
+    for &n in &[
+        scaled(20_000) as u64,
+        scaled(60_000) as u64,
+        scaled(150_000) as u64,
+    ] {
         let mut hi: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(b, 0.5, 1);
         let mut folk: ExternalSkipList<u64, u64> = ExternalSkipList::folklore_b(b, 2);
         let mut mem: ExternalSkipList<u64, u64> = ExternalSkipList::in_memory(3);
@@ -40,9 +44,24 @@ fn main() {
             ("folklore B-skip list (1/B)", &folk_s),
             ("in-memory skip list on disk", &mem_s),
         ] {
-            rows.push(Row::new(&format!("{name} mean"), n as f64, s.mean, "I/Os per search"));
-            rows.push(Row::new(&format!("{name} p99"), n as f64, s.p99, "I/Os per search"));
-            rows.push(Row::new(&format!("{name} max"), n as f64, s.max, "I/Os per search"));
+            rows.push(Row::new(
+                &format!("{name} mean"),
+                n as f64,
+                s.mean,
+                "I/Os per search",
+            ));
+            rows.push(Row::new(
+                &format!("{name} p99"),
+                n as f64,
+                s.p99,
+                "I/Os per search",
+            ));
+            rows.push(Row::new(
+                &format!("{name} max"),
+                n as f64,
+                s.max,
+                "I/Os per search",
+            ));
         }
         println!(
             "N={n}: HI max {:.0} | folklore max {:.0} (log(N/B) = {:.1}) | in-memory max {:.0}",

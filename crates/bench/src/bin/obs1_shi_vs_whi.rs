@@ -38,8 +38,18 @@ fn main() {
         }
         let whi_amortized = whi_rebuild_cost as f64 / rounds as f64;
         let shi_amortized = shi_rebuild_cost as f64 / rounds as f64;
-        rows.push(Row::new("WHI amortized resize cost", n as f64, whi_amortized, "slots/op"));
-        rows.push(Row::new("canonical (SHI) amortized resize cost", n as f64, shi_amortized, "slots/op"));
+        rows.push(Row::new(
+            "WHI amortized resize cost",
+            n as f64,
+            whi_amortized,
+            "slots/op",
+        ));
+        rows.push(Row::new(
+            "canonical (SHI) amortized resize cost",
+            n as f64,
+            shi_amortized,
+            "slots/op",
+        ));
         println!(
             "N = {n:>7}: WHI {whi_amortized:>10.2} slots/op, canonical {shi_amortized:>12.2} slots/op"
         );

@@ -12,7 +12,9 @@ fn ranks_of(trace: &workloads::Trace) -> Vec<usize> {
     let mut keys: Vec<u64> = Vec::with_capacity(trace.len());
     let mut ranks = Vec::with_capacity(trace.len());
     for op in &trace.ops {
-        let Op::Insert(key, _) = op else { unreachable!() };
+        let Op::Insert(key, _) = op else {
+            unreachable!()
+        };
         let rank = keys.partition_point(|k| k < key);
         keys.insert(rank, *key);
         ranks.push(rank);
@@ -49,7 +51,12 @@ fn main() {
             classic.len()
         });
         rows.push(Row::new("HI PMA (s)", n as f64, hi_secs, "seconds"));
-        rows.push(Row::new("classic PMA (s)", n as f64, classic_secs, "seconds"));
+        rows.push(Row::new(
+            "classic PMA (s)",
+            n as f64,
+            classic_secs,
+            "seconds",
+        ));
         rows.push(Row::new(
             "overhead factor",
             n as f64,

@@ -22,7 +22,9 @@ fn main() {
 
     let checkpoint = (n / samples).max(1);
     for (i, op) in trace.ops.iter().enumerate() {
-        let Op::Insert(key, _) = op else { unreachable!() };
+        let Op::Insert(key, _) = op else {
+            unreachable!()
+        };
         let rank = keys.partition_point(|k| k < key);
         keys.insert(rank, *key);
         hi.insert(rank, *key).unwrap();
@@ -32,7 +34,12 @@ fn main() {
             let classic_ratio = classic.total_slots() as f64 / classic.len() as f64;
             hi_min = hi_min.min(hi_ratio);
             hi_max = hi_max.max(hi_ratio);
-            rows.push(Row::new("HI PMA slots/N", (i + 1) as f64, hi_ratio, "ratio"));
+            rows.push(Row::new(
+                "HI PMA slots/N",
+                (i + 1) as f64,
+                hi_ratio,
+                "ratio",
+            ));
             rows.push(Row::new(
                 "classic PMA slots/N",
                 (i + 1) as f64,
@@ -42,7 +49,5 @@ fn main() {
         }
     }
     emit("Space overhead over a random-insert run", &rows);
-    println!(
-        "\nHI PMA slots/N ranged over [{hi_min:.2}, {hi_max:.2}]  (paper: 1.8x to 5x)"
-    );
+    println!("\nHI PMA slots/N ranged over [{hi_min:.2}, {hi_max:.2}]  (paper: 1.8x to 5x)");
 }

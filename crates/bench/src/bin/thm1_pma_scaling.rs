@@ -14,7 +14,12 @@ use workloads::{random_inserts, Op};
 fn main() {
     let block_bytes = 4096u64;
     let mut rows = Vec::new();
-    for &n in &[scaled(20_000), scaled(50_000), scaled(100_000), scaled(200_000)] {
+    for &n in &[
+        scaled(20_000),
+        scaled(50_000),
+        scaled(100_000),
+        scaled(200_000),
+    ] {
         let trace = random_inserts(n, 3);
         let tracer = Tracer::enabled(IoConfig::new(block_bytes as usize, 1 << 12));
         let counters = SharedCounters::new();
@@ -26,7 +31,9 @@ fn main() {
         );
         let mut keys: Vec<u64> = Vec::with_capacity(n);
         for op in &trace.ops {
-            let Op::Insert(key, _) = op else { unreachable!() };
+            let Op::Insert(key, _) = op else {
+                unreachable!()
+            };
             let rank = keys.partition_point(|k| k < key);
             keys.insert(rank, *key);
             pma.insert(rank, *key).unwrap();
@@ -43,7 +50,12 @@ fn main() {
             moves_per_op / (log2n * log2n),
             "per-op cost",
         ));
-        rows.push(Row::new("sim I/Os per op", n as f64, ios_per_op, "per-op cost"));
+        rows.push(Row::new(
+            "sim I/Os per op",
+            n as f64,
+            ios_per_op,
+            "per-op cost",
+        ));
         rows.push(Row::new(
             "I/Os ÷ (log²N/B + log_B N)",
             n as f64,

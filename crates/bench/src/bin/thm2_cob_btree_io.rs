@@ -17,7 +17,11 @@ fn main() {
     let probes = 400u64;
     let mut rows = Vec::new();
 
-    for &n in &[scaled(20_000) as u64, scaled(60_000) as u64, scaled(150_000) as u64] {
+    for &n in &[
+        scaled(20_000) as u64,
+        scaled(60_000) as u64,
+        scaled(150_000) as u64,
+    ] {
         let tracer = Tracer::enabled(IoConfig::new(block_bytes, 1 << 12));
         let mut cob: CobBTree<u64, u64> = CobBTree::with_parts(
             RngSource::from_seed(n),
@@ -42,8 +46,18 @@ fn main() {
         }
         let cob_search = tracer.stats().transfers() as f64 / probes as f64;
         let bt_search = bt_total as f64 / probes as f64;
-        rows.push(Row::new("COB search I/Os", n as f64, cob_search, "I/Os per op"));
-        rows.push(Row::new("B-tree search I/Os", n as f64, bt_search, "I/Os per op"));
+        rows.push(Row::new(
+            "COB search I/Os",
+            n as f64,
+            cob_search,
+            "I/Os per op",
+        ));
+        rows.push(Row::new(
+            "B-tree search I/Os",
+            n as f64,
+            bt_search,
+            "I/Os per op",
+        ));
         rows.push(Row::new(
             "log_B N",
             n as f64,
@@ -57,7 +71,12 @@ fn main() {
             cob.insert(i * 2 + 1, i);
         }
         let cob_insert = tracer.stats().transfers() as f64 / probes as f64;
-        rows.push(Row::new("COB insert I/Os", n as f64, cob_insert, "I/Os per op"));
+        rows.push(Row::new(
+            "COB insert I/Os",
+            n as f64,
+            cob_insert,
+            "I/Os per op",
+        ));
 
         // Range queries of k = 4096 elements.
         let k = 4096u64.min(n / 2);

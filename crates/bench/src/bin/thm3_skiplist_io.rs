@@ -37,11 +37,36 @@ fn main() {
             let rng = Summary::of_counts(&range_costs).unwrap();
             let series = format!("B={b} eps={eps}");
             let log_b_n = (n as f64).log2() / (b as f64).log2();
-            rows.push(Row::new(&format!("{series} search mean"), b as f64, srch.mean, "I/Os"));
-            rows.push(Row::new(&format!("{series} search p99"), b as f64, srch.p99, "I/Os"));
-            rows.push(Row::new(&format!("{series} insert mean"), b as f64, ins.mean, "I/Os"));
-            rows.push(Row::new(&format!("{series} insert max"), b as f64, ins.max, "I/Os"));
-            rows.push(Row::new(&format!("{series} range(k=4096) mean"), b as f64, rng.mean, "I/Os"));
+            rows.push(Row::new(
+                &format!("{series} search mean"),
+                b as f64,
+                srch.mean,
+                "I/Os",
+            ));
+            rows.push(Row::new(
+                &format!("{series} search p99"),
+                b as f64,
+                srch.p99,
+                "I/Os",
+            ));
+            rows.push(Row::new(
+                &format!("{series} insert mean"),
+                b as f64,
+                ins.mean,
+                "I/Os",
+            ));
+            rows.push(Row::new(
+                &format!("{series} insert max"),
+                b as f64,
+                ins.max,
+                "I/Os",
+            ));
+            rows.push(Row::new(
+                &format!("{series} range(k=4096) mean"),
+                b as f64,
+                rng.mean,
+                "I/Os",
+            ));
             println!(
                 "B={b:<4} eps={eps:<4} N={n}: search mean {:.2} (log_B N = {:.2}), insert mean {:.2}, insert max {:.0} (bound B^eps*logN = {:.0}), range mean {:.1}",
                 srch.mean,

@@ -151,10 +151,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                     node = children[idx];
                 }
                 Node::Leaf { keys, values } => {
-                    let result = keys
-                        .binary_search(key)
-                        .ok()
-                        .map(|idx| values[idx].clone());
+                    let result = keys.binary_search(key).ok().map(|idx| values[idx].clone());
                     self.finish_op(ios);
                     return result;
                 }
@@ -178,14 +175,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         out
     }
 
-    fn range_collect(
-        &self,
-        node: NodeId,
-        low: &K,
-        high: &K,
-        out: &mut Vec<(K, V)>,
-        ios: &mut u64,
-    ) {
+    fn range_collect(&self, node: NodeId, low: &K, high: &K, out: &mut Vec<(K, V)>, ios: &mut u64) {
         *ios += 1;
         match &self.nodes[node] {
             Node::Internal { keys, children } => {
@@ -348,23 +338,21 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     ) -> (Option<V>, Option<(K, NodeId)>) {
         *ios += 2; // read + write of this node
         match &mut self.nodes[node] {
-            Node::Leaf { keys, values } => {
-                match keys.binary_search(&key) {
-                    Ok(idx) => {
-                        let old = std::mem::replace(&mut values[idx], value);
-                        (Some(old), None)
-                    }
-                    Err(idx) => {
-                        keys.insert(idx, key);
-                        values.insert(idx, value);
-                        if keys.len() > self.fanout {
-                            (None, Some(self.split_leaf(node)))
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(idx) => {
+                    let old = std::mem::replace(&mut values[idx], value);
+                    (Some(old), None)
+                }
+                Err(idx) => {
+                    keys.insert(idx, key);
+                    values.insert(idx, value);
+                    if keys.len() > self.fanout {
+                        (None, Some(self.split_leaf(node)))
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let child = children[idx];
@@ -512,7 +500,10 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                 let Node::Leaf { keys, values } = &mut self.nodes[left_id] else {
                     unreachable!();
                 };
-                (keys.pop().expect("donor leaf"), values.pop().expect("donor leaf"))
+                (
+                    keys.pop().expect("donor leaf"),
+                    values.pop().expect("donor leaf"),
+                )
             };
             let new_sep = k.clone();
             {
@@ -693,7 +684,11 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                 }
                 for (i, child) in children.iter().enumerate() {
                     let lo = if i == 0 { low } else { Some(&keys[i - 1]) };
-                    let hi = if i == keys.len() { high } else { Some(&keys[i]) };
+                    let hi = if i == keys.len() {
+                        high
+                    } else {
+                        Some(&keys[i])
+                    };
                     self.check_node(*child, lo, hi, depth + 1, leaf_depths, false);
                 }
             }

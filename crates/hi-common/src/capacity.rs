@@ -311,9 +311,9 @@ mod tests {
             } else {
                 cap.on_delete(&mut r);
             }
-            if cap.len() > 0 {
+            if !cap.is_empty() {
                 assert!(cap.n_hat() >= cap.len(), "n_hat below range");
-                assert!(cap.n_hat() <= 2 * cap.len() - 1, "n_hat above range");
+                assert!(cap.n_hat() < 2 * cap.len(), "n_hat above range");
             } else {
                 assert_eq!(cap.n_hat(), 0);
             }

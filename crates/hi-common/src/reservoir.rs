@@ -157,11 +157,7 @@ impl ReservoirLeader {
     /// neighbour at the same position). The newcomer is offered leadership
     /// with probability `1/size`; if the replaced candidate was the leader a
     /// fresh leader is drawn uniformly.
-    pub fn candidate_replaced<R: Rng + ?Sized>(
-        &mut self,
-        pos: usize,
-        rng: &mut R,
-    ) -> LeaderChange {
+    pub fn candidate_replaced<R: Rng + ?Sized>(&mut self, pos: usize, rng: &mut R) -> LeaderChange {
         debug_assert!(pos < self.size);
         if self.leader == pos {
             self.leader = rng.gen_range(0..self.size);

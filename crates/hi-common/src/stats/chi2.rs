@@ -28,7 +28,10 @@ impl Chi2Outcome {
 /// Survival function of the χ² distribution with `dof` degrees of freedom:
 /// `Pr[X ≥ x]`.
 pub fn chi2_survival(x: f64, dof: usize) -> f64 {
-    assert!(dof > 0, "chi-square requires at least one degree of freedom");
+    assert!(
+        dof > 0,
+        "chi-square requires at least one degree of freedom"
+    );
     assert!(x >= 0.0, "chi-square statistic must be non-negative");
     reg_gamma_upper(dof as f64 / 2.0, x / 2.0)
 }

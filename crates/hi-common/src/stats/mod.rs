@@ -23,4 +23,4 @@ pub mod uniformity;
 pub use chi2::{chi2_gof_uniform, chi2_statistic_uniform, chi2_survival, Chi2Outcome};
 pub use gamma::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
 pub use summary::Summary;
-pub use uniformity::{uniformity_p_value, uniformity_of_p_values, UniformityReport};
+pub use uniformity::{uniformity_of_p_values, uniformity_p_value, UniformityReport};

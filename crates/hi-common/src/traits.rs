@@ -26,7 +26,11 @@ pub struct RankError {
 
 impl fmt::Display for RankError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rank {} out of bounds for length {}", self.rank, self.len)
+        write!(
+            f,
+            "rank {} out of bounds for length {}",
+            self.rank, self.len
+        )
     }
 }
 

@@ -153,9 +153,7 @@ impl HiAllocator {
             len: alloc.blocks,
         };
         // Find insertion point by start block.
-        let pos = self
-            .free
-            .partition_point(|r| r.start < run.start);
+        let pos = self.free.partition_point(|r| r.start < run.start);
         if pos > 0 {
             let prev = &self.free[pos - 1];
             assert!(
@@ -301,7 +299,12 @@ mod tests {
         a.free(x);
         a.free(y);
         assert_eq!(a.live_blocks(), 0);
-        assert_eq!(a.free.len(), 1, "all free space should coalesce: {:?}", a.free);
+        assert_eq!(
+            a.free.len(),
+            1,
+            "all free space should coalesce: {:?}",
+            a.free
+        );
         assert_eq!(a.free_blocks(), a.disk_blocks());
     }
 

@@ -276,8 +276,8 @@ impl<T: Clone> ClassicPma<T> {
     fn window_count(&self, seg: usize, level: u32) -> usize {
         let window_segs = 1usize << level;
         let first_seg = (seg / window_segs) * window_segs;
-        (self.seg_counts.prefix_sum(first_seg + window_segs) - self.seg_counts.prefix_sum(first_seg))
-            as usize
+        (self.seg_counts.prefix_sum(first_seg + window_segs)
+            - self.seg_counts.prefix_sum(first_seg)) as usize
     }
 
     // ------------------------------------------------------------------
@@ -381,22 +381,20 @@ impl<T: Clone> ClassicPma<T> {
             self.region.addr(start as u64),
             self.region.span(self.seg_size as u64),
         );
-        let mut seen = 0usize;
-        for slot in &self.slots[start..start + self.seg_size] {
-            if let Some(v) = slot {
-                if seen == within {
-                    return Some(v.clone());
-                }
-                seen += 1;
-            }
-        }
-        None
+        self.slots[start..start + self.seg_size]
+            .iter()
+            .flatten()
+            .nth(within)
+            .cloned()
     }
 
     /// The `i`-th through `j`-th elements inclusive.
     pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
         if i > j || j >= self.len {
-            return Err(RankError { rank: j, len: self.len });
+            return Err(RankError {
+                rank: j,
+                len: self.len,
+            });
         }
         self.counters.add_query();
         let k = j - i + 1;

@@ -124,8 +124,8 @@ mod tests {
     fn from_counts_matches_manual() {
         let counts = vec![2, 0, 7, 1, 4];
         let f = Fenwick::from_counts(&counts);
-        for i in 0..counts.len() {
-            assert_eq!(f.get(i), counts[i]);
+        for (i, &count) in counts.iter().enumerate() {
+            assert_eq!(f.get(i), count);
         }
         assert_eq!(f.total(), 14);
     }

@@ -245,7 +245,7 @@ mod tests {
         for len in 0..200usize {
             for m in 1..50usize {
                 let (w, m_eff) = Geometry::candidate_window(len, m);
-                assert!(m_eff <= len.max(0));
+                assert!(m_eff <= len);
                 if len > 0 {
                     assert!(w + m_eff <= len, "len={len} m={m} w={w} m_eff={m_eff}");
                 }

@@ -65,10 +65,7 @@ pub struct BalanceRecord {
 /// interval `b` — at most two contiguous pieces, yielded in increasing order.
 /// Used by the reservoir decisions to enumerate the (at most a couple of)
 /// elements that enter a candidate window when it slides.
-fn interval_difference(
-    a: (usize, usize),
-    b: (usize, usize),
-) -> impl Iterator<Item = usize> {
+fn interval_difference(a: (usize, usize), b: (usize, usize)) -> impl Iterator<Item = usize> {
     let left = a.0..a.1.min(b.0.max(a.0));
     let right = a.0.max(b.1.min(a.1))..a.1;
     left.chain(right)
@@ -277,12 +274,12 @@ impl<T: Clone> HiPma<T> {
             self.len(),
             "occupied slots disagree with len()"
         );
-        if self.len() == 0 {
+        if self.is_empty() {
             return;
         }
         // Capacity invariant.
         assert!(
-            self.n_hat() >= self.len() && self.n_hat() <= 2 * self.len() - 1,
+            self.n_hat() >= self.len() && self.n_hat() < 2 * self.len(),
             "N̂ = {} outside {{N..2N-1}} for N = {}",
             self.n_hat(),
             self.len()
@@ -376,8 +373,7 @@ impl<T: Clone> HiPma<T> {
             self.elem_size,
             self.tracer.clone(),
         );
-        self.counters
-            .add_rebuild(self.geometry.total_slots as u64);
+        self.counters.add_rebuild(self.geometry.total_slots as u64);
         self.rebuild_range(0, 0, 0, &elements, None);
     }
 
@@ -551,7 +547,10 @@ impl<T: Clone> HiPma<T> {
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
-        gather_from(&self.slots[slot_start..slot_start + slot_count], &mut elements);
+        gather_from(
+            &self.slots[slot_start..slot_start + slot_count],
+            &mut elements,
+        );
         debug_assert!(rel_rank <= elements.len(), "leaf rank out of bounds");
         elements.insert(rel_rank.min(elements.len()), item);
         debug_assert!(
@@ -576,7 +575,10 @@ impl<T: Clone> HiPma<T> {
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
-        gather_from(&self.slots[slot_start..slot_start + slot_count], &mut elements);
+        gather_from(
+            &self.slots[slot_start..slot_start + slot_count],
+            &mut elements,
+        );
         debug_assert!(rel_rank < elements.len(), "leaf rank out of bounds");
         let removed = elements.remove(rel_rank);
         let moves = spread_into(
@@ -990,7 +992,10 @@ mod tests {
             pma.insert(i as usize, i).unwrap();
         }
         assert_eq!(pma.len(), 100);
-        assert_eq!(pma.range_query(0, 99).unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(
+            pma.range_query(0, 99).unwrap(),
+            (0..100).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -1041,7 +1046,7 @@ mod tests {
             }
             if !pma.is_empty() {
                 assert!(pma.n_hat() >= pma.len());
-                assert!(pma.n_hat() <= 2 * pma.len() - 1);
+                assert!(pma.n_hat() < 2 * pma.len());
             }
         }
     }
@@ -1165,10 +1170,10 @@ mod tests {
                 b.range_query(0, n - 1).unwrap()
             );
             // Where does the first element sit, as a fraction of the array?
-            let pos_a = a.occupancy().iter().position(|&x| x).unwrap() as f64
-                / a.total_slots() as f64;
-            let pos_b = b.occupancy().iter().position(|&x| x).unwrap() as f64
-                / b.total_slots() as f64;
+            let pos_a =
+                a.occupancy().iter().position(|&x| x).unwrap() as f64 / a.total_slots() as f64;
+            let pos_b =
+                b.occupancy().iter().position(|&x| x).unwrap() as f64 / b.total_slots() as f64;
             hist_a[(pos_a * buckets as f64) as usize % buckets] += 1.0;
             hist_b[(pos_b * buckets as f64) as usize % buckets] += 1.0;
         }
@@ -1240,7 +1245,7 @@ mod tests {
         // Delete every third element.
         let mut idx = 0usize;
         while idx < model.len() {
-            if idx % 3 == 0 {
+            if idx.is_multiple_of(3) {
                 pma.delete(idx).unwrap();
                 model.remove(idx);
             } else {

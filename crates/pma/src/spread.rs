@@ -38,10 +38,8 @@ pub fn spread_into<T: Clone>(elements: &[T], slots: &mut [Option<T>]) -> u64 {
 
 /// Collects the occupied slots of a window, in slot order, into `out`.
 pub fn gather_from<T: Clone>(slots: &[Option<T>], out: &mut Vec<T>) {
-    for slot in slots {
-        if let Some(v) = slot {
-            out.push(v.clone());
-        }
+    for v in slots.iter().flatten() {
+        out.push(v.clone());
     }
 }
 

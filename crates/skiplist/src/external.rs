@@ -307,7 +307,11 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             let pad = LeafPad::draw(1, self.params.min_pad, &mut self.rng);
             self.nodes.push(LeafNode {
                 arrays: vec![LeafArray {
-                    entries: vec![Entry { key: key.clone(), value, level }],
+                    entries: vec![Entry {
+                        key: key.clone(),
+                        value,
+                        level,
+                    }],
                     pad,
                 }],
             });
@@ -352,8 +356,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             let old_head_level = self.nodes[0].arrays[0].entries[1].level;
             if old_head_level >= 1 {
                 let tail: Vec<Entry<K, V>> = self.nodes[0].arrays[0].entries.split_off(1);
-                self.nodes[0].arrays[0].pad =
-                    LeafPad::draw(1, self.params.min_pad, &mut self.rng);
+                self.nodes[0].arrays[0].pad = LeafPad::draw(1, self.params.min_pad, &mut self.rng);
                 let tail_pad = LeafPad::draw(tail.len(), self.params.min_pad, &mut self.rng);
                 self.nodes[0].arrays.insert(
                     1,
@@ -835,7 +838,10 @@ mod tests {
     #[test]
     fn matches_btreemap_under_random_ops() {
         for (variant, mut list) in [
-            ("hi", ExternalSkipList::<u64, u64>::history_independent(16, 0.5, 11)),
+            (
+                "hi",
+                ExternalSkipList::<u64, u64>::history_independent(16, 0.5, 11),
+            ),
             ("folklore", ExternalSkipList::<u64, u64>::folklore_b(16, 12)),
             ("memory", ExternalSkipList::<u64, u64>::in_memory(13)),
         ] {

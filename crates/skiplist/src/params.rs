@@ -151,7 +151,7 @@ impl LeafPad {
     /// Returns `true` when `padded` is legal for `n` elements.
     pub fn is_legal(&self, n: usize, floor: usize) -> bool {
         let base = n.max(floor).max(1);
-        self.padded >= base && self.padded <= 2 * base - 1 && self.padded >= n
+        self.padded >= base && self.padded < 2 * base && self.padded >= n
     }
 
     /// Updates the padded size after the array's element count changed to

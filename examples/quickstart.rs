@@ -36,9 +36,7 @@ fn main() {
     println!("\n== secure delete ==");
     index.remove(&1002);
     println!("  removed 1002; len = {}", index.len());
-    println!(
-        "  the array layout now follows the same distribution as if 1002 had never existed"
-    );
+    println!("  the array layout now follows the same distribution as if 1002 had never existed");
 
     println!("\n== what the structure looks like on disk ==");
     let occupied = index.occupancy().iter().filter(|&&b| b).count();

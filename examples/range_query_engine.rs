@@ -26,7 +26,8 @@ fn main() {
     );
 
     let mut cob: CobBTree<u64, u64> = CobBTree::new(1);
-    let mut hi_skip: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(block, 0.5, 2);
+    let mut hi_skip: ExternalSkipList<u64, u64> =
+        ExternalSkipList::history_independent(block, 0.5, 2);
     let mut b_skip: ExternalSkipList<u64, u64> = ExternalSkipList::folklore_b(block, 3);
     let mut btree: BTree<u64, u64> = BTree::new(block);
 
@@ -60,7 +61,10 @@ fn main() {
     // Range-scan cost as a function of result size, for the structures that
     // report per-operation I/Os.
     println!("\nrange-scan cost (simulated I/Os per query, k = result size)");
-    println!("{:<10} {:>16} {:>16} {:>16}", "k", "HI skip list", "B-skip list", "B-tree");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "k", "HI skip list", "B-skip list", "B-tree"
+    );
     for k in [16u64, 64, 256, 1024, 4096] {
         let queries = workloads::range_queries(n as u64, k, 20, k);
         let cost = |d: &dyn Fn(u64, u64) -> u64| {
@@ -86,7 +90,10 @@ fn main() {
             btree.range(&a, &b);
             btree.last_op_ios()
         });
-        println!("{:<10} {:>16.1} {:>16.1} {:>16.1}", k, hi_cost, bs_cost, bt_cost);
+        println!(
+            "{:<10} {:>16.1} {:>16.1} {:>16.1}",
+            k, hi_cost, bs_cost, bt_cost
+        );
     }
 
     println!("\nExpect every column to grow roughly linearly in k/B once k dominates the");

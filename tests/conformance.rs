@@ -1,0 +1,107 @@
+//! Cross-structure conformance battery.
+//!
+//! Every dictionary in the workspace — the external B-tree baseline, the HI
+//! cache-oblivious B-tree, and the external skip list in all three
+//! parameterizations — is driven through the same seeded differential
+//! scripts against a `BTreeMap` oracle, and through the same deterministic
+//! edge-case battery. The rank-addressed PMAs get the equivalent treatment
+//! against a `Vec` oracle. A future structure joins the battery by adding
+//! one constructor closure per test.
+
+use anti_persistence::prelude::*;
+use test_support::{
+    dictionary_edge_cases, run_dict_differential, run_seq_differential, standard_scripts,
+    SeqProfile,
+};
+
+#[test]
+fn btree_matches_the_oracle_on_standard_scripts() {
+    for script in standard_scripts() {
+        let mut dict: BTree<u64, u64> = BTree::new(16);
+        run_dict_differential(&mut dict, &script);
+        dict.check_invariants();
+    }
+}
+
+#[test]
+fn cob_btree_matches_the_oracle_on_standard_scripts() {
+    for (i, script) in standard_scripts().iter().enumerate() {
+        let mut dict: CobBTree<u64, u64> = CobBTree::new(1000 + i as u64);
+        run_dict_differential(&mut dict, script);
+        dict.check_invariants();
+    }
+}
+
+#[test]
+fn hi_skiplist_matches_the_oracle_on_standard_scripts() {
+    for (i, script) in standard_scripts().iter().enumerate() {
+        let mut dict: ExternalSkipList<u64, u64> =
+            ExternalSkipList::history_independent(16, 0.5, 2000 + i as u64);
+        run_dict_differential(&mut dict, script);
+        dict.check_invariants();
+    }
+}
+
+#[test]
+fn folklore_skiplist_matches_the_oracle_on_standard_scripts() {
+    for (i, script) in standard_scripts().iter().enumerate() {
+        let mut dict: ExternalSkipList<u64, u64> =
+            ExternalSkipList::folklore_b(16, 3000 + i as u64);
+        run_dict_differential(&mut dict, script);
+        dict.check_invariants();
+    }
+}
+
+#[test]
+fn in_memory_skiplist_matches_the_oracle_on_standard_scripts() {
+    for (i, script) in standard_scripts().iter().enumerate() {
+        let mut dict: ExternalSkipList<u64, u64> = ExternalSkipList::in_memory(4000 + i as u64);
+        run_dict_differential(&mut dict, script);
+        dict.check_invariants();
+    }
+}
+
+#[test]
+fn btree_edge_cases() {
+    dictionary_edge_cases(|| BTree::<u64, u64>::new(4));
+    dictionary_edge_cases(|| BTree::<u64, u64>::new(128));
+}
+
+#[test]
+fn cob_btree_edge_cases() {
+    dictionary_edge_cases(|| CobBTree::<u64, u64>::new(5));
+}
+
+#[test]
+fn hi_skiplist_edge_cases() {
+    dictionary_edge_cases(|| ExternalSkipList::<u64, u64>::history_independent(16, 0.5, 6));
+    dictionary_edge_cases(|| ExternalSkipList::<u64, u64>::history_independent(4, 0.25, 7));
+}
+
+#[test]
+fn folklore_skiplist_edge_cases() {
+    dictionary_edge_cases(|| ExternalSkipList::<u64, u64>::folklore_b(16, 8));
+}
+
+#[test]
+fn in_memory_skiplist_edge_cases() {
+    dictionary_edge_cases(|| ExternalSkipList::<u64, u64>::in_memory(9));
+}
+
+#[test]
+fn hi_pma_matches_the_vec_oracle() {
+    for seed in [11u64, 22, 33] {
+        let mut pma: HiPma<u64> = HiPma::new(seed);
+        run_seq_differential(&mut pma, seed ^ 0xFF, SeqProfile::standard(1_200));
+        pma.check_invariants();
+    }
+}
+
+#[test]
+fn classic_pma_matches_the_vec_oracle() {
+    for seed in [44u64, 55, 66] {
+        let mut pma: ClassicPma<u64> = ClassicPma::new();
+        run_seq_differential(&mut pma, seed, SeqProfile::standard(1_200));
+        pma.check_invariants();
+    }
+}

@@ -1,0 +1,137 @@
+//! Seeded-determinism regression tests.
+//!
+//! The history-independence tests in `tests/history_independence.rs`
+//! silently assume that a structure's layout is a pure function of
+//! `(contents, seed)` — the paper's "secret coins" become reproducible
+//! streams under a fixed seed. These tests make that assumption explicit:
+//! replaying the same operations with the same seed must produce
+//! *bit-identical* layouts, while a different seed must (overwhelmingly
+//! likely) produce a different one.
+
+use anti_persistence::prelude::*;
+use workloads::{mixed, replay, Op};
+
+/// A moderately adversarial build: mixed inserts/deletes, then a burst of
+/// overwrites.
+fn build_cob(seed: u64) -> CobBTree<u64, u64> {
+    let mut t: CobBTree<u64, u64> = CobBTree::new(seed);
+    replay(&mixed(3_000, 500, 0.6, 42), &mut t);
+    for k in 0..100u64 {
+        t.insert(k, k + 1);
+    }
+    t
+}
+
+fn build_skiplist(seed: u64) -> ExternalSkipList<u64, u64> {
+    let mut s: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(16, 0.5, seed);
+    replay(&mixed(3_000, 500, 0.6, 42), &mut s);
+    s
+}
+
+fn build_hi_pma(seed: u64) -> HiPma<u64> {
+    let mut p: HiPma<u64> = HiPma::new(seed);
+    let trace = mixed(2_000, 400, 0.7, 42);
+    // Convert the keyed trace into rank operations against a sorted shadow.
+    let mut keys: Vec<u64> = Vec::new();
+    for op in &trace.ops {
+        match *op {
+            Op::Insert(k, _) => {
+                if let Err(rank) = keys.binary_search(&k) {
+                    keys.insert(rank, k);
+                    p.insert_at(rank, k).expect("insert in range");
+                }
+            }
+            Op::Delete(k) => {
+                if let Ok(rank) = keys.binary_search(&k) {
+                    keys.remove(rank);
+                    p.delete_at(rank).expect("delete in range");
+                }
+            }
+            _ => {}
+        }
+    }
+    p
+}
+
+#[test]
+fn hi_pma_layout_is_a_function_of_seed_and_contents() {
+    let a = build_hi_pma(0xC0FFEE);
+    let b = build_hi_pma(0xC0FFEE);
+    assert_eq!(a.to_vec(), b.to_vec(), "contents must agree");
+    assert_eq!(a.n_hat(), b.n_hat(), "capacity parameter must be identical");
+    assert_eq!(a.total_slots(), b.total_slots());
+    assert_eq!(
+        a.occupancy(),
+        b.occupancy(),
+        "slot bitmap must be bit-identical"
+    );
+}
+
+#[test]
+fn hi_pma_layout_differs_across_seeds() {
+    let a = build_hi_pma(1);
+    let b = build_hi_pma(2);
+    assert_eq!(a.to_vec(), b.to_vec(), "contents must agree across seeds");
+    // With independent secret coins the probability of identical occupancy
+    // bitmaps at this size is negligible.
+    assert_ne!(
+        a.occupancy(),
+        b.occupancy(),
+        "different seeds should yield different layouts"
+    );
+}
+
+#[test]
+fn cob_btree_layout_is_a_function_of_seed_and_contents() {
+    let a = build_cob(0xDEADBEEF);
+    let b = build_cob(0xDEADBEEF);
+    assert_eq!(a.to_sorted_vec(), b.to_sorted_vec(), "contents must agree");
+    assert_eq!(a.total_slots(), b.total_slots());
+    assert_eq!(
+        a.occupancy(),
+        b.occupancy(),
+        "slot bitmap must be bit-identical"
+    );
+    assert_eq!(a.pma().n_hat(), b.pma().n_hat());
+}
+
+#[test]
+fn cob_btree_layout_differs_across_seeds() {
+    let a = build_cob(7);
+    let b = build_cob(8);
+    assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+    assert_ne!(
+        a.occupancy(),
+        b.occupancy(),
+        "different seeds should yield different layouts"
+    );
+}
+
+#[test]
+fn skiplist_layout_is_a_function_of_seed_and_contents() {
+    let a = build_skiplist(0xFEED);
+    let b = build_skiplist(0xFEED);
+    assert_eq!(a.to_sorted_vec(), b.to_sorted_vec(), "contents must agree");
+    assert_eq!(a.height(), b.height(), "tower heights must be identical");
+    assert_eq!(a.leaf_node_count(), b.leaf_node_count());
+    assert_eq!(
+        a.leaf_array_lengths(),
+        b.leaf_array_lengths(),
+        "leaf arrays must be bit-identical"
+    );
+    assert_eq!(a.space_records(), b.space_records());
+}
+
+#[test]
+fn skiplist_layout_differs_across_seeds() {
+    let a = build_skiplist(100);
+    let b = build_skiplist(200);
+    assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+    // Pivot choices and leaf padding are seed-dependent; the full leaf-array
+    // length vector colliding across seeds is overwhelmingly unlikely.
+    assert_ne!(
+        a.leaf_array_lengths(),
+        b.leaf_array_lengths(),
+        "different seeds should yield different leaf layouts"
+    );
+}

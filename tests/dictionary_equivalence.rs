@@ -20,7 +20,10 @@ where
             Op::Get(k) => assert_eq!(dict.get(&k), model.get(&k).copied()),
             Op::Range(a, b) => assert_eq!(
                 dict.range(&a, &b),
-                model.range(a..=b).map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+                model
+                    .range(a..=b)
+                    .map(|(&k, &v)| (k, v))
+                    .collect::<Vec<_>>()
             ),
         }
     }
@@ -49,7 +52,10 @@ fn hi_skiplist_matches_model_on_mixed_workload() {
 #[test]
 fn folklore_bskiplist_matches_model_on_mixed_workload() {
     let trace = mixed(6_000, 2_000, 0.55, 3);
-    check_against_model(&mut ExternalSkipList::<u64, u64>::folklore_b(32, 12), &trace);
+    check_against_model(
+        &mut ExternalSkipList::<u64, u64>::folklore_b(32, 12),
+        &trace,
+    );
 }
 
 #[test]

@@ -145,11 +145,8 @@ fn skip_list_heights_do_not_leak_history() {
     // The two height distributions must essentially coincide. Comparing
     // modes is brittle when two heights are (near-)equally likely, so use
     // the total-variation distance between the empirical distributions.
-    let all_heights: std::collections::BTreeSet<usize> = heights_a
-        .keys()
-        .chain(heights_b.keys())
-        .copied()
-        .collect();
+    let all_heights: std::collections::BTreeSet<usize> =
+        heights_a.keys().chain(heights_b.keys()).copied().collect();
     let tv: f64 = all_heights
         .iter()
         .map(|h| {

@@ -1,0 +1,323 @@
+//! Offline shim for the slice of the [`criterion`] benchmarking API this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, and `Bencher::{iter, iter_batched}`.
+//!
+//! Instead of criterion's full statistical pipeline the shim runs a short
+//! warm-up, then takes `sample_size` timed samples and reports
+//! median / mean / min per-iteration latency to stdout. That is enough to
+//! compare structures at a glance and, more importantly, keeps
+//! `cargo bench` runnable in the offline container. Swap the real crate back
+//! in via `[workspace.dependencies]`; see `vendor/README.md`.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+///
+/// Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost across routine calls. The shim
+/// always runs one setup per routine call, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; criterion would batch many per sample.
+    SmallInput,
+    /// Large inputs; criterion would batch few per sample.
+    LargeInput,
+    /// Exactly one setup+routine per measured iteration.
+    PerIteration,
+}
+
+/// Identifies a benchmark within a group: a function name plus an optional
+/// parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, one sample per call, after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_until = Instant::now() + self.warm_up_time.min(Duration::from_millis(50));
+        while Instant::now() < warm_up_until {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up round keeps large-input benches from doubling their
+        // runtime in the shim.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine a mutable
+    /// reference to the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{name:<40} median {:>10}   mean {:>10}   min {:>10}   ({} samples)",
+        format_duration(median),
+        format_duration(mean),
+        format_duration(min),
+        sorted.len()
+    );
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration (capped at 50 ms in the shim).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement length is
+    /// `sample_size` iterations, not wall-clock time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (separator line, matching criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Reads CLI configuration. The shim accepts and ignores criterion's
+    /// flags (`--bench`, filters) so `cargo bench` invocations pass through.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(10),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(10);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(10),
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &samples);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("iter", |b| b.iter(|| 1 + 1));
+            g.bench_function(BenchmarkId::new("batched", 7), |b| {
+                b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+            ran += 1;
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

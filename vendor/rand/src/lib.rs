@@ -1,0 +1,476 @@
+//! Offline shim for the subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API used by this workspace.
+//!
+//! The build container has no access to crates.io, so the workspace vendors a
+//! minimal, API-compatible replacement (see `vendor/README.md`). The shim
+//! provides:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits with `gen`, `gen_range`
+//!   (half-open and inclusive integer ranges, plus float ranges), `gen_bool`,
+//!   `next_u32`/`next_u64`/`fill_bytes`, and `seed_from_u64`;
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (xoshiro256\*\* seeded through SplitMix64, the standard construction);
+//! * [`rngs::OsRng`] — process-entropy draws built on
+//!   `std::collections::hash_map::RandomState`, which sources OS entropy.
+//!
+//! The workspace's history-independence tests χ²-test the *distributions*
+//! these generators produce, so statistical quality matters: xoshiro256\*\*
+//! passes BigCrush and its low-order bits are full-period. The shim is **not**
+//! cryptographically secure — the real `StdRng` (ChaCha12) is, and deployments
+//! that rely on secret coins should swap the real crate back in via the
+//! `[workspace.dependencies]` entry.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw output blocks.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (fixed-size byte array for concrete generators).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanding it with SplitMix64
+    /// (the same construction the real `rand` crate documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence; used for seed expansion.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly over their full value range (the
+/// `Standard` distribution of the real crate, folded into the trait).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that support uniform sampling from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`. `low < high` must hold.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Draws uniformly from `[low, high]`. `low <= high` must hold.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire-style rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection zone: accept only draws below the largest multiple of `span`.
+    let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone || zone == 0 {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                low.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: empty inclusive range");
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                let v = low + unit * (high - low);
+                // `low + unit*(high-low)` can round up to exactly `high` for
+                // tiny spans; keep the documented half-open contract.
+                if v < high {
+                    v
+                } else {
+                    high.next_down().max(low)
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: empty inclusive range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its full-range/standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+
+    /// Deterministic, seedable generator: xoshiro256\*\* (Blackman–Vigna).
+    ///
+    /// The real `rand::rngs::StdRng` is ChaCha12; this shim substitutes a
+    /// fast non-cryptographic generator with excellent statistical quality.
+    /// All workspace determinism comes from `SeedableRng::seed_from_u64`, so
+    /// the substitution only changes *which* reproducible stream is produced,
+    /// not reproducibility itself.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s.iter().all(|&w| w == 0) {
+                let mut st = 0x9E37_79B9_7F4A_7C15u64;
+                for w in &mut s {
+                    *w = splitmix64(&mut st);
+                }
+            }
+            Self { s }
+        }
+    }
+
+    /// Process-entropy generator.
+    ///
+    /// Each draw hashes a fresh [`RandomState`] (which sources OS entropy)
+    /// together with a monotonic counter, so successive draws — and draws in
+    /// different processes — differ. Not cryptographically secure; see the
+    /// crate docs.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let mut hasher = RandomState::new().build_hasher();
+            hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+            let mut state = hasher.finish();
+            splitmix64(&mut state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        // chi-square over 10 buckets, 100k draws; 99.99% quantile for 9 dof
+        // is ~33.7. A biased modulo reduction would blow far past this.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        let expected = trials as f64 / 10.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 33.7, "chi2 = {chi2}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn float_range_stays_half_open_on_tiny_spans() {
+        // With a one-ulp span, low + unit*(high-low) rounds to high for
+        // almost every unit draw; the contract still excludes high.
+        let mut rng = StdRng::seed_from_u64(13);
+        let low = 1.0f64;
+        let high = low.next_up();
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen_range(low..high);
+            assert!(
+                v >= low && v < high,
+                "v = {v:?} escaped [{low:?}, {high:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_blocks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn os_rng_draws_differ() {
+        let mut rng = rngs::OsRng;
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_zero_seed_is_escaped() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

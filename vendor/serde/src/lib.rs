@@ -1,0 +1,249 @@
+//! Offline shim for the slice of `serde` this workspace uses: a [`Serialize`]
+//! trait that renders values as JSON text, plus `#[derive(Serialize)]` for
+//! named-field structs (via the vendored `serde_derive` shim).
+//!
+//! Unlike real serde there is no `Serializer` abstraction — the only consumer
+//! is the vendored `serde_json` shim, so the trait writes JSON directly. The
+//! real crates drop back in via `[workspace.dependencies]`; see
+//! `vendor/README.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as JSON.
+///
+/// `pretty` selects multi-line output; `indent` is the current nesting depth
+/// (in units of two spaces) used by pretty output.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize);
+}
+
+/// Escapes and appends a JSON string literal.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _pretty: bool, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _pretty: bool, _indent: usize) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _pretty: bool, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _pretty: bool, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+        (**self).write_json(out, pretty, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, pretty, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+        __private::write_seq(out, pretty, indent, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+        self.as_slice().write_json(out, pretty, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+        self.as_slice().write_json(out, pretty, indent);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String, pretty: bool, indent: usize) {
+                // JSON has no tuples; mirror serde_json's array encoding.
+                out.push('[');
+                $(
+                    if $idx > 0 {
+                        out.push(',');
+                    }
+                    self.$idx.write_json(out, pretty, indent);
+                )+
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_serialize_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+pub mod __private {
+    //! Emission helpers shared with the derive macro and `serde_json`. Not a
+    //! stable API — mirror of real serde's private support module.
+
+    use super::Serialize;
+
+    fn pad(out: &mut String, pretty: bool, indent: usize) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+        }
+    }
+
+    /// Writes `{"field": value, ...}` for the derive macro.
+    pub fn write_struct(
+        out: &mut String,
+        pretty: bool,
+        indent: usize,
+        fields: &[(&str, &dyn Serialize)],
+    ) {
+        out.push('{');
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            pad(out, pretty, indent + 1);
+            super::write_json_string(out, name);
+            out.push(':');
+            if pretty {
+                out.push(' ');
+            }
+            value.write_json(out, pretty, indent + 1);
+        }
+        if !fields.is_empty() {
+            pad(out, pretty, indent);
+        }
+        out.push('}');
+    }
+
+    /// Writes `[value, ...]` for sequences.
+    pub fn write_seq<'a, T: Serialize + 'a>(
+        out: &mut String,
+        pretty: bool,
+        indent: usize,
+        items: impl Iterator<Item = &'a T>,
+    ) {
+        out.push('[');
+        let mut any = false;
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            pad(out, pretty, indent + 1);
+            item.write_json(out, pretty, indent + 1);
+            any = true;
+        }
+        if any {
+            pad(out, pretty, indent);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        let mut out = String::new();
+        42u64.write_json(&mut out, false, 0);
+        out.push(' ');
+        (-1.5f64).write_json(&mut out, false, 0);
+        out.push(' ');
+        true.write_json(&mut out, false, 0);
+        assert_eq!(out, "42 -1.5 true");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut out = String::new();
+        "a\"b\\c\nd".write_json(&mut out, false, 0);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nan_is_null() {
+        let mut out = String::new();
+        f64::NAN.write_json(&mut out, false, 0);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn sequences_render() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].write_json(&mut out, false, 0);
+        assert_eq!(out, "[1,2,3]");
+    }
+
+    #[test]
+    fn options_render() {
+        let mut out = String::new();
+        Some(7u8).write_json(&mut out, false, 0);
+        None::<u8>.write_json(&mut out, false, 0);
+        assert_eq!(out, "7null");
+    }
+}

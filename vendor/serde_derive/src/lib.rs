@@ -1,0 +1,122 @@
+//! Offline shim for `serde_derive`: a hand-rolled `#[derive(Serialize)]`
+//! supporting plain (non-generic) structs with named fields — the only shape
+//! this workspace derives. No `syn`/`quote`; the token stream is walked
+//! directly. See `vendor/README.md` for the swap-back-to-real-serde story.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim [`Serialize`] trait (JSON emission through
+/// `serde::__private::write_struct`).
+///
+/// Supported input: `struct Name { field: Type, ... }` without generic
+/// parameters. Attributes and visibility modifiers on the struct and its
+/// fields are skipped; `#[serde(...)]` customization is not interpreted.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                // The next brace group is the field list. Anything between
+                // (generics, where clauses) is unsupported.
+                for rest in iter.by_ref() {
+                    match rest {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("serde shim: generic structs are not supported")
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("serde shim: #[derive(Serialize)] expects a struct");
+    let body = body.expect("serde shim: expected a struct with named fields");
+    let fields = field_names(body);
+
+    let pairs: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\", &self.{f} as &dyn ::serde::Serialize), "))
+        .collect();
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String, pretty: bool, indent: usize) {{\n\
+         ::serde::__private::write_struct(out, pretty, indent, &[{pairs}]);\n\
+         }}\n\
+         }}"
+    );
+    impl_src.parse().expect("serde shim: generated impl parses")
+}
+
+/// Extracts field identifiers from a named-field struct body, skipping
+/// attributes and visibility and tracking angle-bracket depth so commas
+/// inside generic types don't split fields.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments included).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next(); // the bracket group
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` up to the next top-level comma. The `>` of an `->`
+        // (fn-pointer return type) is not a closing angle bracket.
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+    }
+    fields
+}

@@ -1,0 +1,52 @@
+//! Offline shim for the `serde_json` entry points this workspace calls:
+//! [`to_string`] and [`to_string_pretty`] over the vendored `serde`
+//! [`Serialize`](serde::Serialize) trait. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error.
+///
+/// The shim's emitters are infallible, so this type is never constructed; it
+/// exists to keep call sites (`Result`-based signatures, `?`, `.expect`)
+/// source-compatible with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.write_json(&mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.write_json(&mut out, true, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![1u32, 2];
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2]");
+        assert_eq!(super::to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
