@@ -19,7 +19,16 @@ cargo fmt --check
 echo "==> cargo bench --no-run (compile all criterion suites)"
 cargo bench --no-run
 
+echo "==> cargo doc --no-deps (API surface must document cleanly)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> smoke-run the HI verification binary"
 AP_BENCH_SCALE=1 cargo run --release --bin hi_verification >/dev/null
+
+echo "==> run every example (builder/DynDict API regressions fail here)"
+for example in quickstart range_query_engine secure_delete_audit io_model_explorer; do
+    echo "    --example ${example}"
+    cargo run --release --quiet --example "${example}" >/dev/null
+done
 
 echo "CI OK"

@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for range queries across all dictionaries
 //! (the `log_B N + k/B` experiments of Theorems 2 and 3): latency of range
-//! scans of increasing result size.
+//! scans of increasing result size, for both the `Vec`-materialising `range`
+//! and the zero-allocation `range_iter` paths.
 
 use btree::BTree;
 use cob_btree::CobBTree;
@@ -32,6 +33,16 @@ fn bench_ranges(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("btree", k), &k, |b, &k| {
             b.iter(|| bt.range(&10_000, &(10_000 + k - 1)).len())
+        });
+        // The lazy counterparts: identical scans, no Vec per query.
+        group.bench_with_input(BenchmarkId::new("cob_btree_iter", k), &k, |b, &k| {
+            b.iter(|| cob.range_iter(10_000..10_000 + k).count())
+        });
+        group.bench_with_input(BenchmarkId::new("hi_skiplist_iter", k), &k, |b, &k| {
+            b.iter(|| skip.range_iter(10_000..10_000 + k).count())
+        });
+        group.bench_with_input(BenchmarkId::new("btree_iter", k), &k, |b, &k| {
+            b.iter(|| bt.range_iter(10_000..10_000 + k).count())
         });
     }
     group.finish();

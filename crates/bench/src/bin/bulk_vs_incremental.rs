@@ -1,0 +1,220 @@
+//! `bulk_load` vs one-by-one insertion, plus the zero-allocation range scan.
+//!
+//! Two claims of the unified dictionary API are measured here:
+//!
+//! 1. **Bulk loading is cheaper than incremental insertion.** `bulk_load`
+//!    draws fresh coins from an explicit seed and rebuilds the layout in one
+//!    pass (`O(n log n)` sort + `O(n)` construction) instead of paying the
+//!    per-insert search/rebuild machinery `n` times — while keeping the same
+//!    *(contents, seed)* → layout guarantee (see `tests/determinism.rs`).
+//!    Measured for the HI cache-oblivious B-tree and the HI external skip
+//!    list through the runtime-selected `DynDict` facade, and for the HI PMA
+//!    through its rank-addressed API.
+//! 2. **`range_iter` allocates nothing per query.** A counting global
+//!    allocator drives identical range scans over a million-key
+//!    `CobBTree` through the lazy `range_iter` path and the eager
+//!    `Vec`-returning `range` path; the lazy path must perform **zero** heap
+//!    allocations, the eager path at least one per query.
+//!
+//! Scale with `AP_BENCH_SCALE`; dump JSON rows with `AP_BENCH_JSON=out.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anti_persistence::dict::{Backend, Dict, DynDict};
+use anti_persistence::prelude::Dictionary;
+use ap_bench::{emit, scaled, timed, Row};
+use cob_btree::CobBTree;
+use hi_common::RankedSequence;
+use pma::HiPma;
+
+/// System allocator wrapped with an allocation-event counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic pseudo-random distinct keys (splitmix64 over a counter).
+fn keyed_pairs(n: usize) -> Vec<(u64, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31), i)
+        })
+        .collect()
+}
+
+fn build_backend(backend: Backend, seed: u64) -> DynDict<u64, u64> {
+    Dict::builder()
+        .backend(backend)
+        .seed(seed)
+        .block_elems(64)
+        .build()
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let sizes = [scaled(20_000), scaled(60_000), scaled(150_000)];
+
+    println!("## bulk_load vs incremental insertion\n");
+    for &n in &sizes {
+        let pairs = keyed_pairs(n);
+        for backend in [Backend::CobBTree, Backend::HiSkipList] {
+            let input = pairs.clone();
+            let (incremental, t_inc) = timed(|| {
+                let mut d = build_backend(backend, 1);
+                for &(k, v) in &input {
+                    d.insert(k, v);
+                }
+                d
+            });
+            let input = pairs.clone();
+            let (bulk, t_bulk) = timed(|| {
+                let mut d = build_backend(backend, 2);
+                d.bulk_load(input, 0xB01D);
+                d
+            });
+            assert_eq!(
+                incremental.to_sorted_vec(),
+                bulk.to_sorted_vec(),
+                "{backend}: bulk and incremental builds must agree on contents"
+            );
+            println!(
+                "{backend:<20} N = {n:>8}: incremental {t_inc:>8.3}s, bulk {t_bulk:>8.3}s ({:>5.1}x)",
+                t_inc / t_bulk.max(1e-9)
+            );
+            rows.push(Row::new(
+                &format!("{backend} incremental"),
+                n as f64,
+                t_inc,
+                "build seconds",
+            ));
+            rows.push(Row::new(
+                &format!("{backend} bulk"),
+                n as f64,
+                t_bulk,
+                "build seconds",
+            ));
+        }
+
+        // The HI PMA through its native rank-addressed API.
+        let items: Vec<u64> = (0..n as u64).collect();
+        let (incremental, t_inc) = timed(|| {
+            let mut p: HiPma<u64> = HiPma::new(3);
+            for (rank, &item) in items.iter().enumerate() {
+                p.insert_at(rank, item).expect("append rank is valid");
+            }
+            p
+        });
+        let input = items.clone();
+        let (bulk, t_bulk) = timed(|| {
+            let mut p: HiPma<u64> = HiPma::new(4);
+            p.bulk_load(input, 0xB01D);
+            p
+        });
+        assert_eq!(incremental.to_vec(), bulk.to_vec());
+        println!(
+            "{:<20} N = {n:>8}: incremental {t_inc:>8.3}s, bulk {t_bulk:>8.3}s ({:>5.1}x)",
+            "hi-pma (ranked)",
+            t_inc / t_bulk.max(1e-9)
+        );
+        rows.push(Row::new(
+            "hi-pma incremental",
+            n as f64,
+            t_inc,
+            "build seconds",
+        ));
+        rows.push(Row::new("hi-pma bulk", n as f64, t_bulk, "build seconds"));
+    }
+
+    range_allocation_check(&mut rows);
+    emit("bulk_load vs incremental (build seconds)", &rows);
+}
+
+/// Proves the acceptance criterion: on a million-key `CobBTree`, consuming
+/// `range_iter` performs no per-call heap allocation, while the historical
+/// `Vec`-returning `range` allocates at least once per query.
+fn range_allocation_check(rows: &mut Vec<Row>) {
+    let n = scaled(1_000_000);
+    let queries = 200u64;
+    let span = 1_000u64;
+    println!("\n## range_iter allocation check ({n} keys, {queries} scans of {span})\n");
+
+    let mut index: CobBTree<u64, u64> = CobBTree::new(42);
+    index.bulk_load((0..n as u64).map(|k| (k, k)), 0x5CAB);
+    let step = (n as u64 - span) / queries;
+
+    // Lazy path: fold the iterator without materialising anything.
+    let mut lazy_sum = 0u64;
+    let before = allocations();
+    for q in 0..queries {
+        let lo = q * step;
+        lazy_sum += index
+            .range_iter(lo..lo + span)
+            .map(|(_, v)| *v)
+            .sum::<u64>();
+    }
+    let lazy_allocs = allocations() - before;
+    black_box(lazy_sum);
+
+    // Eager path: the historical Vec-returning wrapper.
+    let mut eager_sum = 0u64;
+    let before = allocations();
+    for q in 0..queries {
+        let lo = q * step;
+        let hi = lo + span - 1;
+        eager_sum += index.range(&lo, &hi).iter().map(|(_, v)| *v).sum::<u64>();
+    }
+    let eager_allocs = allocations() - before;
+    black_box(eager_sum);
+
+    println!("range_iter (lazy):  {lazy_allocs:>6} heap allocations");
+    println!("range (Vec-eager):  {eager_allocs:>6} heap allocations");
+    assert_eq!(
+        lazy_allocs, 0,
+        "range_iter must perform no per-call allocation on a {n}-key CobBTree"
+    );
+    assert!(
+        eager_allocs >= queries,
+        "the eager path should allocate at least one Vec per query"
+    );
+    rows.push(Row::new(
+        "cob-btree range_iter",
+        n as f64,
+        lazy_allocs as f64,
+        "heap allocations per 200 range scans",
+    ));
+    rows.push(Row::new(
+        "cob-btree range(Vec)",
+        n as f64,
+        eager_allocs as f64,
+        "heap allocations per 200 range scans",
+    ));
+}

@@ -17,9 +17,11 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
+use std::ops::{Bound, RangeBounds};
 
 use hi_common::counters::SharedCounters;
-use hi_common::traits::Dictionary;
+use hi_common::traits::{below_end_bound, cloned_bounds, normalize_pairs, Dictionary};
+use io_sim::Tracer;
 
 /// Node identifier within the tree's arena.
 type NodeId = usize;
@@ -62,6 +64,7 @@ pub struct BTree<K: Ord + Clone, V: Clone> {
     fanout: usize,
     len: usize,
     counters: SharedCounters,
+    tracer: Tracer,
     total_ios: Cell<u64>,
     last_op_ios: Cell<u64>,
 }
@@ -69,6 +72,15 @@ pub struct BTree<K: Ord + Clone, V: Clone> {
 impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     /// Creates an empty B+-tree with the given fanout (`B ≥ 4`).
     pub fn new(fanout: usize) -> Self {
+        Self::with_instrumentation(fanout, SharedCounters::new(), Tracer::disabled())
+    }
+
+    /// Creates an empty B+-tree with explicit counters and I/O tracer — the
+    /// uniform instrumentation hook used by the dictionary builder. The tree
+    /// computes its own DAM cost (one transfer per node touched) and reports
+    /// it into the tracer via [`Tracer::charge`], so its I/O shows up in the
+    /// same [`io_sim::IoStats`] ledger as the cache-oblivious structures'.
+    pub fn with_instrumentation(fanout: usize, counters: SharedCounters, tracer: Tracer) -> Self {
         assert!(fanout >= 4, "fanout must be at least 4");
         Self {
             nodes: vec![Node::Leaf {
@@ -78,10 +90,16 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             root: 0,
             fanout,
             len: 0,
-            counters: SharedCounters::new(),
+            counters,
+            tracer,
             total_ios: Cell::new(0),
             last_op_ios: Cell::new(0),
         }
+    }
+
+    /// The I/O tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Number of keys stored.
@@ -128,6 +146,15 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     fn finish_op(&self, ios: u64) {
         self.last_op_ios.set(ios);
         self.total_ios.set(self.total_ios.get() + ios);
+        self.tracer.charge(ios, 0);
+    }
+
+    /// Charges one node touch to the running iteration (lazy traversals call
+    /// this per node instead of batching a `finish_op`).
+    fn charge_node(&self) {
+        self.last_op_ios.set(self.last_op_ios.get() + 1);
+        self.total_ios.set(self.total_ios.get() + 1);
+        self.tracer.charge(1, 0);
     }
 
     fn min_fill(&self) -> usize {
@@ -138,8 +165,14 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     // Search
     // ------------------------------------------------------------------
 
-    /// Looks up a key.
+    /// Looks up a key, cloning the value.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
+
+    /// Borrows the value stored under `key` without copying it: one root-to-
+    /// leaf descent, zero allocations.
+    pub fn get_ref(&self, key: &K) -> Option<&V> {
         self.counters.add_query();
         let mut ios = 0u64;
         let mut node = self.root;
@@ -151,7 +184,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                     node = children[idx];
                 }
                 Node::Leaf { keys, values } => {
-                    let result = keys.binary_search(key).ok().map(|idx| values[idx].clone());
+                    let result = keys.binary_search(key).ok().map(|idx| &values[idx]);
                     self.finish_op(ios);
                     return result;
                 }
@@ -159,40 +192,92 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         }
     }
 
-    /// Returns every pair with `low ≤ key ≤ high` in ascending order.
-    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+    /// Lazily yields every pair whose key lies in `range`, in ascending key
+    /// order: one descent to the leaf containing the lower bound, then a
+    /// leaf-by-leaf walk, with no per-query allocation beyond the traversal
+    /// stack. Node touches are charged to the I/O ledger as the iterator
+    /// advances.
+    pub fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
         self.counters.add_query();
-        let mut ios = 0u64;
-        let mut out = Vec::new();
-        if low > high {
-            self.finish_op(ios);
-            return out;
-        }
-        // Descend to the leaf containing `low`, remembering the path so we
-        // can continue rightwards leaf by leaf.
-        self.range_collect(self.root, low, high, &mut out, &mut ios);
-        self.finish_op(ios);
-        out
+        self.last_op_ios.set(0);
+        let (start, end) = cloned_bounds(&range);
+        BTreeIter::seek(self, &start).take_while(move |&(k, _)| below_end_bound(k, &end))
     }
 
-    fn range_collect(&self, node: NodeId, low: &K, high: &K, out: &mut Vec<(K, V)>, ios: &mut u64) {
-        *ios += 1;
-        match &self.nodes[node] {
-            Node::Internal { keys, children } => {
-                let first = keys.partition_point(|k| k <= low);
-                let last = keys.partition_point(|k| k <= high);
-                for child in &children[first..=last] {
-                    self.range_collect(*child, low, high, out, ios);
-                }
-            }
-            Node::Leaf { keys, values } => {
-                for (k, v) in keys.iter().zip(values) {
-                    if k >= low && k <= high {
-                        out.push((k.clone(), v.clone()));
-                    }
-                }
-            }
+    /// Borrows every pair in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.range_iter(..)
+    }
+
+    /// Returns every pair with `low ≤ key ≤ high` in ascending order. Thin
+    /// wrapper over [`BTree::range_iter`].
+    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        self.range_iter((Bound::Included(low), Bound::Included(high)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Replaces the entire contents with `pairs` via a bottom-up build:
+    /// sorted pairs are packed into leaves as evenly as possible, then each
+    /// internal level is built over the one below — `O(n log n)` for the
+    /// sort plus `O(n)` node construction, against one root-to-leaf descent
+    /// (with splits) per pair for incremental insertion. The input is
+    /// normalised (last write wins); `seed` is accepted only for signature
+    /// uniformity — the B-tree draws no coins, which is exactly why it is
+    /// *not* history independent.
+    pub fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        let _ = seed;
+        let pairs = normalize_pairs(pairs.into_iter().collect());
+        self.nodes.clear();
+        self.len = pairs.len();
+        self.counters.add_resize();
+        if pairs.is_empty() {
+            self.nodes.push(Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            });
+            self.root = 0;
+            self.finish_op(1);
+            return;
         }
+        // Pack the leaf level: as few leaves as possible, sizes as even as
+        // possible, so every non-root leaf meets the minimum-fill invariant.
+        let chunk_count = pairs.len().div_ceil(self.fanout);
+        // `(smallest key in subtree, node)` for the level being built.
+        let mut level: Vec<(K, NodeId)> = Vec::with_capacity(chunk_count);
+        let mut rest = pairs.as_slice();
+        for chunk in 0..chunk_count {
+            let size = rest.len().div_ceil(chunk_count - chunk);
+            let (head, tail) = rest.split_at(size);
+            rest = tail;
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                keys: head.iter().map(|(k, _)| k.clone()).collect(),
+                values: head.iter().map(|(_, v)| v.clone()).collect(),
+            });
+            level.push((head[0].0.clone(), id));
+        }
+        // Build internal levels until one root remains.
+        while level.len() > 1 {
+            let group_count = level.len().div_ceil(self.fanout);
+            let mut next: Vec<(K, NodeId)> = Vec::with_capacity(group_count);
+            let mut rest = level.as_slice();
+            for group in 0..group_count {
+                let size = rest.len().div_ceil(group_count - group);
+                let (head, tail) = rest.split_at(size);
+                rest = tail;
+                let id = self.nodes.len();
+                self.nodes.push(Node::Internal {
+                    keys: head[1..].iter().map(|(k, _)| k.clone()).collect(),
+                    children: head.iter().map(|&(_, child)| child).collect(),
+                });
+                next.push((head[0].0.clone(), id));
+            }
+            level = next;
+        }
+        self.root = level[0].1;
+        // Charge one write per node built.
+        self.finish_op(self.nodes.len() as u64);
     }
 
     /// Smallest key ≥ `key`.
@@ -696,6 +781,103 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     }
 }
 
+/// Lazy in-order traversal of a [`BTree`], starting at a seeked lower bound.
+///
+/// Holds a stack of `(internal node, child index)` pairs for the current
+/// root-to-leaf path plus a cursor into the current leaf; advancing past a
+/// leaf pops the stack to the next unvisited subtree. Each node entered is
+/// charged one transfer to the tree's I/O ledger, mirroring the eager
+/// implementation's accounting.
+struct BTreeIter<'a, K: Ord + Clone, V: Clone> {
+    tree: &'a BTree<K, V>,
+    /// `(node, child index currently being visited)` for each internal node
+    /// on the path from the root to the current leaf.
+    stack: Vec<(NodeId, usize)>,
+    /// Current leaf and the index of the next entry to yield.
+    leaf: Option<(NodeId, usize)>,
+}
+
+impl<'a, K: Ord + Clone, V: Clone> BTreeIter<'a, K, V> {
+    /// Positions the iterator at the first entry satisfying `start`.
+    fn seek(tree: &'a BTree<K, V>, start: &Bound<K>) -> Self {
+        let mut it = Self {
+            tree,
+            stack: Vec::new(),
+            leaf: None,
+        };
+        let mut node = tree.root;
+        loop {
+            tree.charge_node();
+            match &tree.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = match start {
+                        Bound::Included(k) | Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                        Bound::Unbounded => 0,
+                    };
+                    it.stack.push((node, idx));
+                    node = children[idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let idx = match start {
+                        Bound::Included(k) => keys.partition_point(|x| x < k),
+                        Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                        Bound::Unbounded => 0,
+                    };
+                    it.leaf = Some((node, idx));
+                    return it;
+                }
+            }
+        }
+    }
+
+    /// Descends to the leftmost leaf of `node`, pushing the path.
+    fn descend_first(&mut self, mut node: NodeId) {
+        loop {
+            self.tree.charge_node();
+            match &self.tree.nodes[node] {
+                Node::Internal { children, .. } => {
+                    self.stack.push((node, 0));
+                    node = children[0];
+                }
+                Node::Leaf { .. } => {
+                    self.leaf = Some((node, 0));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V: Clone> Iterator for BTreeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some((leaf_id, idx)) = self.leaf {
+                if let Node::Leaf { keys, values } = &self.tree.nodes[leaf_id] {
+                    if idx < keys.len() {
+                        self.leaf = Some((leaf_id, idx + 1));
+                        return Some((&keys[idx], &values[idx]));
+                    }
+                }
+                self.leaf = None;
+            }
+            // Current leaf exhausted: pop to the next unvisited sibling
+            // subtree and descend to its leftmost leaf.
+            loop {
+                let (node, child_idx) = self.stack.pop()?;
+                if let Node::Internal { children, .. } = &self.tree.nodes[node] {
+                    if child_idx + 1 < children.len() {
+                        self.stack.push((node, child_idx + 1));
+                        self.descend_first(children[child_idx + 1]);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl<K: Ord + Clone, V: Clone> Dictionary for BTree<K, V> {
     type Key = K;
     type Value = V;
@@ -712,8 +894,16 @@ impl<K: Ord + Clone, V: Clone> Dictionary for BTree<K, V> {
         BTree::remove(self, key)
     }
 
+    fn get_ref(&self, key: &K) -> Option<&V> {
+        BTree::get_ref(self, key)
+    }
+
     fn get(&self, key: &K) -> Option<V> {
         BTree::get(self, key)
+    }
+
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        BTree::range_iter(self, range)
     }
 
     fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
@@ -730,6 +920,10 @@ impl<K: Ord + Clone, V: Clone> Dictionary for BTree<K, V> {
 
     fn to_sorted_vec(&self) -> Vec<(K, V)> {
         BTree::to_sorted_vec(self)
+    }
+
+    fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        BTree::bulk_load(self, pairs, seed)
     }
 }
 
@@ -866,6 +1060,31 @@ mod tests {
         assert!(t.is_empty());
         t.check_invariants();
         assert_eq!(t.remove(&5), None);
+    }
+
+    #[test]
+    fn bulk_load_builds_a_valid_tree() {
+        for fanout in [4usize, 8, 64] {
+            for n in [0usize, 1, 3, 7, 8, 9, 63, 64, 65, 1000, 4096, 5000] {
+                let mut t: BTree<u64, u64> = BTree::new(fanout);
+                t.insert(999_999, 1); // pre-existing contents must be discarded
+                let mut pairs: Vec<(u64, u64)> = (0..n as u64).rev().map(|k| (k, k * 2)).collect();
+                pairs.push((0, 7)); // duplicate: last write wins
+                t.bulk_load(pairs, 0);
+                t.check_invariants();
+                assert_eq!(t.len(), n.max(1), "fanout {fanout}, n {n}");
+                assert_eq!(t.get(&0), Some(7));
+                assert_eq!(t.get(&999_999), None);
+                if n > 2 {
+                    assert_eq!(t.get(&(n as u64 - 1)), Some((n as u64 - 1) * 2));
+                    assert_eq!(t.successor(&1), Some((1, 2)));
+                }
+                // Still fully operational after the load.
+                t.insert(u64::MAX, 1);
+                t.remove(&0);
+                t.check_invariants();
+            }
+        }
     }
 
     #[test]

@@ -40,9 +40,11 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+use std::ops::{Bound, RangeBounds};
+
 use hi_common::counters::SharedCounters;
 use hi_common::rng::RngSource;
-use hi_common::traits::Dictionary;
+use hi_common::traits::{below_end_bound, cloned_bounds, normalize_pairs, Dictionary};
 use io_sim::Tracer;
 use pma::HiPma;
 
@@ -174,28 +176,75 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
         }
     }
 
-    /// Looks up a key.
+    /// Looks up a key, cloning the value.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
+
+    /// Borrows the value stored under `key` without copying it: one
+    /// cache-oblivious descent, zero allocations.
+    pub fn get_ref(&self, key: &K) -> Option<&V> {
+        self.counters().add_query();
         let rank = self.lower_bound(key);
-        match self.pma.get_rank(rank) {
-            Some((existing, v)) if existing == *key => Some(v),
+        match self.pma.get_rank_ref(rank) {
+            Some((existing, v)) if existing == key => Some(v),
             _ => None,
         }
     }
 
+    /// Lazily yields every pair whose key lies in `range`, in ascending key
+    /// order: one descent to the first matching rank, then a sequential leaf
+    /// scan at `O(log_B N + k/B)` I/Os with **no per-query allocation**.
+    pub fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        self.counters().add_query();
+        let (start, end) = cloned_bounds(&range);
+        let from = match &start {
+            Bound::Included(k) => self.lower_bound(k),
+            Bound::Excluded(k) => self.upper_bound(k),
+            Bound::Unbounded => 0,
+        };
+        self.pma
+            .iter_from(from)
+            .take_while(move |(k, _)| below_end_bound(k, &end))
+            .map(|(k, v)| (k, v))
+    }
+
+    /// Borrows every pair in ascending key order. Counts one query, like
+    /// [`CobBTree::range_iter`] (which the `Dictionary` trait's `iter`
+    /// default routes through).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.counters().add_query();
+        self.pma.iter().map(|(k, v)| (k, v))
+    }
+
     /// Returns every pair with `low ≤ key ≤ high`, in ascending key order.
+    /// Pre-sized from the rank bounds, which give the exact result count.
     pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        self.counters().add_query();
         if low > high || self.is_empty() {
             return Vec::new();
         }
         let start = self.lower_bound(low);
         let end = self.upper_bound(high);
-        if start >= end {
-            return Vec::new();
-        }
-        self.pma
-            .range_query(start, end - 1)
-            .expect("bounds derived from the structure")
+        let mut out = Vec::with_capacity(end.saturating_sub(start));
+        out.extend(
+            self.pma
+                .iter_from(start)
+                .take(end.saturating_sub(start))
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        out
+    }
+
+    /// Replaces the entire contents with `pairs`, drawing fresh coins from
+    /// `seed` (see [`HiPma::bulk_load`]). The input need not be sorted or
+    /// deduplicated — it is normalised (last write wins) so the resulting
+    /// layout is a pure function of *(contents, seed)*, independent of
+    /// arrival order. Cost is `O(n log n)` for the sort plus `O(n)` moves,
+    /// against `O(n log² n)` moves for element-at-a-time insertion.
+    pub fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        let pairs = normalize_pairs(pairs.into_iter().collect());
+        self.pma.bulk_load(pairs, seed);
     }
 
     /// Smallest key ≥ `key`, with its value.
@@ -242,8 +291,16 @@ impl<K: Ord + Clone, V: Clone> Dictionary for CobBTree<K, V> {
         CobBTree::remove(self, key)
     }
 
+    fn get_ref(&self, key: &K) -> Option<&V> {
+        CobBTree::get_ref(self, key)
+    }
+
     fn get(&self, key: &K) -> Option<V> {
         CobBTree::get(self, key)
+    }
+
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        CobBTree::range_iter(self, range)
     }
 
     fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
@@ -260,6 +317,10 @@ impl<K: Ord + Clone, V: Clone> Dictionary for CobBTree<K, V> {
 
     fn to_sorted_vec(&self) -> Vec<(K, V)> {
         CobBTree::to_sorted_vec(self)
+    }
+
+    fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        CobBTree::bulk_load(self, pairs, seed)
     }
 }
 

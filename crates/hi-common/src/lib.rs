@@ -37,4 +37,4 @@ pub use capacity::HiCapacity;
 pub use counters::{OpCounters, SharedCounters};
 pub use reservoir::ReservoirLeader;
 pub use rng::{DetRng, RngSource};
-pub use traits::{Dictionary, KeyValue, RankError, RankedSequence};
+pub use traits::{Dictionary, KeyValue, RankError, RankedDict, RankedSequence};

@@ -12,8 +12,45 @@
 //! harnesses run the same workload against every structure and cross-check
 //! the results, and lets downstream users swap a history-independent
 //! dictionary for a conventional one without touching call sites.
+//!
+//! # Zero-copy query surface
+//!
+//! Both traits are organised around **borrowing** accessors: the required
+//! methods hand out references (`get_ref`) and lazy iterators (`iter`,
+//! `range_iter`), and the historical `Vec`-returning methods (`get`,
+//! `range`, `query`, `to_sorted_vec`, …) are thin provided wrappers that
+//! clone out of the lazy surface. Implementations therefore write the
+//! allocation-free path once and get the convenience API for free, while
+//! hot loops (benchmarks, servers) consume the iterators directly without
+//! materialising a `Vec` per query.
+//!
+//! # Error contract for `Query(i, j)`
+//!
+//! Rank-addressed range queries distinguish two conditions uniformly across
+//! every implementation:
+//!
+//! * **empty range** (`i > j`): not an error — the query returns no
+//!   elements (`Ok` with an empty iterator/vector), mirroring how keyed
+//!   `range(low, high)` treats `low > high`;
+//! * **out of bounds** (`j ≥ len`): a [`RankError`] carrying the offending
+//!   rank `j` and the current length.
+//!
+//! # Batch operations
+//!
+//! [`Dictionary::extend`] and [`Dictionary::bulk_load`] (and their
+//! [`RankedSequence`] counterparts) load many elements at once.
+//! `bulk_load(items, seed)` additionally **draws fresh coins** from `seed`:
+//! a history-independent implementation rebuilds its entire layout from the
+//! new randomness, so the resulting representation is a function of
+//! *(contents, seed)* only — independent of the order the items arrive in
+//! and of everything the structure did before. The provided defaults fall
+//! back to element-at-a-time insertion, which preserves the same
+//! distributional guarantee for WHI structures (their per-op coins already
+//! make the layout history independent) at `O(n log² n)` instead of `O(n)`
+//! cost.
 
 use std::fmt;
+use std::ops::{Bound, RangeBounds};
 
 /// Error returned by rank-addressed operations when the rank is out of range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +72,21 @@ impl fmt::Display for RankError {
 }
 
 impl std::error::Error for RankError {}
+
+/// Clones the bounds of a `RangeBounds<K>` into owned [`Bound`]s, so a lazy
+/// iterator can carry them past the borrow of the range expression itself.
+pub fn cloned_bounds<K: Clone, R: RangeBounds<K>>(range: &R) -> (Bound<K>, Bound<K>) {
+    (range.start_bound().cloned(), range.end_bound().cloned())
+}
+
+/// Returns `true` when `key` satisfies an owned end bound.
+pub fn below_end_bound<K: Ord>(key: &K, end: &Bound<K>) -> bool {
+    match end {
+        Bound::Included(high) => key <= high,
+        Bound::Excluded(high) => key < high,
+        Bound::Unbounded => true,
+    }
+}
 
 /// A dynamic sequence addressed by rank, in the style of the paper's PMA API
 /// (§3): `Query(i, j)`, `Insert(i, x)`, `Delete(i)`.
@@ -58,21 +110,73 @@ pub trait RankedSequence {
     /// Deletes and returns the `rank`-th element (`0 ≤ rank < len`).
     fn delete_at(&mut self, rank: usize) -> Result<Self::Item, RankError>;
 
-    /// Returns the `rank`-th element without removing it.
-    fn get(&self, rank: usize) -> Option<Self::Item>;
+    /// Borrows the `rank`-th element without copying it.
+    fn get_ref(&self, rank: usize) -> Option<&Self::Item>;
 
-    /// Returns the `i`-th through `j`-th elements inclusive
-    /// (`0 ≤ i ≤ j < len`), the paper's `Query(i, j)`.
-    fn query(&self, i: usize, j: usize) -> Result<Vec<Self::Item>, RankError>;
+    /// Returns a clone of the `rank`-th element.
+    fn get(&self, rank: usize) -> Option<Self::Item> {
+        self.get_ref(rank).cloned()
+    }
+
+    /// Lazily yields the `i`-th through `j`-th elements inclusive without
+    /// allocating — the zero-copy form of the paper's `Query(i, j)`.
+    ///
+    /// Per the uniform error contract: `i > j` yields an empty iterator
+    /// (`Ok`), while `j ≥ len` (with `i ≤ j`) is a [`RankError`].
+    fn range_iter(
+        &self,
+        i: usize,
+        j: usize,
+    ) -> Result<impl Iterator<Item = &Self::Item>, RankError>;
+
+    /// Borrows every element in rank order.
+    fn iter(&self) -> impl Iterator<Item = &Self::Item> {
+        // The full range is always valid (empty sequences take the `i > j`
+        // empty-range branch via `0 > len - 1 == usize::MAX` wrap-around
+        // being avoided by the explicit guard below).
+        let last = self.len().saturating_sub(1);
+        self.range_iter(usize::from(self.is_empty()), last)
+            .expect("full range is valid")
+    }
+
+    /// Returns clones of the `i`-th through `j`-th elements inclusive, the
+    /// paper's `Query(i, j)`. Provided wrapper over [`Self::range_iter`];
+    /// follows the same error contract.
+    fn query(&self, i: usize, j: usize) -> Result<Vec<Self::Item>, RankError> {
+        Ok(self.range_iter(i, j)?.cloned().collect())
+    }
 
     /// Collects the whole sequence in rank order. Intended for tests and
     /// small examples; cost is `Θ(len)`.
     fn to_vec(&self) -> Vec<Self::Item> {
-        if self.is_empty() {
-            Vec::new()
-        } else {
-            self.query(0, self.len() - 1).expect("full range is valid")
+        self.iter().cloned().collect()
+    }
+
+    /// Appends every item of `items` at the end of the sequence.
+    fn extend_back(&mut self, items: impl IntoIterator<Item = Self::Item>) {
+        for item in items {
+            let len = self.len();
+            self.insert_at(len, item)
+                .expect("insert at len is always valid");
         }
+    }
+
+    /// Replaces the entire contents with `items` (in the given rank order),
+    /// drawing fresh coins from `seed` where the implementation is
+    /// randomized.
+    ///
+    /// History-independent implementations override this so the resulting
+    /// layout is a pure function of *(items, seed)* — same items and seed
+    /// give a bit-identical layout no matter what the structure held before.
+    /// The provided default drains the sequence and re-inserts one element
+    /// at a time (ignoring `seed`), which is correct but `O(n log² n)`.
+    fn bulk_load(&mut self, items: impl IntoIterator<Item = Self::Item>, seed: u64) {
+        let _ = seed;
+        while !self.is_empty() {
+            let last = self.len() - 1;
+            self.delete_at(last).expect("last rank is valid");
+        }
+        self.extend_back(items);
     }
 }
 
@@ -81,6 +185,10 @@ pub type KeyValue<K, V> = (K, V);
 
 /// An ordered dictionary: the external-memory B-tree interface the paper's
 /// structures implement as history-independent alternatives.
+///
+/// Implementations provide the borrowing surface ([`Self::get_ref`],
+/// [`Self::range_iter`]) plus the mutators and ordered navigation; the
+/// owned/`Vec` convenience methods are provided wrappers.
 pub trait Dictionary {
     /// Key type (totally ordered).
     type Key: Ord + Clone;
@@ -102,16 +210,51 @@ pub trait Dictionary {
     /// Removes a key, returning its value if it was present.
     fn remove(&mut self, key: &Self::Key) -> Option<Self::Value>;
 
-    /// Looks up a key.
-    fn get(&self, key: &Self::Key) -> Option<Self::Value>;
+    /// Borrows the value stored under `key`, without copying it.
+    fn get_ref(&self, key: &Self::Key) -> Option<&Self::Value>;
+
+    /// Looks up a key, cloning the value. Provided wrapper over
+    /// [`Self::get_ref`].
+    fn get(&self, key: &Self::Key) -> Option<Self::Value> {
+        self.get_ref(key).cloned()
+    }
 
     /// Returns `true` when the key is present.
     fn contains(&self, key: &Self::Key) -> bool {
-        self.get(key).is_some()
+        self.get_ref(key).is_some()
+    }
+
+    /// Lazily yields every pair whose key lies in `range`, in ascending key
+    /// order, without materialising a `Vec`. Accepts any range expression
+    /// (`..`, `a..`, `a..=b`, `(Bound, Bound)`, …).
+    fn range_iter<R: RangeBounds<Self::Key>>(
+        &self,
+        range: R,
+    ) -> impl Iterator<Item = (&Self::Key, &Self::Value)>;
+
+    /// Borrows every pair in ascending key order.
+    fn iter(&self) -> impl Iterator<Item = (&Self::Key, &Self::Value)> {
+        self.range_iter(..)
+    }
+
+    /// Borrows every key in ascending order.
+    fn keys(&self) -> impl Iterator<Item = &Self::Key> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Borrows every value in ascending key order.
+    fn values(&self) -> impl Iterator<Item = &Self::Value> {
+        self.iter().map(|(_, v)| v)
     }
 
     /// Returns every pair with `low ≤ key ≤ high`, in ascending key order.
-    fn range(&self, low: &Self::Key, high: &Self::Key) -> Vec<KeyValue<Self::Key, Self::Value>>;
+    /// Provided wrapper over [`Self::range_iter`]; `low > high` yields an
+    /// empty vector.
+    fn range(&self, low: &Self::Key, high: &Self::Key) -> Vec<KeyValue<Self::Key, Self::Value>> {
+        self.range_iter((Bound::Included(low), Bound::Included(high)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
 
     /// Returns the smallest key ≥ `key` together with its value.
     fn successor(&self, key: &Self::Key) -> Option<KeyValue<Self::Key, Self::Value>>;
@@ -119,9 +262,246 @@ pub trait Dictionary {
     /// Returns the largest key ≤ `key` together with its value.
     fn predecessor(&self, key: &Self::Key) -> Option<KeyValue<Self::Key, Self::Value>>;
 
-    /// Collects the whole dictionary in ascending key order. Intended for
-    /// tests and small examples; cost is `Θ(len)`.
-    fn to_sorted_vec(&self) -> Vec<KeyValue<Self::Key, Self::Value>>;
+    /// Collects the whole dictionary in ascending key order. Provided
+    /// wrapper over [`Self::iter`]; cost is `Θ(len)`.
+    fn to_sorted_vec(&self) -> Vec<KeyValue<Self::Key, Self::Value>> {
+        self.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Inserts every pair of `pairs`, in order (later duplicates overwrite
+    /// earlier ones, exactly as repeated [`Self::insert`] calls would).
+    fn extend(&mut self, pairs: impl IntoIterator<Item = KeyValue<Self::Key, Self::Value>>) {
+        for (k, v) in pairs {
+            self.insert(k, v);
+        }
+    }
+
+    /// Replaces the entire contents with `pairs`, drawing fresh coins from
+    /// `seed` where the implementation is randomized.
+    ///
+    /// The input need not be sorted or deduplicated — implementations
+    /// normalise it (last write wins for duplicate keys) precisely so that
+    /// the resulting layout is a pure function of *(key set, values, seed)*,
+    /// independent of arrival order. History-independent implementations
+    /// override this with an `O(n)`/`O(n log n)` rebuild; the provided
+    /// default drains and re-inserts (ignoring `seed`).
+    fn bulk_load(
+        &mut self,
+        pairs: impl IntoIterator<Item = KeyValue<Self::Key, Self::Value>>,
+        seed: u64,
+    ) {
+        let _ = seed;
+        let keys: Vec<Self::Key> = self.keys().cloned().collect();
+        for k in keys {
+            self.remove(&k);
+        }
+        self.extend(pairs);
+    }
+}
+
+/// Sorts `pairs` by key and deduplicates (last write wins), normalising an
+/// arbitrary bulk-load input into canonical load order. Shared by every
+/// [`Dictionary::bulk_load`] override.
+pub fn normalize_pairs<K: Ord, V>(mut pairs: Vec<(K, V)>) -> Vec<(K, V)> {
+    // The sort must be stable so duplicate keys stay in arrival order; the
+    // forward pass below then overwrites each run's entry in place, leaving
+    // the *last* arrival as the winner.
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, V)> = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        match out.last_mut() {
+            Some(last) if last.0 == pair.0 => *last = pair,
+            _ => out.push(pair),
+        }
+    }
+    out
+}
+
+/// A keyed [`Dictionary`] view over any [`RankedSequence`] of key–value
+/// pairs kept in ascending key order.
+///
+/// This is the paper's observation that a sparse table plus a search
+/// structure *is* a dictionary, in adapter form: ranks are found by binary
+/// search over the sequence (`O(log n)` [`RankedSequence::get_ref`] probes),
+/// after which every operation delegates to the rank-addressed API. It is
+/// how the two PMAs ([`HiPma`](https://docs.rs/pma), `ClassicPma`) join the
+/// dictionary conformance suite and the runtime-selectable backend set
+/// without bespoke wrappers.
+#[derive(Debug, Clone)]
+pub struct RankedDict<S, K, V> {
+    seq: S,
+    /// Keyed-operation ledger. Point lookups and ordered navigation (get,
+    /// successor, predecessor) are counted here — the sequence only sees
+    /// uncounted `get_ref` probes for them. Range queries are *not* counted
+    /// here: they delegate to [`RankedSequence::range_iter`], whose
+    /// implementations count the query themselves (sharing this ledger when
+    /// built by the dictionary builder), and counting at both layers would
+    /// double-book them.
+    counters: crate::counters::SharedCounters,
+    _pairs: std::marker::PhantomData<(K, V)>,
+}
+
+impl<S, K, V> RankedDict<S, K, V>
+where
+    S: RankedSequence<Item = (K, V)>,
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Wraps an empty (or key-sorted) ranked sequence.
+    pub fn new(seq: S) -> Self {
+        Self::with_counters(seq, crate::counters::SharedCounters::new())
+    }
+
+    /// Wraps a sequence and reports keyed queries into an existing ledger
+    /// (typically the same one the sequence itself was built with).
+    pub fn with_counters(seq: S, counters: crate::counters::SharedCounters) -> Self {
+        Self {
+            seq,
+            counters,
+            _pairs: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying ranked sequence.
+    pub fn seq(&self) -> &S {
+        &self.seq
+    }
+
+    /// The keyed-operation ledger.
+    pub fn counters(&self) -> &crate::counters::SharedCounters {
+        &self.counters
+    }
+
+    /// Consumes the adapter, returning the underlying sequence.
+    pub fn into_inner(self) -> S {
+        self.seq
+    }
+
+    /// Rank of the first pair whose key is ≥ `key` (or `len` if none).
+    fn lower_bound(&self, key: &K) -> usize {
+        let (mut lo, mut hi) = (0usize, self.seq.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let probe = self.seq.get_ref(mid).expect("mid < len");
+            if probe.0 < *key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Rank of the first pair whose key is > `key` (or `len` if none).
+    fn upper_bound(&self, key: &K) -> usize {
+        let (mut lo, mut hi) = (0usize, self.seq.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let probe = self.seq.get_ref(mid).expect("mid < len");
+            if probe.0 <= *key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn start_rank(&self, start: &Bound<K>) -> usize {
+        match start {
+            Bound::Included(k) => self.lower_bound(k),
+            Bound::Excluded(k) => self.upper_bound(k),
+            Bound::Unbounded => 0,
+        }
+    }
+}
+
+impl<S, K, V> Dictionary for RankedDict<S, K, V>
+where
+    S: RankedSequence<Item = (K, V)>,
+    K: Ord + Clone,
+    V: Clone,
+{
+    type Key = K;
+    type Value = V;
+
+    fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let rank = self.lower_bound(&key);
+        if let Some((existing, _)) = self.seq.get_ref(rank) {
+            if *existing == key {
+                // Overwrite as delete + reinsert at the same rank — the same
+                // HI-preserving replace `CobBTree::insert` uses: the layout
+                // distribution stays a function of the key set only, at the
+                // cost of two rank updates for a value change.
+                let (_, old) = self.seq.delete_at(rank).expect("rank just observed");
+                self.seq
+                    .insert_at(rank, (key, value))
+                    .expect("rank still valid");
+                return Some(old);
+            }
+        }
+        self.seq
+            .insert_at(rank, (key, value))
+            .expect("lower bound is a valid insertion rank");
+        None
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let rank = self.lower_bound(key);
+        match self.seq.get_ref(rank) {
+            Some((existing, _)) if existing == key => {
+                let (_, v) = self.seq.delete_at(rank).expect("rank just observed");
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    fn get_ref(&self, key: &K) -> Option<&V> {
+        self.counters.add_query();
+        let rank = self.lower_bound(key);
+        match self.seq.get_ref(rank) {
+            Some((existing, v)) if existing == key => Some(v),
+            _ => None,
+        }
+    }
+
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        let (start, end) = cloned_bounds(&range);
+        let from = self.start_rank(&start);
+        let last = self.seq.len().saturating_sub(1);
+        let i = if from >= self.seq.len() { 1 } else { from };
+        let j = if from >= self.seq.len() { 0 } else { last };
+        self.seq
+            .range_iter(i, j)
+            .expect("clamped range is valid")
+            .take_while(move |(k, _)| below_end_bound(k, &end))
+            .map(|(k, v)| (k, v))
+    }
+
+    fn successor(&self, key: &K) -> Option<(K, V)> {
+        self.counters.add_query();
+        self.seq.get(self.lower_bound(key))
+    }
+
+    fn predecessor(&self, key: &K) -> Option<(K, V)> {
+        self.counters.add_query();
+        let rank = self.upper_bound(key);
+        if rank == 0 {
+            None
+        } else {
+            self.seq.get(rank - 1)
+        }
+    }
+
+    fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        let pairs = normalize_pairs(pairs.into_iter().collect());
+        self.seq.bulk_load(pairs, seed);
+    }
 }
 
 #[cfg(test)]
@@ -160,18 +540,21 @@ mod tests {
             Ok(self.0.remove(rank))
         }
 
-        fn get(&self, rank: usize) -> Option<u32> {
-            self.0.get(rank).copied()
+        fn get_ref(&self, rank: usize) -> Option<&u32> {
+            self.0.get(rank)
         }
 
-        fn query(&self, i: usize, j: usize) -> Result<Vec<u32>, RankError> {
-            if i > j || j >= self.0.len() {
+        fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &u32>, RankError> {
+            if i > j {
+                return Ok(self.0[0..0].iter());
+            }
+            if j >= self.0.len() {
                 return Err(RankError {
                     rank: j,
                     len: self.0.len(),
                 });
             }
-            Ok(self.0[i..=j].to_vec())
+            Ok(self.0[i..=j].iter())
         }
     }
 
@@ -184,6 +567,8 @@ mod tests {
         s.insert_at(1, 7).unwrap();
         assert_eq!(s.to_vec(), vec![5, 7, 9]);
         assert_eq!(s.get(1), Some(7));
+        assert_eq!(s.get_ref(1), Some(&7));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![5, 7, 9]);
         assert_eq!(s.delete_at(0).unwrap(), 5);
         assert_eq!(s.to_vec(), vec![7, 9]);
     }
@@ -200,5 +585,98 @@ mod tests {
         assert!(s.insert_at(5, 0).is_err());
         assert!(s.delete_at(3).is_err());
         assert!(s.query(1, 3).is_err());
+    }
+
+    #[test]
+    fn empty_range_is_ok_not_error() {
+        let s = VecSeq(vec![1, 2, 3]);
+        // i > j is an empty range, uniformly — even at out-of-bounds ranks.
+        assert_eq!(s.query(2, 1).unwrap(), Vec::<u32>::new());
+        assert_eq!(s.query(7, 3).unwrap(), Vec::<u32>::new());
+        let empty = VecSeq(vec![]);
+        assert_eq!(empty.query(1, 0).unwrap(), Vec::<u32>::new());
+        assert_eq!(empty.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn seq_bulk_load_default_replaces_contents() {
+        let mut s = VecSeq(vec![9, 8]);
+        s.bulk_load([1, 2, 3], 42);
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn normalize_pairs_sorts_and_keeps_last_duplicate() {
+        let pairs = vec![(3u32, 'c'), (1, 'a'), (3, 'z'), (2, 'b')];
+        assert_eq!(normalize_pairs(pairs), vec![(1, 'a'), (2, 'b'), (3, 'z')]);
+    }
+
+    #[test]
+    fn ranked_dict_behaves_like_a_dictionary() {
+        struct PairSeq(Vec<(u64, u64)>);
+        impl RankedSequence for PairSeq {
+            type Item = (u64, u64);
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn insert_at(&mut self, rank: usize, item: (u64, u64)) -> Result<(), RankError> {
+                if rank > self.0.len() {
+                    return Err(RankError {
+                        rank,
+                        len: self.0.len(),
+                    });
+                }
+                self.0.insert(rank, item);
+                Ok(())
+            }
+            fn delete_at(&mut self, rank: usize) -> Result<(u64, u64), RankError> {
+                if rank >= self.0.len() {
+                    return Err(RankError {
+                        rank,
+                        len: self.0.len(),
+                    });
+                }
+                Ok(self.0.remove(rank))
+            }
+            fn get_ref(&self, rank: usize) -> Option<&(u64, u64)> {
+                self.0.get(rank)
+            }
+            fn range_iter(
+                &self,
+                i: usize,
+                j: usize,
+            ) -> Result<impl Iterator<Item = &(u64, u64)>, RankError> {
+                if i > j {
+                    return Ok(self.0[0..0].iter());
+                }
+                if j >= self.0.len() {
+                    return Err(RankError {
+                        rank: j,
+                        len: self.0.len(),
+                    });
+                }
+                Ok(self.0[i..=j].iter())
+            }
+        }
+
+        let mut d = RankedDict::new(PairSeq(Vec::new()));
+        assert_eq!(d.insert(5, 50), None);
+        assert_eq!(d.insert(1, 10), None);
+        assert_eq!(d.insert(9, 90), None);
+        assert_eq!(d.insert(5, 55), Some(50));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(&5), Some(55));
+        assert_eq!(d.get_ref(&1), Some(&10));
+        assert_eq!(d.to_sorted_vec(), vec![(1, 10), (5, 55), (9, 90)]);
+        assert_eq!(d.range(&2, &9), vec![(5, 55), (9, 90)]);
+        assert_eq!(d.range(&9, &2), vec![]);
+        assert_eq!(d.successor(&6), Some((9, 90)));
+        assert_eq!(d.predecessor(&6), Some((5, 55)));
+        assert_eq!(d.predecessor(&0), None);
+        assert_eq!(d.remove(&5), Some(55));
+        assert_eq!(d.remove(&5), None);
+        assert_eq!(d.keys().copied().collect::<Vec<_>>(), vec![1, 9]);
+        d.bulk_load(vec![(4, 40), (2, 20), (4, 44)], 7);
+        assert_eq!(d.to_sorted_vec(), vec![(2, 20), (4, 44)]);
     }
 }

@@ -133,6 +133,14 @@ impl IoModel {
         self.access(addr, len, true);
     }
 
+    /// Charges `reads` fetches and `writes` write-backs directly, without
+    /// touching the cache — for structures that pre-compute their own
+    /// DAM-model cost (see [`crate::Tracer::charge`]).
+    pub fn charge(&mut self, reads: u64, writes: u64) {
+        self.stats.reads += reads;
+        self.stats.writes += writes;
+    }
+
     /// Flushes all dirty blocks, charging one write per dirty block. Models a
     /// shutdown/sync; the benches call it so write-back costs are attributed
     /// to the workload that dirtied the blocks.

@@ -58,6 +58,21 @@ impl Tracer {
         }
     }
 
+    /// Charges `reads` block fetches and `writes` write-backs directly,
+    /// bypassing the cache simulation.
+    ///
+    /// Structures that do their own DAM-model accounting (the baseline
+    /// B-tree charges one transfer per node it touches, the skip lists
+    /// charge per padded leaf array) report their per-operation cost here so
+    /// that every structure's I/O shows up in one uniform [`IoStats`] ledger
+    /// regardless of how the cost was derived.
+    #[inline]
+    pub fn charge(&self, reads: u64, writes: u64) {
+        if let Some(m) = &self.model {
+            m.borrow_mut().charge(reads, writes);
+        }
+    }
+
     /// Current transfer counters (zeros when disabled).
     pub fn stats(&self) -> IoStats {
         self.model

@@ -372,6 +372,11 @@ impl<T: Clone> ClassicPma<T> {
 
     /// Returns the `rank`-th element, if any.
     pub fn get_rank(&self, rank: usize) -> Option<T> {
+        self.get_rank_ref(rank).cloned()
+    }
+
+    /// Borrows the `rank`-th element, if any, without copying it.
+    pub fn get_rank_ref(&self, rank: usize) -> Option<&T> {
         if rank >= self.len {
             return None;
         }
@@ -385,22 +390,12 @@ impl<T: Clone> ClassicPma<T> {
             .iter()
             .flatten()
             .nth(within)
-            .cloned()
     }
 
-    /// The `i`-th through `j`-th elements inclusive.
-    pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
-        if i > j || j >= self.len {
-            return Err(RankError {
-                rank: j,
-                len: self.len,
-            });
-        }
-        self.counters.add_query();
-        let k = j - i + 1;
-        let (seg, within) = self.segment_for_rank(i);
+    /// Absolute slot index of the element with the given rank (`rank < len`).
+    fn slot_of_rank(&self, rank: usize) -> usize {
+        let (seg, within) = self.segment_for_rank(rank);
         let mut slot = seg * self.seg_size;
-        // Skip to the `within`-th occupied slot of the starting segment.
         let mut seen = 0usize;
         while seen < within || self.slots[slot].is_none() {
             if self.slots[slot].is_some() {
@@ -408,19 +403,64 @@ impl<T: Clone> ClassicPma<T> {
             }
             slot += 1;
         }
-        let start_slot = slot;
-        let mut out = Vec::with_capacity(k);
-        while out.len() < k {
-            if let Some(v) = &self.slots[slot] {
-                out.push(v.clone());
-            }
-            slot += 1;
+        slot
+    }
+
+    /// Lazily yields the elements with ranks `rank..len` in order: one
+    /// Fenwick rank lookup, then a sequential slot scan charged to the
+    /// tracer per slot as the iterator advances.
+    pub fn iter_from(&self, rank: usize) -> impl Iterator<Item = &T> {
+        let start_slot = if rank >= self.len {
+            self.slots.len()
+        } else {
+            self.slot_of_rank(rank)
+        };
+        crate::spread::scan_occupied_from(&self.slots, start_slot, self.tracer.clone(), self.region)
+    }
+
+    /// Borrows every element in rank order (a full sequential scan).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.iter_from(0)
+    }
+
+    /// The zero-copy `Query(i, j)`: lazily yields the `i`-th through `j`-th
+    /// elements inclusive.
+    ///
+    /// Uniform error contract: `i > j` is an empty range (`Ok`); `j ≥ len`
+    /// (with `i ≤ j`) is a [`RankError`].
+    pub fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {
+        if i > j {
+            return Ok(self.iter_from(usize::MAX).take(0));
         }
-        self.tracer.read(
-            self.region.addr(start_slot as u64),
-            self.region.span((slot - start_slot) as u64),
-        );
+        if j >= self.len {
+            return Err(RankError {
+                rank: j,
+                len: self.len,
+            });
+        }
+        self.counters.add_query();
+        Ok(self.iter_from(i).take(j - i + 1))
+    }
+
+    /// The `i`-th through `j`-th elements inclusive, cloned into a `Vec`.
+    /// Thin wrapper over [`ClassicPma::range_iter`] (same error contract),
+    /// pre-sized to `k` since the rank bounds give the exact result count.
+    pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
+        let iter = self.range_iter(i, j)?;
+        let mut out = Vec::with_capacity(if i > j { 0 } else { j - i + 1 });
+        out.extend(iter.cloned());
         Ok(out)
+    }
+
+    /// Replaces the entire contents with `items` (in rank order) via a
+    /// single `O(n)` rebuild. The classic PMA draws no coins — its layout is
+    /// already a deterministic function of the contents — so `seed` is
+    /// accepted only for signature uniformity with the HI structures.
+    pub fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
+        let _ = seed;
+        let elements: Vec<T> = items.into_iter().collect();
+        let slots = Self::target_slots(elements.len());
+        self.resize_to(slots, &elements);
     }
 }
 
@@ -445,12 +485,24 @@ impl<T: Clone> RankedSequence for ClassicPma<T> {
         self.delete(rank)
     }
 
+    fn get_ref(&self, rank: usize) -> Option<&T> {
+        self.get_rank_ref(rank)
+    }
+
     fn get(&self, rank: usize) -> Option<T> {
         self.get_rank(rank)
     }
 
+    fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {
+        ClassicPma::range_iter(self, i, j)
+    }
+
     fn query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
         self.range_query(i, j)
+    }
+
+    fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
+        ClassicPma::bulk_load(self, items, seed)
     }
 }
 

@@ -670,23 +670,7 @@ impl<T: Clone> HiPma<T> {
             let removed = elements.remove(rank);
             self.counters.add_resize();
             if self.capacity.is_empty() {
-                // Reset to the empty geometry.
-                self.geometry = Geometry::for_n_hat(1);
-                self.slots = vec![None; self.geometry.total_slots];
-                self.array_region =
-                    Region::new(0, self.elem_size, self.geometry.total_slots as u64);
-                self.rank_tree = VebTree::new(
-                    self.geometry.levels(),
-                    Self::rank_tree_base(&self.geometry, self.elem_size),
-                    8,
-                    self.tracer.clone(),
-                );
-                self.value_tree = VebTree::new(
-                    self.geometry.levels(),
-                    Self::value_tree_base(&self.geometry, self.elem_size),
-                    self.elem_size,
-                    self.tracer.clone(),
-                );
+                self.reset_empty();
             } else {
                 self.rebuild_everything(elements);
             }
@@ -733,40 +717,112 @@ impl<T: Clone> HiPma<T> {
 
     /// Returns the `rank`-th element, if any.
     pub fn get_rank(&self, rank: usize) -> Option<T> {
+        self.get_rank_ref(rank).cloned()
+    }
+
+    /// Borrows the `rank`-th element, if any, without copying it.
+    pub fn get_rank_ref(&self, rank: usize) -> Option<&T> {
         if rank >= self.len() {
             return None;
         }
         let (slot, _) = self.locate(rank);
-        self.slots[slot].clone()
+        self.slots[slot].as_ref()
     }
 
-    /// The paper's `Query(i, j)`: the `i`-th through `j`-th elements
-    /// inclusive. Costs one descent plus a contiguous scan of `O(1 + k/B)`
-    /// blocks for `k = j − i + 1` returned elements.
-    pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
-        if i > j || j >= self.len() {
+    /// Lazily yields the elements with ranks `rank..len` in order, without
+    /// allocating: one rank-tree descent to find the starting slot, then a
+    /// sequential slot scan (`O(1 + k/B)` I/Os for `k` consumed elements,
+    /// charged to the tracer per slot as the iterator advances).
+    pub fn iter_from(&self, rank: usize) -> impl Iterator<Item = &T> {
+        let start_slot = if rank >= self.len() {
+            self.slots.len()
+        } else {
+            self.locate(rank).0
+        };
+        crate::spread::scan_occupied_from(
+            &self.slots,
+            start_slot,
+            self.tracer.clone(),
+            self.array_region,
+        )
+    }
+
+    /// Borrows every element in rank order (a full sequential scan).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.iter_from(0)
+    }
+
+    /// The zero-copy form of the paper's `Query(i, j)`: lazily yields the
+    /// `i`-th through `j`-th elements inclusive. Costs one descent plus a
+    /// contiguous scan of `O(1 + k/B)` blocks for `k = j − i + 1` elements.
+    ///
+    /// Uniform error contract: `i > j` is an empty range (`Ok`); `j ≥ len`
+    /// (with `i ≤ j`) is a [`RankError`].
+    pub fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {
+        if i > j {
+            return Ok(self.iter_from(usize::MAX).take(0));
+        }
+        if j >= self.len() {
             return Err(RankError {
                 rank: j,
                 len: self.len(),
             });
         }
         self.counters.add_query();
-        let k = j - i + 1;
-        let (start_slot, _) = self.locate(i);
-        let mut out = Vec::with_capacity(k);
-        let mut slot = start_slot;
-        while out.len() < k {
-            debug_assert!(slot < self.slots.len(), "range query ran off the array");
-            if let Some(v) = &self.slots[slot] {
-                out.push(v.clone());
-            }
-            slot += 1;
-        }
-        self.tracer.read(
-            self.array_region.addr(start_slot as u64),
-            self.array_region.span((slot - start_slot) as u64),
-        );
+        Ok(self.iter_from(i).take(j - i + 1))
+    }
+
+    /// The paper's `Query(i, j)` with an owned result: clones the `i`-th
+    /// through `j`-th elements inclusive into a `Vec`. Thin wrapper over
+    /// [`HiPma::range_iter`] (same error contract), pre-sized to `k` since
+    /// the rank bounds give the exact result count.
+    pub fn range_query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
+        let iter = self.range_iter(i, j)?;
+        let mut out = Vec::with_capacity(if i > j { 0 } else { j - i + 1 });
+        out.extend(iter.cloned());
         Ok(out)
+    }
+
+    /// Replaces the entire contents with `items` (in rank order), drawing
+    /// **fresh coins** from `seed`: the capacity parameter `N̂` is re-drawn
+    /// uniformly from `{n, …, 2n−1}` and every balance element uniformly
+    /// from its candidate window, exactly the distribution an incremental
+    /// build converges to. The resulting layout is therefore a pure function
+    /// of *(items, seed)* — independent of the previous contents, of the
+    /// structure's RNG position, and of how the caller ordered earlier
+    /// operations. Cost is `O(n)` element moves instead of the incremental
+    /// `O(n log² n)`.
+    pub fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
+        let elements: Vec<T> = items.into_iter().collect();
+        let mut source = RngSource::from_seed(seed);
+        self.rng = source.split("hi-pma");
+        self.capacity = HiCapacity::with_len(elements.len(), &mut self.rng);
+        self.counters.add_resize();
+        if elements.is_empty() {
+            self.reset_empty();
+        } else {
+            self.rebuild_everything(elements);
+        }
+    }
+
+    /// Resets to the canonical empty layout (shared by delete-to-empty and
+    /// `bulk_load` of nothing).
+    fn reset_empty(&mut self) {
+        self.geometry = Geometry::for_n_hat(1);
+        self.slots = vec![None; self.geometry.total_slots];
+        self.array_region = Region::new(0, self.elem_size, self.geometry.total_slots as u64);
+        self.rank_tree = VebTree::new(
+            self.geometry.levels(),
+            Self::rank_tree_base(&self.geometry, self.elem_size),
+            8,
+            self.tracer.clone(),
+        );
+        self.value_tree = VebTree::new(
+            self.geometry.levels(),
+            Self::value_tree_base(&self.geometry, self.elem_size),
+            self.elem_size,
+            self.tracer.clone(),
+        );
     }
 
     /// Finds the absolute slot of the element with the given rank, returning
@@ -885,12 +941,24 @@ impl<T: Clone> RankedSequence for HiPma<T> {
         self.delete(rank)
     }
 
+    fn get_ref(&self, rank: usize) -> Option<&T> {
+        self.get_rank_ref(rank)
+    }
+
     fn get(&self, rank: usize) -> Option<T> {
         self.get_rank(rank)
     }
 
+    fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {
+        HiPma::range_iter(self, i, j)
+    }
+
     fn query(&self, i: usize, j: usize) -> Result<Vec<T>, RankError> {
         self.range_query(i, j)
+    }
+
+    fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
+        HiPma::bulk_load(self, items, seed)
     }
 }
 
@@ -1012,8 +1080,74 @@ mod tests {
         let pma = filled(1000, 10);
         let got = pma.range_query(400, 449).unwrap();
         assert_eq!(got, (400..450u64).collect::<Vec<_>>());
-        assert!(pma.range_query(10, 5).is_err());
+        // Uniform contract: i > j is an empty range, not an error.
+        assert_eq!(pma.range_query(10, 5).unwrap(), Vec::<u64>::new());
+        assert_eq!(pma.range_query(2000, 1000).unwrap(), Vec::<u64>::new());
         assert!(pma.range_query(0, 1000).is_err());
+        assert_eq!(
+            pma.range_query(0, 1000).unwrap_err(),
+            hi_common::RankError {
+                rank: 1000,
+                len: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn bulk_load_builds_a_valid_pma() {
+        let mut pma: HiPma<u64> = HiPma::new(9);
+        // Pre-existing contents must be fully discarded.
+        for i in 0..100 {
+            pma.insert(i, 7777).unwrap();
+        }
+        pma.bulk_load((0..5000u64).map(|k| k * 2), 0xB01D);
+        assert_eq!(pma.len(), 5000);
+        assert_eq!(pma.get_rank(0), Some(0));
+        assert_eq!(pma.get_rank(4999), Some(9998));
+        pma.check_invariants();
+        // Still fully operational afterwards.
+        pma.insert(0, 123).unwrap();
+        assert_eq!(pma.get_rank(0), Some(123));
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_layout_is_a_function_of_items_and_seed() {
+        let build = |pre: usize, seed: u64| {
+            let mut pma: HiPma<u64> = HiPma::new(1234);
+            for i in 0..pre {
+                pma.insert(i, i as u64).unwrap();
+            }
+            pma.bulk_load(0..3000u64, seed);
+            pma
+        };
+        let a = build(0, 5);
+        let b = build(500, 5);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_eq!(a.n_hat(), b.n_hat());
+        assert_eq!(
+            a.occupancy(),
+            b.occupancy(),
+            "same items + seed must give a bit-identical layout regardless of prior history"
+        );
+        let c = build(0, 6);
+        assert_ne!(
+            a.occupancy(),
+            c.occupancy(),
+            "different seed, different layout"
+        );
+    }
+
+    #[test]
+    fn range_iter_and_refs_agree_with_owned_queries() {
+        let pma = filled(1000, 17);
+        let lazy: Vec<u64> = pma.range_iter(100, 199).unwrap().copied().collect();
+        assert_eq!(lazy, pma.range_query(100, 199).unwrap());
+        assert_eq!(pma.get_rank_ref(42), Some(&42));
+        assert_eq!(pma.get_rank_ref(1000), None);
+        assert_eq!(pma.iter().count(), 1000);
+        assert_eq!(pma.iter_from(990).count(), 10);
+        assert_eq!(pma.iter_from(2000).count(), 0);
     }
 
     #[test]

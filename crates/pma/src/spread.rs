@@ -70,6 +70,27 @@ pub fn max_interior_gap<T>(slots: &[Option<T>]) -> usize {
     max_gap
 }
 
+/// Lazily yields the occupied elements of `slots[start_slot..]` in order,
+/// charging each visited slot to `tracer` as the iterator advances — the
+/// shared sequential-scan engine behind both PMAs' `iter_from`/`range_iter`
+/// (one rank lookup up front, then `O(1 + k/B)` transfers for `k` consumed
+/// elements). A `start_slot` past the end yields nothing.
+pub(crate) fn scan_occupied_from<T>(
+    slots: &[Option<T>],
+    start_slot: usize,
+    tracer: io_sim::Tracer,
+    region: io_sim::Region,
+) -> impl Iterator<Item = &T> {
+    let start_slot = start_slot.min(slots.len());
+    slots[start_slot..]
+        .iter()
+        .enumerate()
+        .inspect(move |(off, _)| {
+            tracer.read(region.addr((start_slot + off) as u64), region.span(1));
+        })
+        .filter_map(|(_, slot)| slot.as_ref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,10 +23,12 @@
 
 use std::cell::Cell;
 use std::cmp::Ordering;
+use std::ops::{Bound, RangeBounds};
 
 use hi_common::counters::SharedCounters;
 use hi_common::rng::{DetRng, RngSource};
-use hi_common::traits::Dictionary;
+use hi_common::traits::{below_end_bound, cloned_bounds, normalize_pairs, Dictionary};
+use io_sim::Tracer;
 
 use crate::params::{LeafPad, SkipParams};
 
@@ -94,6 +96,7 @@ pub struct ExternalSkipList<K: Ord + Clone, V: Clone> {
     params: SkipParams,
     rng: DetRng,
     counters: SharedCounters,
+    tracer: Tracer,
     total_ios: Cell<u64>,
     last_op_ios: Cell<u64>,
 }
@@ -120,6 +123,19 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
 
     /// Builds an empty skip list with explicit parameters.
     pub fn with_params(params: SkipParams, seed: u64) -> Self {
+        Self::with_instrumentation(params, seed, SharedCounters::new(), Tracer::disabled())
+    }
+
+    /// Builds an empty skip list with explicit parameters, counters and I/O
+    /// tracer — the uniform instrumentation hook used by the dictionary
+    /// builder. The list computes its own DAM cost per operation and reports
+    /// it into the tracer via [`Tracer::charge`].
+    pub fn with_instrumentation(
+        params: SkipParams,
+        seed: u64,
+        counters: SharedCounters,
+        tracer: Tracer,
+    ) -> Self {
         let mut source = RngSource::from_seed(seed);
         Self {
             nodes: Vec::new(),
@@ -127,10 +143,16 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             len: 0,
             params,
             rng: source.split("skiplist"),
-            counters: SharedCounters::new(),
+            counters,
+            tracer,
             total_ios: Cell::new(0),
             last_op_ios: Cell::new(0),
         }
+    }
+
+    /// The I/O tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The configuration in use.
@@ -183,11 +205,19 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
 
     fn charge(&self, ios: u64) -> u64 {
         self.total_ios.set(self.total_ios.get() + ios);
+        self.tracer.charge(ios, 0);
         ios
     }
 
     fn finish_op(&self, ios: u64) {
         self.last_op_ios.set(ios);
+        self.charge(ios);
+    }
+
+    /// Adds `ios` to the running operation (lazy traversals charge node by
+    /// node instead of batching a [`Self::finish_op`]).
+    fn charge_append(&self, ios: u64) {
+        self.last_op_ios.set(self.last_op_ios.get() + ios);
         self.charge(ios);
     }
 
@@ -526,19 +556,21 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Looks up a key.
+    /// Looks up a key, cloning the value.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
+
+    /// Borrows the value stored under `key` without copying it: one
+    /// multi-level search, zero allocations.
+    pub fn get_ref(&self, key: &K) -> Option<&V> {
         self.counters.add_query();
         let mut ios = self.upper_search_cost(key);
         let result = match self.locate(key) {
             Some(pos) => {
                 ios += self.leaf_read_cost(pos);
                 if pos.found {
-                    Some(
-                        self.nodes[pos.node].arrays[pos.array].entries[pos.entry]
-                            .value
-                            .clone(),
-                    )
+                    Some(&self.nodes[pos.node].arrays[pos.array].entries[pos.entry].value)
                 } else {
                     None
                 }
@@ -549,38 +581,103 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
         result
     }
 
-    /// Returns every pair with `low ≤ key ≤ high`, in ascending order.
-    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+    /// Lazily yields every pair whose key lies in `range`, in ascending key
+    /// order: one multi-level search to the first matching leaf array, then
+    /// a node-by-node scan, with no per-query allocation. Each leaf node is
+    /// charged its padded size as the iterator enters it (the paper packs a
+    /// node's leaf arrays contiguously on disk).
+    pub fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
         self.counters.add_query();
-        let mut ios = self.upper_search_cost(low);
-        let mut out = Vec::new();
-        if low > high || self.nodes.is_empty() {
-            self.finish_op(ios);
-            return out;
-        }
-        let start = self.locate(low).expect("non-empty list");
-        // Scan forward node by node; charge each touched node once (the
-        // paper packs leaf arrays of a node contiguously, so reading any part
-        // of a node costs at most the node's padded size).
-        let mut node_idx = start.node;
-        'outer: while node_idx < self.nodes.len() {
-            ios += self.node_rebuild_cost(node_idx);
-            let node = &self.nodes[node_idx];
-            for array in &node.arrays {
-                for entry in &array.entries {
-                    if entry.key < *low {
-                        continue;
-                    }
-                    if entry.key > *high {
-                        break 'outer;
-                    }
-                    out.push((entry.key.clone(), entry.value.clone()));
-                }
+        self.last_op_ios.set(0);
+        let (start, end) = cloned_bounds(&range);
+        SkipIter::seek(self, &start).take_while(move |&(k, _)| below_end_bound(k, &end))
+    }
+
+    /// Borrows every pair in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.range_iter(..)
+    }
+
+    /// Returns every pair with `low ≤ key ≤ high`, in ascending order. Thin
+    /// wrapper over [`ExternalSkipList::range_iter`].
+    pub fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
+        self.range_iter((Bound::Included(low), Bound::Included(high)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Replaces the entire contents with `pairs`, drawing **fresh coins**
+    /// from `seed`: every element's promotion level and every leaf array's
+    /// padded size are re-drawn from the seed-derived stream, in key order,
+    /// so the resulting structure is a pure function of *(contents, seed)* —
+    /// independent of arrival order (the input is normalised, last write
+    /// wins) and of everything the list held before. Cost is `O(n log n)`
+    /// for the sort plus `O(n)` construction, against one multi-level search
+    /// and possible node rebuild per element for incremental insertion.
+    pub fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        let pairs = normalize_pairs(pairs.into_iter().collect());
+        let mut source = RngSource::from_seed(seed);
+        self.rng = source.split("skiplist");
+        self.nodes.clear();
+        self.levels = vec![Vec::new()];
+        self.len = pairs.len();
+        let node_boundary = if self.params.group_leaf_nodes { 2 } else { 1 };
+        // Pass 1: draw a level per element, in key order.
+        let entries: Vec<Entry<K, V>> = pairs
+            .into_iter()
+            .map(|(key, value)| Entry {
+                key,
+                value,
+                level: self.params.draw_level(&mut self.rng),
+            })
+            .collect();
+        // Pass 2: group into leaf arrays (cut before each promoted element)
+        // and leaf nodes (cut before each ≥ node_boundary element), drawing
+        // each array's pad as it is sealed — the same draw order an
+        // element-by-element build would use for these boundaries.
+        let mut current_array: Vec<Entry<K, V>> = Vec::new();
+        let mut current_node: Vec<LeafArray<K, V>> = Vec::new();
+        for entry in entries {
+            let new_array = !current_array.is_empty() && entry.level >= 1;
+            let new_node = new_array && entry.level as usize >= node_boundary;
+            if new_array {
+                let pad = LeafPad::draw(current_array.len(), self.params.min_pad, &mut self.rng);
+                current_node.push(LeafArray {
+                    entries: std::mem::take(&mut current_array),
+                    pad,
+                });
             }
-            node_idx += 1;
+            if new_node {
+                self.nodes.push(LeafNode {
+                    arrays: std::mem::take(&mut current_node),
+                });
+            }
+            self.levels_insert(&entry.key, entry.level);
+            current_array.push(entry);
         }
+        if !current_array.is_empty() {
+            let pad = LeafPad::draw(current_array.len(), self.params.min_pad, &mut self.rng);
+            current_node.push(LeafArray {
+                entries: current_array,
+                pad,
+            });
+        }
+        if !current_node.is_empty() {
+            self.nodes.push(LeafNode {
+                arrays: current_node,
+            });
+        }
+        // Charge one sequential write of the whole structure.
+        let ios: u64 = (0..self.nodes.len())
+            .map(|n| self.node_rebuild_cost(n))
+            .sum();
+        self.counters.add_rebuild(
+            self.nodes
+                .iter()
+                .map(LeafNode::padded_records)
+                .sum::<usize>() as u64,
+        );
         self.finish_op(ios);
-        out
     }
 
     /// Smallest key ≥ `key`, with its value.
@@ -728,6 +825,75 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
     }
 }
 
+/// Lazy in-order traversal of an [`ExternalSkipList`]'s leaf level.
+///
+/// Walks the `(node, array, entry)` index triple forward; each leaf node is
+/// charged its padded size to the list's I/O ledger when entered, mirroring
+/// the eager range query's accounting.
+struct SkipIter<'a, K: Ord + Clone, V: Clone> {
+    list: &'a ExternalSkipList<K, V>,
+    node: usize,
+    array: usize,
+    entry: usize,
+}
+
+impl<'a, K: Ord + Clone, V: Clone> SkipIter<'a, K, V> {
+    /// Positions the iterator at the first entry satisfying `start`.
+    fn seek(list: &'a ExternalSkipList<K, V>, start: &Bound<K>) -> Self {
+        let (node, array, entry) = match start {
+            Bound::Unbounded => (0, 0, 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                list.charge_append(list.upper_search_cost(k));
+                match list.locate(k) {
+                    Some(pos) => {
+                        let skip_match = pos.found && matches!(start, Bound::Excluded(_));
+                        (pos.node, pos.array, pos.entry + usize::from(skip_match))
+                    }
+                    None => (list.nodes.len(), 0, 0),
+                }
+            }
+        };
+        if node < list.nodes.len() {
+            list.charge_append(list.node_rebuild_cost(node));
+        }
+        Self {
+            list,
+            node,
+            array,
+            entry,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V: Clone> Iterator for SkipIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            let node = self.list.nodes.get(self.node)?;
+            if self.array >= node.arrays.len() {
+                self.node += 1;
+                self.array = 0;
+                self.entry = 0;
+                if self.node < self.list.nodes.len() {
+                    self.list
+                        .charge_append(self.list.node_rebuild_cost(self.node));
+                }
+                continue;
+            }
+            let entries = &node.arrays[self.array].entries;
+            if self.entry >= entries.len() {
+                self.array += 1;
+                self.entry = 0;
+                continue;
+            }
+            let e = &entries[self.entry];
+            self.entry += 1;
+            return Some((&e.key, &e.value));
+        }
+    }
+}
+
 impl<K: Ord + Clone, V: Clone> Dictionary for ExternalSkipList<K, V> {
     type Key = K;
     type Value = V;
@@ -744,8 +910,16 @@ impl<K: Ord + Clone, V: Clone> Dictionary for ExternalSkipList<K, V> {
         ExternalSkipList::remove(self, key)
     }
 
+    fn get_ref(&self, key: &K) -> Option<&V> {
+        ExternalSkipList::get_ref(self, key)
+    }
+
     fn get(&self, key: &K) -> Option<V> {
         ExternalSkipList::get(self, key)
+    }
+
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        ExternalSkipList::range_iter(self, range)
     }
 
     fn range(&self, low: &K, high: &K) -> Vec<(K, V)> {
@@ -762,6 +936,10 @@ impl<K: Ord + Clone, V: Clone> Dictionary for ExternalSkipList<K, V> {
 
     fn to_sorted_vec(&self) -> Vec<(K, V)> {
         ExternalSkipList::to_sorted_vec(self)
+    }
+
+    fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        ExternalSkipList::bulk_load(self, pairs, seed)
     }
 }
 
@@ -1012,6 +1190,77 @@ mod tests {
         // Structure remains usable.
         l.insert(1, 1);
         assert_eq!(l.get(&1), Some(1));
+    }
+
+    #[test]
+    fn bulk_load_builds_a_valid_structure() {
+        for (name, mut l) in [
+            (
+                "hi",
+                ExternalSkipList::<u64, u64>::history_independent(16, 0.5, 1),
+            ),
+            ("folk", ExternalSkipList::<u64, u64>::folklore_b(16, 2)),
+            ("mem", ExternalSkipList::<u64, u64>::in_memory(3)),
+        ] {
+            // Unsorted input with a duplicate: last write wins.
+            let mut pairs: Vec<(u64, u64)> = (0..800u64).rev().map(|k| (k, k)).collect();
+            pairs.push((5, 999));
+            l.bulk_load(pairs, 0xB17);
+            assert_eq!(l.len(), 800, "{name}");
+            assert_eq!(l.get(&5), Some(999), "{name}: duplicate last-write-wins");
+            assert_eq!(l.get(&7), Some(7), "{name}");
+            l.check_invariants();
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_a_function_of_contents_and_seed() {
+        let build = |input_order_reversed: bool, seed: u64| {
+            // Start from different pre-existing contents to prove the old
+            // state is fully discarded.
+            let mut l = ExternalSkipList::<u64, u64>::history_independent(16, 0.5, 77);
+            if input_order_reversed {
+                for k in 0..50u64 {
+                    l.insert(k * 11, k);
+                }
+            }
+            let mut pairs: Vec<(u64, u64)> = (0..600u64).map(|k| (k * 2, k)).collect();
+            if input_order_reversed {
+                pairs.reverse();
+            }
+            l.bulk_load(pairs, seed);
+            l
+        };
+        let a = build(false, 42);
+        let b = build(true, 42);
+        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+        assert_eq!(
+            a.leaf_array_lengths(),
+            b.leaf_array_lengths(),
+            "same contents + seed must give a bit-identical layout regardless of load order"
+        );
+        assert_eq!(a.space_records(), b.space_records());
+        let c = build(false, 43);
+        assert_ne!(
+            a.leaf_array_lengths(),
+            c.leaf_array_lengths(),
+            "a different seed should give a different layout"
+        );
+    }
+
+    #[test]
+    fn range_iter_agrees_with_range() {
+        let mut l = hi_list(55);
+        for k in 0..500u64 {
+            l.insert(k * 3, k);
+        }
+        let eager = l.range(&100, &900);
+        let lazy: Vec<(u64, u64)> = l.range_iter(100..=900).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(eager, lazy);
+        assert_eq!(l.iter().count(), 500);
+        assert_eq!(l.range_iter(100..900).map(|(k, _)| *k).max(), Some(897));
+        assert_eq!(l.get_ref(&3), Some(&1));
+        assert_eq!(l.get_ref(&4), None);
     }
 
     #[test]

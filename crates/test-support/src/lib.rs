@@ -255,9 +255,24 @@ where
                 );
             }
             DictOp::Range(lo, hi) => {
-                let got = dict.range(&lo, &hi);
                 let want: Vec<(u64, u64)> = oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                let got = dict.range(&lo, &hi);
                 assert_eq!(got, want, "{}: range contents/order", ctx(i, op));
+                // The lazy path must agree with the eager one, for every
+                // flavour of bound expression.
+                let lazy: Vec<(u64, u64)> =
+                    dict.range_iter(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(lazy, want, "{}: range_iter contents/order", ctx(i, op));
+                if lo > 0 {
+                    let lazy_excl: Vec<(u64, u64)> = dict
+                        .range_iter((
+                            std::ops::Bound::Excluded(lo - 1),
+                            std::ops::Bound::Included(hi),
+                        ))
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    assert_eq!(lazy_excl, want, "{}: range_iter excluded bound", ctx(i, op));
+                }
             }
             DictOp::Successor(k) => {
                 let want = oracle.range(k..).next().map(|(&k, &v)| (k, v));
@@ -279,6 +294,16 @@ where
                 let got = dict.to_sorted_vec();
                 let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
                 assert_eq!(got, want, "{}: full sorted contents", ctx(i, op));
+                // The zero-copy full-scan surface must agree too.
+                let lazy: Vec<(u64, u64)> = dict.iter().map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(lazy, want, "{}: iter() full scan", ctx(i, op));
+                let keys: Vec<u64> = dict.keys().copied().collect();
+                assert_eq!(
+                    keys,
+                    oracle.keys().copied().collect::<Vec<_>>(),
+                    "{}: keys()",
+                    ctx(i, op)
+                );
             }
         }
     }
@@ -387,6 +412,104 @@ where
     assert_eq!(d.len(), want.len());
 }
 
+/// Differential check of [`Dictionary::bulk_load`] against a `BTreeMap`
+/// oracle and against an incrementally built twin.
+///
+/// `make` constructs a fresh (empty or pre-populated — `bulk_load` must
+/// discard prior contents) dictionary. The check:
+///
+/// 1. generates `n` pairs with duplicate keys, shuffles them, and bulk-loads
+///    them with `seed` — the result must match a `BTreeMap` loaded with the
+///    same pairs in the same order (last write wins);
+/// 2. probes `get`/`get_ref`/`successor`/`predecessor`/`range_iter` across
+///    the key space against the oracle;
+/// 3. keeps operating incrementally afterwards (insert/remove/get) to prove
+///    the bulk-loaded structure is fully functional, auditing the final
+///    state.
+///
+/// # Panics
+///
+/// Panics on the first divergence from the oracle.
+pub fn run_bulk_load_differential<D, F>(make: F, n: usize, seed: u64)
+where
+    D: Dictionary<Key = u64, Value = u64>,
+    F: Fn() -> D,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key_space = (n as u64 * 2).max(8);
+    let pairs: Vec<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(0..key_space), rng.gen()))
+        .collect();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(k, v) in &pairs {
+        oracle.insert(k, v);
+    }
+
+    let mut dict = make();
+    dict.bulk_load(pairs.clone(), seed ^ 0xB01D);
+    assert_eq!(dict.len(), oracle.len(), "bulk_load: len after load");
+    assert_eq!(
+        dict.to_sorted_vec(),
+        oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        "bulk_load: contents after load"
+    );
+
+    for _ in 0..200 {
+        let probe = rng.gen_range(0..key_space + 4);
+        assert_eq!(
+            dict.get(&probe),
+            oracle.get(&probe).copied(),
+            "bulk_load: get({probe})"
+        );
+        assert_eq!(
+            dict.get_ref(&probe),
+            oracle.get(&probe),
+            "bulk_load: get_ref({probe})"
+        );
+        assert_eq!(
+            dict.successor(&probe),
+            oracle.range(probe..).next().map(|(&k, &v)| (k, v)),
+            "bulk_load: successor({probe})"
+        );
+        assert_eq!(
+            dict.predecessor(&probe),
+            oracle.range(..=probe).next_back().map(|(&k, &v)| (k, v)),
+            "bulk_load: predecessor({probe})"
+        );
+        let hi = probe.saturating_add(rng.gen_range(0..key_space / 4 + 1));
+        let got: Vec<(u64, u64)> = dict.range_iter(probe..=hi).map(|(&k, &v)| (k, v)).collect();
+        let want: Vec<(u64, u64)> = oracle.range(probe..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "bulk_load: range_iter({probe}..={hi})");
+    }
+
+    // The structure must remain fully operational after a bulk load.
+    for step in 0..500u64 {
+        let key = rng.gen_range(0..key_space);
+        match rng.gen_range(0..10) {
+            0..=5 => assert_eq!(
+                dict.insert(key, step),
+                oracle.insert(key, step),
+                "post-bulk insert({key})"
+            ),
+            6..=8 => assert_eq!(
+                dict.remove(&key),
+                oracle.remove(&key),
+                "post-bulk remove({key})"
+            ),
+            _ => assert_eq!(
+                dict.get(&key),
+                oracle.get(&key).copied(),
+                "post-bulk get({key})"
+            ),
+        }
+    }
+    assert_eq!(
+        dict.to_sorted_vec(),
+        oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        "bulk_load: final audit"
+    );
+}
+
 /// Profile for a rank-addressed differential run (see
 /// [`run_seq_differential`]). Ops are drawn on the fly because valid ranks
 /// depend on the evolving length.
@@ -476,9 +599,26 @@ where
             );
             assert_eq!(seq.get(oracle.len()), None, "op #{i}: get(len) must miss");
             if !oracle.is_empty() {
-                assert!(
-                    seq.query(0, oracle.len()).is_err(),
-                    "op #{i}: query past the end must be rejected"
+                let err = match seq.query(0, oracle.len()) {
+                    Err(e) => e,
+                    Ok(_) => panic!("op #{i}: query past the end must be rejected"),
+                };
+                assert_eq!(
+                    (err.rank, err.len),
+                    (oracle.len(), oracle.len()),
+                    "op #{i}: out-of-bounds query must report rank j and len"
+                );
+            }
+            // Uniform empty-range contract: i > j succeeds with no elements,
+            // even at out-of-bounds ranks — on the oracle and the structure
+            // alike.
+            let a = rng.gen_range(0..oracle.len() + 3);
+            if a > 0 {
+                assert_eq!(
+                    seq.query(a, a - 1).expect("empty range must be Ok").len(),
+                    0,
+                    "op #{i}: query({a}, {}) must be an empty Ok",
+                    a - 1
                 );
             }
         }
@@ -507,11 +647,14 @@ mod tests {
         fn remove(&mut self, k: &u64) -> Option<u64> {
             self.0.remove(k)
         }
-        fn get(&self, k: &u64) -> Option<u64> {
-            self.0.get(k).copied()
+        fn get_ref(&self, k: &u64) -> Option<&u64> {
+            self.0.get(k)
         }
-        fn range(&self, low: &u64, high: &u64) -> Vec<(u64, u64)> {
-            self.0.range(*low..=*high).map(|(&k, &v)| (k, v)).collect()
+        fn range_iter<R: std::ops::RangeBounds<u64>>(
+            &self,
+            range: R,
+        ) -> impl Iterator<Item = (&u64, &u64)> {
+            self.0.range(range)
         }
         fn successor(&self, k: &u64) -> Option<(u64, u64)> {
             self.0.range(*k..).next().map(|(&k, &v)| (k, v))
@@ -540,11 +683,14 @@ mod tests {
         fn remove(&mut self, k: &u64) -> Option<u64> {
             self.0.remove(k)
         }
-        fn get(&self, k: &u64) -> Option<u64> {
-            self.0.get(k).copied()
+        fn get_ref(&self, k: &u64) -> Option<&u64> {
+            self.0.get(k)
         }
-        fn range(&self, low: &u64, high: &u64) -> Vec<(u64, u64)> {
-            self.0.range(*low..=*high).map(|(&k, &v)| (k, v)).collect()
+        fn range_iter<R: std::ops::RangeBounds<u64>>(
+            &self,
+            range: R,
+        ) -> impl Iterator<Item = (&u64, &u64)> {
+            self.0.range(range)
         }
         fn successor(&self, k: &u64) -> Option<(u64, u64)> {
             self.0.range(*k..).next().map(|(&k, &v)| (k, v))
@@ -653,17 +799,24 @@ mod tests {
                 }
                 Ok(self.0.remove(rank))
             }
-            fn get(&self, rank: usize) -> Option<u64> {
-                self.0.get(rank).copied()
+            fn get_ref(&self, rank: usize) -> Option<&u64> {
+                self.0.get(rank)
             }
-            fn query(&self, i: usize, j: usize) -> Result<Vec<u64>, hi_common::RankError> {
-                if i > j || j >= self.0.len() {
+            fn range_iter(
+                &self,
+                i: usize,
+                j: usize,
+            ) -> Result<impl Iterator<Item = &u64>, hi_common::RankError> {
+                if i > j {
+                    return Ok(self.0[0..0].iter());
+                }
+                if j >= self.0.len() {
                     return Err(hi_common::RankError {
                         rank: j,
                         len: self.0.len(),
                     });
                 }
-                Ok(self.0[i..=j].to_vec())
+                Ok(self.0[i..=j].iter())
             }
         }
         let applied = run_seq_differential(&mut VecSeq(Vec::new()), 77, SeqProfile::standard(800));

@@ -318,11 +318,14 @@ mod tests {
             fn remove(&mut self, k: &u64) -> Option<u64> {
                 self.0.remove(k)
             }
-            fn get(&self, k: &u64) -> Option<u64> {
-                self.0.get(k).copied()
+            fn get_ref(&self, k: &u64) -> Option<&u64> {
+                self.0.get(k)
             }
-            fn range(&self, low: &u64, high: &u64) -> Vec<(u64, u64)> {
-                self.0.range(*low..=*high).map(|(&k, &v)| (k, v)).collect()
+            fn range_iter<R: std::ops::RangeBounds<u64>>(
+                &self,
+                range: R,
+            ) -> impl Iterator<Item = (&u64, &u64)> {
+                self.0.range(range)
             }
             fn successor(&self, k: &u64) -> Option<(u64, u64)> {
                 self.0.range(*k..).next().map(|(&k, &v)| (k, v))

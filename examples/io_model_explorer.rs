@@ -12,28 +12,28 @@
 use anti_persistence::prelude::*;
 
 fn measure(block_size: usize, memory_blocks: usize, n: u64, probes: u64) -> (f64, f64) {
-    let tracer = Tracer::enabled(IoConfig::new(block_size, memory_blocks));
-    let mut tree: CobBTree<u64, u64> = CobBTree::with_parts(
-        RngSource::from_seed(99),
-        SharedCounters::new(),
-        tracer.clone(),
-        16,
-    );
+    // The builder wires the I/O model into the structure uniformly; swap the
+    // backend to explore any other engine under the same meter.
+    let mut tree: DynDict<u64, u64> = Dict::builder()
+        .backend(Backend::CobBTree)
+        .seed(99)
+        .io(IoConfig::new(block_size, memory_blocks))
+        .build();
     for k in 0..n {
         tree.insert(k * 2, k);
     }
     // Cold-cache insert cost.
-    tracer.reset_cold();
+    tree.tracer().reset_cold();
     for k in 0..probes {
         tree.insert(k * 2 + 1, k);
     }
-    let insert_ios = tracer.stats().transfers() as f64 / probes as f64;
+    let insert_ios = tree.io_stats().transfers() as f64 / probes as f64;
     // Cold-cache search cost.
-    tracer.reset_cold();
+    tree.tracer().reset_cold();
     for k in 0..probes {
         tree.get(&(k * 97 % (2 * n)));
     }
-    let search_ios = tracer.stats().transfers() as f64 / probes as f64;
+    let search_ios = tree.io_stats().transfers() as f64 / probes as f64;
     (insert_ios, search_ios)
 }
 

@@ -5,10 +5,13 @@
 use anti_persistence::prelude::*;
 
 fn main() {
-    // The history-independent cache-oblivious B-tree is the drop-in
-    // replacement for a database index. The seed is the structure's secret
-    // randomness; use `CobBTree::from_entropy()` in production.
-    let mut index: CobBTree<u64, String> = CobBTree::new(2024);
+    // One builder constructs any engine; the HI cache-oblivious B-tree is
+    // the drop-in replacement for a database index. The seed is the
+    // structure's secret randomness — draw it from OS entropy in production.
+    let mut index: DynDict<u64, String> = Dict::builder()
+        .backend(Backend::CobBTree)
+        .seed(2024)
+        .build();
 
     println!("== inserting a few records ==");
     for (id, name) in [
@@ -21,14 +24,13 @@ fn main() {
         println!("  insert {id} -> {name}");
     }
 
-    println!("\n== point and range queries ==");
-    println!("  get(1001)        = {:?}", index.get(&1001));
+    println!("\n== zero-copy point and range queries ==");
+    println!("  get_ref(1001)     = {:?}", index.get_ref(&1001));
     println!("  predecessor(1002) = {:?}", index.predecessor(&1002));
     println!(
-        "  range(1000..=1002) = {:?}",
+        "  range_iter(1000..=1002) = {:?}",
         index
-            .range(&1000, &1002)
-            .iter()
+            .range_iter(1000..=1002)
             .map(|(k, v)| format!("{k}:{v}"))
             .collect::<Vec<_>>()
     );
@@ -38,24 +40,34 @@ fn main() {
     println!("  removed 1002; len = {}", index.len());
     println!("  the array layout now follows the same distribution as if 1002 had never existed");
 
-    println!("\n== what the structure looks like on disk ==");
-    let occupied = index.occupancy().iter().filter(|&&b| b).count();
+    println!("\n== batch loading with fresh coins ==");
+    let mut replica: DynDict<u64, String> = Dict::builder()
+        .backend(Backend::CobBTree)
+        .seed(9999)
+        .build();
+    // bulk_load re-draws every layout coin from the given seed, so the
+    // replica's bytes are a function of (contents, 0xC0FFEE) only — not of
+    // the order the pairs arrive in.
+    replica.bulk_load(index.iter().map(|(k, v)| (*k, v.clone())), 0xC0FFEE);
+    assert_eq!(replica.to_sorted_vec(), index.to_sorted_vec());
     println!(
-        "  {} records spread over {} slots (N̂ = {}), {} element moves so far",
-        index.len(),
-        index.total_slots(),
-        index.pma().n_hat(),
-        index.counters().snapshot().element_moves
+        "  replica bulk-loaded: {} records, same contents",
+        replica.len()
     );
 
-    // The same API works for every dictionary in the workspace — swap in the
-    // external-memory skip list or the baseline B-tree without touching call
-    // sites.
-    let mut skip: ExternalSkipList<u64, String> =
-        ExternalSkipList::history_independent(64, 0.5, 2024);
-    skip.insert(1, "via the HI skip list".to_string());
-    println!("\n== the same Dictionary trait, different engine ==");
-    println!("  skip list get(1) = {:?}", skip.get(&1));
-    println!("  (that lookup cost {} simulated I/Os)", skip.last_op_ios());
-    assert!(occupied >= index.len());
+    println!("\n== operation ledger ==");
+    let ops = index.counters().snapshot();
+    println!(
+        "  {} inserts, {} queries, {} element moves so far",
+        ops.inserts, ops.queries, ops.element_moves
+    );
+
+    // The same call sites work for every dictionary in the workspace — swap
+    // the backend word (or loop over all of them) without touching the code.
+    println!("\n== the same Dictionary trait, every engine ==");
+    for backend in Backend::ALL {
+        let mut d: DynDict<u64, String> = Dict::builder().backend(backend).seed(2024).build();
+        d.insert(1, format!("via {backend}"));
+        println!("  {backend:<20} get(1) = {:?}", d.get(&1));
+    }
 }

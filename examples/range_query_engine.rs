@@ -1,10 +1,11 @@
 //! A tiny range-query engine: the workload a database secondary index sees.
 //!
-//! Loads a keyspace into all four dictionaries (HI cache-oblivious B-tree,
-//! HI external skip list, folklore B-skip list, external B-tree), runs the
-//! same mixed workload against each, and reports throughput plus the
-//! simulated I/O cost of range scans of increasing size — the `log_B N + k/B`
-//! shape from Theorems 2 and 3.
+//! Before the unified builder, this example needed one variable and one
+//! macro invocation per structure; now the engines are *data* — a list of
+//! [`Backend`] values — and one loop bulk-loads each, runs the same mixed
+//! workload, and reports throughput plus the simulated I/O cost of range
+//! scans of increasing size (the `log_B N + k/B` shape from Theorems 2
+//! and 3), measured through the uniform tracer the builder installs.
 //!
 //! Run with: `cargo run --release --example range_query_engine`
 
@@ -19,81 +20,72 @@ fn main() {
     let load = random_inserts(n, 7);
     let work = mixed(20_000, 2 * n as u64, 0.4, 9);
 
+    // The engines under comparison — a runtime value, not a code path.
+    let engines = [
+        Backend::CobBTree,
+        Backend::HiSkipList,
+        Backend::FolkloreSkipList,
+        Backend::BTree,
+    ];
+
     println!("loading {n} random keys, then {} mixed ops\n", work.len());
     println!(
         "{:<28} {:>12} {:>12} {:>14}",
-        "structure", "load ms", "work ms", "ops/s (work)"
+        "backend", "load ms", "work ms", "ops/s (work)"
     );
 
-    let mut cob: CobBTree<u64, u64> = CobBTree::new(1);
-    let mut hi_skip: ExternalSkipList<u64, u64> =
-        ExternalSkipList::history_independent(block, 0.5, 2);
-    let mut b_skip: ExternalSkipList<u64, u64> = ExternalSkipList::folklore_b(block, 3);
-    let mut btree: BTree<u64, u64> = BTree::new(block);
-
-    let report = |name: &str, load_ms: f64, work_ms: f64| {
+    let mut built: Vec<DynDict<u64, u64>> = Vec::new();
+    for backend in engines {
+        let mut dict: DynDict<u64, u64> = Dict::builder()
+            .backend(backend)
+            .seed(1 + backend as u64)
+            .block_elems(block)
+            .fanout(block)
+            .io(IoConfig::new(4096, 1 << 10))
+            .build();
+        let t0 = Instant::now();
+        replay(&load, &mut dict);
+        let load_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        replay(&work, &mut dict);
+        let work_ms = t1.elapsed().as_secs_f64() * 1000.0;
         println!(
             "{:<28} {:>12.1} {:>12.1} {:>14.0}",
-            name,
+            backend.name(),
             load_ms,
             work_ms,
             work.len() as f64 / (work_ms / 1000.0)
         );
-    };
-
-    macro_rules! run {
-        ($name:expr, $dict:expr) => {{
-            let t0 = Instant::now();
-            replay(&load, &mut $dict);
-            let load_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            let t1 = Instant::now();
-            replay(&work, &mut $dict);
-            let work_ms = t1.elapsed().as_secs_f64() * 1000.0;
-            report($name, load_ms, work_ms);
-        }};
+        built.push(dict);
     }
 
-    run!("HI cache-oblivious B-tree", cob);
-    run!("HI external skip list", hi_skip);
-    run!("folklore B-skip list", b_skip);
-    run!("external B-tree", btree);
-
-    // Range-scan cost as a function of result size, for the structures that
-    // report per-operation I/Os.
-    println!("\nrange-scan cost (simulated I/Os per query, k = result size)");
-    println!(
-        "{:<10} {:>16} {:>16} {:>16}",
-        "k", "HI skip list", "B-skip list", "B-tree"
-    );
+    // Range-scan cost as a function of result size, read from the uniform
+    // I/O ledger — identical measurement code for every backend, and the
+    // scans themselves go through the allocation-free `range_iter` path.
+    println!("\nrange-scan cost (simulated block transfers per query, k = result size)");
+    print!("{:<10}", "k");
+    for backend in engines {
+        print!(" {:>18}", backend.name());
+    }
+    println!();
     for k in [16u64, 64, 256, 1024, 4096] {
         let queries = workloads::range_queries(n as u64, k, 20, k);
-        let cost = |d: &dyn Fn(u64, u64) -> u64| {
+        print!("{k:<10}");
+        for dict in &built {
             let mut total = 0u64;
             let mut count = 0u64;
             for op in &queries.ops {
                 if let Op::Range(a, b) = op {
-                    total += d(*a, *b);
+                    dict.tracer().reset_cold();
+                    let hits = dict.range_iter(*a..=*b).count();
+                    total += dict.io_stats().transfers();
                     count += 1;
+                    assert!(hits as u64 <= k);
                 }
             }
-            total as f64 / count as f64
-        };
-        let hi_cost = cost(&|a, b| {
-            hi_skip.range(&a, &b);
-            hi_skip.last_op_ios()
-        });
-        let bs_cost = cost(&|a, b| {
-            b_skip.range(&a, &b);
-            b_skip.last_op_ios()
-        });
-        let bt_cost = cost(&|a, b| {
-            btree.range(&a, &b);
-            btree.last_op_ios()
-        });
-        println!(
-            "{:<10} {:>16.1} {:>16.1} {:>16.1}",
-            k, hi_cost, bs_cost, bt_cost
-        );
+            print!(" {:>18.1}", total as f64 / count as f64);
+        }
+        println!();
     }
 
     println!("\nExpect every column to grow roughly linearly in k/B once k dominates the");

@@ -47,10 +47,11 @@ fn main() {
             classic_b.insert(0, k).unwrap();
         }
         // --- HI cache-oblivious B-tree --------------------------------------
+        // History A is a bulk import: one O(n) load drawing fresh coins from
+        // seed_a — the layout distribution is identical to an incremental
+        // build, which is exactly what makes the comparison below fair.
         let mut hi_a: CobBTree<u64, u64> = CobBTree::new(seed_a);
-        for k in 0..n {
-            hi_a.insert(k, k);
-        }
+        hi_a.bulk_load((0..n).map(|k| (k, k)), seed_a);
         let mut hi_b: CobBTree<u64, u64> = CobBTree::new(seed_b);
         for k in (0..n).rev() {
             hi_b.insert(k, k);

@@ -1,0 +1,563 @@
+//! One builder, every dictionary engine: runtime backend selection.
+//!
+//! The paper's thesis is that a history-independent structure can be
+//! *swapped in* for a conventional B-tree without the caller noticing. This
+//! module makes the swap a one-word change (or a runtime value): a single
+//! [`DictBuilder`] constructs any of the workspace's seven backends, and the
+//! [`DynDict`] facade dispatches the whole [`Dictionary`] surface over them,
+//! so benchmarks, workloads and examples select engines with data instead of
+//! per-type code paths.
+//!
+//! | [`Backend`] | Engine | Paper role |
+//! |---|---|---|
+//! | [`Backend::CobBTree`] | [`cob_btree::CobBTree`] | Theorem 2: HI cache-oblivious B-tree |
+//! | [`Backend::BTree`] | [`btree::BTree`] | the conventional baseline |
+//! | [`Backend::HiSkipList`] | [`skiplist::ExternalSkipList`] (HI params) | Theorem 3 |
+//! | [`Backend::FolkloreSkipList`] | [`skiplist::ExternalSkipList`] (1/B) | Lemma 15 baseline |
+//! | [`Backend::InMemorySkipList`] | [`skiplist::ExternalSkipList`] (1/2) | RAM baseline on disk |
+//! | [`Backend::HiPma`] | [`pma::HiPma`] behind [`RankedDict`] | Theorem 1, keyed by binary search |
+//! | [`Backend::ClassicPma`] | [`pma::ClassicPma`] behind [`RankedDict`] | density-band baseline, keyed |
+//!
+//! Every backend built here shares one [`SharedCounters`] ledger and one
+//! [`Tracer`], so instrumentation is uniform: enable an [`IoConfig`] on the
+//! builder and read [`DynDict::io_stats`] afterwards, whichever engine is
+//! underneath.
+//!
+//! ```
+//! use anti_persistence::dict::{Backend, Dict};
+//! use anti_persistence::prelude::*;
+//!
+//! // Identical call-site code for every backend.
+//! for backend in Backend::ALL {
+//!     let mut index: DynDict<u64, u64> = Dict::builder().backend(backend).seed(7).build();
+//!     index.insert(2, 20);
+//!     index.insert(1, 10);
+//!     assert_eq!(index.get(&2), Some(20));
+//!     assert_eq!(index.range(&1, &2).len(), 2);
+//! }
+//! ```
+
+use std::fmt;
+use std::ops::RangeBounds;
+use std::str::FromStr;
+
+use btree::BTree;
+use cob_btree::CobBTree;
+use hi_common::counters::SharedCounters;
+use hi_common::rng::RngSource;
+use hi_common::traits::{Dictionary, RankedDict};
+use io_sim::{IoConfig, IoStats, Tracer};
+use pma::{ClassicPma, DensityBands, HiPma};
+use skiplist::{ExternalSkipList, SkipParams};
+
+/// The dictionary engines a [`DictBuilder`] can construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The history-independent cache-oblivious B-tree (Theorem 2).
+    CobBTree,
+    /// The conventional external-memory B+-tree baseline.
+    BTree,
+    /// The history-independent external skip list (Theorem 3).
+    HiSkipList,
+    /// The folklore B-skip list (promotion `1/B`, Lemma 15 baseline).
+    FolkloreSkipList,
+    /// An in-memory (Pugh) skip list run in external memory.
+    InMemorySkipList,
+    /// The history-independent PMA (Theorem 1) behind a keyed adapter.
+    HiPma,
+    /// The classic density-band PMA behind a keyed adapter.
+    ClassicPma,
+}
+
+impl Backend {
+    /// Every backend, in the order the comparison tables print them.
+    pub const ALL: [Backend; 7] = [
+        Backend::CobBTree,
+        Backend::BTree,
+        Backend::HiSkipList,
+        Backend::FolkloreSkipList,
+        Backend::InMemorySkipList,
+        Backend::HiPma,
+        Backend::ClassicPma,
+    ];
+
+    /// Stable, machine-friendly name (accepted back by [`FromStr`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::CobBTree => "cob-btree",
+            Backend::BTree => "btree",
+            Backend::HiSkipList => "hi-skiplist",
+            Backend::FolkloreSkipList => "folklore-skiplist",
+            Backend::InMemorySkipList => "in-memory-skiplist",
+            Backend::HiPma => "hi-pma",
+            Backend::ClassicPma => "classic-pma",
+        }
+    }
+
+    /// Returns `true` for the weakly history-independent engines.
+    pub fn is_history_independent(&self) -> bool {
+        matches!(
+            self,
+            Backend::CobBTree
+                | Backend::HiSkipList
+                | Backend::FolkloreSkipList
+                | Backend::InMemorySkipList
+                | Backend::HiPma
+        )
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Backend::ALL.iter().map(Backend::name).collect();
+                format!("unknown backend {s:?}; expected one of {names:?}")
+            })
+    }
+}
+
+/// Complete configuration of a dictionary: the backend plus every tuning and
+/// instrumentation knob any engine understands. Knobs an engine does not use
+/// are simply ignored by it, which is what lets one config drive all seven.
+#[derive(Debug, Clone)]
+pub struct DictConfig {
+    /// Which engine to construct.
+    pub backend: Backend,
+    /// Secret coins for the randomized (history-independent) engines.
+    pub seed: u64,
+    /// Fanout `B` of the conventional B-tree (`≥ 4`).
+    pub fanout: usize,
+    /// Elements per disk block for the skip lists (`≥ 2`).
+    pub block_elems: usize,
+    /// Range/search trade-off `ε ∈ (0, 1)` of the HI skip list.
+    pub epsilon: f64,
+    /// Bytes per record for the PMA-backed engines' simulated disk layout.
+    pub elem_size: u64,
+    /// When set, the structure reports into a fresh [`Tracer`] with this
+    /// cache configuration; when `None`, tracing is disabled (zero cost).
+    pub io: Option<IoConfig>,
+}
+
+impl Default for DictConfig {
+    fn default() -> Self {
+        Self {
+            backend: Backend::CobBTree,
+            seed: 0,
+            fanout: 64,
+            block_elems: 64,
+            epsilon: 0.5,
+            elem_size: 16,
+            io: None,
+        }
+    }
+}
+
+/// Fluent constructor for any backend — the single entry point the README
+/// and the examples teach:
+///
+/// ```
+/// use anti_persistence::dict::{Backend, Dict};
+/// use anti_persistence::prelude::*;
+///
+/// let mut index: DynDict<u64, String> = Dict::builder()
+///     .seed(0xC0115)
+///     .block_elems(64)
+///     .epsilon(0.5)
+///     .io(IoConfig::new(4096, 1024))
+///     .backend(Backend::HiSkipList)
+///     .build();
+/// index.insert(1, "one".into());
+/// assert!(index.io_stats().transfers() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DictBuilder {
+    config: DictConfig,
+}
+
+impl DictBuilder {
+    /// Starts from the default [`DictConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an explicit config (e.g. parsed from a CLI or a file).
+    pub fn from_config(config: DictConfig) -> Self {
+        Self { config }
+    }
+
+    /// Selects the engine.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Sets the secret coins of the randomized engines.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the conventional B-tree's fanout.
+    pub fn fanout(mut self, fanout: usize) -> Self {
+        self.config.fanout = fanout;
+        self
+    }
+
+    /// Sets the skip lists' block size in elements.
+    pub fn block_elems(mut self, block_elems: usize) -> Self {
+        self.config.block_elems = block_elems;
+        self
+    }
+
+    /// Sets the HI skip list's `ε` trade-off parameter.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the PMA engines' per-record on-disk size in bytes.
+    pub fn elem_size(mut self, elem_size: u64) -> Self {
+        self.config.elem_size = elem_size;
+        self
+    }
+
+    /// Enables I/O tracing with the given cache configuration.
+    pub fn io(mut self, io: IoConfig) -> Self {
+        self.config.io = Some(io);
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &DictConfig {
+        &self.config
+    }
+
+    /// Constructs the configured backend.
+    pub fn build<K: Ord + Clone, V: Clone>(self) -> DynDict<K, V> {
+        let c = self.config;
+        let counters = SharedCounters::new();
+        let tracer = match c.io {
+            Some(io) => Tracer::enabled(io),
+            None => Tracer::disabled(),
+        };
+        let inner = match c.backend {
+            Backend::CobBTree => Inner::CobBTree(CobBTree::with_parts(
+                RngSource::from_seed(c.seed),
+                counters.clone(),
+                tracer.clone(),
+                c.elem_size,
+            )),
+            Backend::BTree => Inner::BTree(BTree::with_instrumentation(
+                c.fanout,
+                counters.clone(),
+                tracer.clone(),
+            )),
+            Backend::HiSkipList => Inner::SkipList(ExternalSkipList::with_instrumentation(
+                SkipParams::history_independent(c.block_elems, c.epsilon),
+                c.seed,
+                counters.clone(),
+                tracer.clone(),
+            )),
+            Backend::FolkloreSkipList => Inner::SkipList(ExternalSkipList::with_instrumentation(
+                SkipParams::folklore_b(c.block_elems),
+                c.seed,
+                counters.clone(),
+                tracer.clone(),
+            )),
+            Backend::InMemorySkipList => Inner::SkipList(ExternalSkipList::with_instrumentation(
+                SkipParams::in_memory(),
+                c.seed,
+                counters.clone(),
+                tracer.clone(),
+            )),
+            Backend::HiPma => Inner::HiPma(RankedDict::with_counters(
+                HiPma::with_parts(
+                    RngSource::from_seed(c.seed),
+                    counters.clone(),
+                    tracer.clone(),
+                    c.elem_size,
+                ),
+                counters.clone(),
+            )),
+            Backend::ClassicPma => Inner::ClassicPma(RankedDict::with_counters(
+                ClassicPma::with_parts(
+                    DensityBands::standard(),
+                    counters.clone(),
+                    tracer.clone(),
+                    c.elem_size,
+                ),
+                counters.clone(),
+            )),
+        };
+        DynDict {
+            backend: c.backend,
+            counters,
+            tracer,
+            inner,
+        }
+    }
+}
+
+/// The engine behind a [`DynDict`]. One variant per concrete type; the three
+/// skip-list backends share a variant (they differ only in parameters).
+enum Inner<K: Ord + Clone, V: Clone> {
+    BTree(BTree<K, V>),
+    CobBTree(CobBTree<K, V>),
+    SkipList(ExternalSkipList<K, V>),
+    HiPma(RankedDict<HiPma<(K, V)>, K, V>),
+    ClassicPma(RankedDict<ClassicPma<(K, V)>, K, V>),
+}
+
+/// A dictionary whose engine is chosen at runtime.
+///
+/// Implements the full [`Dictionary`] trait by enum dispatch — including the
+/// zero-copy surface (`get_ref`, `iter`, `range_iter`), which goes through a
+/// small enum iterator rather than a `Box`, so the no-allocation property of
+/// the underlying engines is preserved.
+pub struct DynDict<K: Ord + Clone, V: Clone> {
+    backend: Backend,
+    counters: SharedCounters,
+    tracer: Tracer,
+    inner: Inner<K, V>,
+}
+
+/// Dispatches `$body` over every engine variant, binding the engine to `$d`.
+macro_rules! dispatch {
+    ($self:expr, $d:ident => $body:expr) => {
+        match &$self.inner {
+            Inner::BTree($d) => $body,
+            Inner::CobBTree($d) => $body,
+            Inner::SkipList($d) => $body,
+            Inner::HiPma($d) => $body,
+            Inner::ClassicPma($d) => $body,
+        }
+    };
+}
+
+/// Like [`dispatch!`], with a mutable binding.
+macro_rules! dispatch_mut {
+    ($self:expr, $d:ident => $body:expr) => {
+        match &mut $self.inner {
+            Inner::BTree($d) => $body,
+            Inner::CobBTree($d) => $body,
+            Inner::SkipList($d) => $body,
+            Inner::HiPma($d) => $body,
+            Inner::ClassicPma($d) => $body,
+        }
+    };
+}
+
+impl<K: Ord + Clone, V: Clone> DynDict<K, V> {
+    /// Starts a [`DictBuilder`] (see the module docs for the full tour).
+    pub fn builder() -> DictBuilder {
+        DictBuilder::new()
+    }
+
+    /// Which engine this dictionary runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The shared operation ledger every engine reports into.
+    pub fn counters(&self) -> &SharedCounters {
+        &self.counters
+    }
+
+    /// The I/O tracer (disabled unless the builder got an [`IoConfig`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Block-transfer totals from the tracer (zeros when tracing is off).
+    pub fn io_stats(&self) -> IoStats {
+        self.tracer.stats()
+    }
+
+    /// Verifies the engine's structural invariants. Intended for tests;
+    /// cost is at least linear in the structure size.
+    pub fn check_invariants(&self) {
+        match &self.inner {
+            Inner::BTree(d) => d.check_invariants(),
+            Inner::CobBTree(d) => d.check_invariants(),
+            Inner::SkipList(d) => d.check_invariants(),
+            Inner::HiPma(d) => d.seq().check_invariants(),
+            Inner::ClassicPma(d) => d.seq().check_invariants(),
+        }
+    }
+}
+
+/// Lazy iterator over a [`DynDict`]: one variant per engine iterator type,
+/// so dispatch costs a jump instead of a heap allocation.
+enum DynIter<A, B, C, D, E> {
+    BTree(A),
+    CobBTree(B),
+    SkipList(C),
+    HiPma(D),
+    ClassicPma(E),
+}
+
+impl<T, A, B, C, D, E> Iterator for DynIter<A, B, C, D, E>
+where
+    A: Iterator<Item = T>,
+    B: Iterator<Item = T>,
+    C: Iterator<Item = T>,
+    D: Iterator<Item = T>,
+    E: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            DynIter::BTree(it) => it.next(),
+            DynIter::CobBTree(it) => it.next(),
+            DynIter::SkipList(it) => it.next(),
+            DynIter::HiPma(it) => it.next(),
+            DynIter::ClassicPma(it) => it.next(),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Dictionary for DynDict<K, V> {
+    type Key = K;
+    type Value = V;
+
+    fn len(&self) -> usize {
+        dispatch!(self, d => d.len())
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        dispatch_mut!(self, d => d.insert(key, value))
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        dispatch_mut!(self, d => d.remove(key))
+    }
+
+    fn get_ref(&self, key: &K) -> Option<&V> {
+        dispatch!(self, d => d.get_ref(key))
+    }
+
+    fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        match &self.inner {
+            Inner::BTree(d) => DynIter::BTree(d.range_iter(range)),
+            Inner::CobBTree(d) => DynIter::CobBTree(d.range_iter(range)),
+            Inner::SkipList(d) => DynIter::SkipList(d.range_iter(range)),
+            Inner::HiPma(d) => DynIter::HiPma(d.range_iter(range)),
+            Inner::ClassicPma(d) => DynIter::ClassicPma(d.range_iter(range)),
+        }
+    }
+
+    fn successor(&self, key: &K) -> Option<(K, V)> {
+        dispatch!(self, d => d.successor(key))
+    }
+
+    fn predecessor(&self, key: &K) -> Option<(K, V)> {
+        dispatch!(self, d => d.predecessor(key))
+    }
+
+    fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
+        dispatch_mut!(self, d => d.bulk_load(pairs, seed))
+    }
+}
+
+/// Entry-point namespace for the builder: `Dict::builder()…build()` reads
+/// like the docs, and the engine type (`DynDict<K, V>`) is pinned at the
+/// binding site. Equivalent to [`DynDict::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Dict;
+
+impl Dict {
+    /// Starts a [`DictBuilder`].
+    pub fn builder() -> DictBuilder {
+        DictBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_builds_and_serves_identical_call_sites() {
+        for backend in Backend::ALL {
+            let mut d: DynDict<u64, u64> = Dict::builder().backend(backend).seed(99).build();
+            assert_eq!(d.backend(), backend);
+            assert!(d.is_empty());
+            for k in 0..500u64 {
+                assert_eq!(d.insert(k * 3, k), None, "{backend}");
+            }
+            assert_eq!(d.insert(3, 777), Some(1), "{backend}");
+            assert_eq!(d.len(), 500, "{backend}");
+            assert_eq!(d.get(&3), Some(777), "{backend}");
+            assert_eq!(d.get_ref(&6), Some(&2), "{backend}");
+            assert_eq!(d.get(&4), None, "{backend}");
+            assert_eq!(d.range(&0, &9).len(), 4, "{backend}");
+            assert_eq!(
+                d.range_iter(3..=9).map(|(k, _)| *k).collect::<Vec<_>>(),
+                vec![3, 6, 9],
+                "{backend}"
+            );
+            assert_eq!(d.successor(&4), Some((6, 2)), "{backend}");
+            assert_eq!(d.predecessor(&5), Some((3, 777)), "{backend}");
+            assert_eq!(d.iter().count(), 500, "{backend}");
+            assert_eq!(d.remove(&3), Some(777), "{backend}");
+            assert_eq!(d.remove(&3), None, "{backend}");
+            d.check_invariants();
+        }
+    }
+
+    #[test]
+    fn every_backend_bulk_loads() {
+        for backend in Backend::ALL {
+            let mut d: DynDict<u64, u64> = Dict::builder().backend(backend).seed(5).build();
+            d.insert(424242, 1); // must be discarded by the load
+            d.bulk_load((0..300u64).rev().map(|k| (k, k * 2)), 0xFEED);
+            assert_eq!(d.len(), 300, "{backend}");
+            assert_eq!(d.get(&299), Some(598), "{backend}");
+            assert_eq!(d.get(&424242), None, "{backend}");
+            d.check_invariants();
+        }
+    }
+
+    #[test]
+    fn io_tracing_is_uniform_across_backends() {
+        for backend in Backend::ALL {
+            let mut d: DynDict<u64, u64> = Dict::builder()
+                .backend(backend)
+                .seed(3)
+                .io(IoConfig::new(4096, 1 << 12))
+                .build();
+            for k in 0..2_000u64 {
+                d.insert(k, k);
+            }
+            d.tracer().reset_cold();
+            for k in (0..2_000u64).step_by(37) {
+                d.get(&k);
+            }
+            assert!(
+                d.io_stats().transfers() > 0,
+                "{backend}: searches must show up in the uniform I/O ledger"
+            );
+            assert!(d.counters().snapshot().queries > 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.name().parse::<Backend>().unwrap(), backend);
+        }
+        assert!("no-such-engine".parse::<Backend>().is_err());
+    }
+}

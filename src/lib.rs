@@ -20,23 +20,163 @@
 //! Everything runs on a simulated disk-access-machine ([`io_sim`]) so the
 //! paper's I/O bounds can be measured, not just proved.
 //!
-//! ## Quick start
+//! ## Quick start: one builder, any engine
+//!
+//! The whole point of a history-independent dictionary is that it drops in
+//! for a conventional index. The [`dict`] module makes that literal: a
+//! single builder constructs any of the seven backends, and the call sites
+//! never change.
 //!
 //! ```
 //! use anti_persistence::prelude::*;
 //!
 //! // A keyed, history-independent index (the cache-oblivious B-tree).
-//! let mut index: CobBTree<u64, String> = CobBTree::new(0xDEADBEEF);
+//! let mut index: DynDict<u64, String> = Dict::builder()
+//!     .backend(Backend::CobBTree)
+//!     .seed(0xDEADBEEF) // the structure's secret coins
+//!     .build();
 //! index.insert(3, "three".into());
 //! index.insert(1, "one".into());
 //! index.insert(2, "two".into());
 //! index.remove(&2);
 //!
+//! // Zero-copy reads: borrow values, iterate lazily — no Vec per query.
+//! assert_eq!(index.get_ref(&1), Some(&"one".to_string()));
+//! assert_eq!(index.range_iter(0..=9).count(), 2);
+//! assert_eq!(index.keys().copied().collect::<Vec<_>>(), vec![1, 3]);
+//!
+//! // The owned convenience API is still there (thin wrappers).
 //! assert_eq!(index.get(&1), Some("one".into()));
 //! assert_eq!(index.range(&0, &9).len(), 2);
 //! // The on-disk layout is a function of the *contents* plus secret coins —
 //! // nothing about the insertion order or the deleted key can be recovered
 //! // from it (weak history independence).
+//! ```
+//!
+//! Swapping the engine is a one-word change — or a runtime value:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//!
+//! for backend in Backend::ALL {
+//!     let mut index: DynDict<u64, u64> = Dict::builder().backend(backend).seed(42).build();
+//!     index.extend((0..100u64).map(|k| (k, k * k)));
+//!     assert_eq!(index.get(&7), Some(49));
+//!     assert_eq!(index.successor(&55).unwrap(), (55, 55 * 55));
+//!     assert_eq!(index.predecessor(&200).unwrap().0, 99);
+//!     assert_eq!(index.range_iter(10..20).count(), 10);
+//! }
+//! ```
+//!
+//! ### Per-backend doctests (identical call sites)
+//!
+//! The conventional B-tree baseline:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> = Dict::builder().backend(Backend::BTree).fanout(64).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The HI cache-oblivious B-tree (Theorem 2):
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> = Dict::builder().backend(Backend::CobBTree).seed(1).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The HI external skip list (Theorem 3):
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> = Dict::builder()
+//!     .backend(Backend::HiSkipList)
+//!     .block_elems(64)
+//!     .epsilon(0.5)
+//!     .seed(1)
+//!     .build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The folklore B-skip list (Lemma 15 baseline):
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> =
+//!     Dict::builder().backend(Backend::FolkloreSkipList).seed(1).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The in-memory skip list run on disk:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> =
+//!     Dict::builder().backend(Backend::InMemorySkipList).seed(1).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The HI PMA (Theorem 1) behind the keyed adapter:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> = Dict::builder().backend(Backend::HiPma).seed(1).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! The classic density-band PMA behind the keyed adapter:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//! let mut d: DynDict<u64, u64> = Dict::builder().backend(Backend::ClassicPma).build();
+//! d.extend([(2, 20), (1, 10)]);
+//! assert_eq!((d.get(&1), d.successor(&2)), (Some(10), Some((2, 20))));
+//! ```
+//!
+//! ## Batch loading with fresh coins
+//!
+//! [`Dictionary::bulk_load`](hi_common::Dictionary::bulk_load) replaces a
+//! dictionary's contents in `O(n log n)` while re-drawing every layout coin
+//! from an explicit seed, so the result is a pure function of
+//! *(contents, seed)* — same guarantee as building incrementally, at a
+//! fraction of the cost:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//!
+//! let mut a: DynDict<u64, u64> = Dict::builder().backend(Backend::CobBTree).seed(1).build();
+//! let mut b: DynDict<u64, u64> = Dict::builder().backend(Backend::CobBTree).seed(2).build();
+//! a.bulk_load((0..1000u64).map(|k| (k, k)), 77);
+//! b.bulk_load((0..1000u64).rev().map(|k| (k, k)), 77); // reversed arrival order
+//! assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+//! ```
+//!
+//! ## Uniform instrumentation
+//!
+//! Hand the builder an [`io_sim::IoConfig`] and every engine — cache-aware
+//! or cache-oblivious — reports block transfers into one
+//! [`io_sim::IoStats`] ledger, plus operation counts into one
+//! [`hi_common::counters::SharedCounters`]:
+//!
+//! ```
+//! use anti_persistence::prelude::*;
+//!
+//! let mut d: DynDict<u64, u64> = Dict::builder()
+//!     .backend(Backend::BTree)
+//!     .io(IoConfig::new(4096, 1024))
+//!     .build();
+//! for k in 0..1000 {
+//!     d.insert(k, k);
+//! }
+//! assert!(d.io_stats().transfers() > 0);
+//! assert_eq!(d.counters().snapshot().inserts, 1000);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md` / `EXPERIMENTS.md`
@@ -45,6 +185,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
+
+pub mod dict;
 
 pub use btree;
 pub use cob_btree;
@@ -57,12 +199,13 @@ pub use workloads;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use crate::dict::{Backend, Dict, DictBuilder, DictConfig, DynDict};
     pub use btree::BTree;
     pub use cob_btree::CobBTree;
     pub use hi_common::capacity::HiCapacity;
     pub use hi_common::counters::{OpCounters, SharedCounters};
     pub use hi_common::rng::RngSource;
-    pub use hi_common::traits::{Dictionary, RankedSequence};
+    pub use hi_common::traits::{Dictionary, RankedDict, RankedSequence};
     pub use io_sim::{IoConfig, IoModel, Tracer};
     pub use pma::{ClassicPma, HiPma};
     pub use skiplist::{ExternalSkipList, SkipParams};
@@ -77,12 +220,15 @@ mod tests {
         let mut hi: CobBTree<u64, u64> = CobBTree::new(1);
         let mut bt: BTree<u64, u64> = BTree::new(16);
         let mut sl: ExternalSkipList<u64, u64> = ExternalSkipList::history_independent(16, 0.5, 2);
+        let mut dy: DynDict<u64, u64> = Dict::builder().backend(Backend::HiPma).seed(3).build();
         for k in 0..200u64 {
             hi.insert(k, k);
             bt.insert(k, k);
             sl.insert(k, k);
+            dy.insert(k, k);
         }
         assert_eq!(hi.to_sorted_vec(), bt.to_sorted_vec());
         assert_eq!(hi.to_sorted_vec(), sl.to_sorted_vec());
+        assert_eq!(hi.to_sorted_vec(), dy.to_sorted_vec());
     }
 }

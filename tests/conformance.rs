@@ -10,8 +10,8 @@
 
 use anti_persistence::prelude::*;
 use test_support::{
-    dictionary_edge_cases, run_dict_differential, run_seq_differential, standard_scripts,
-    SeqProfile,
+    dictionary_edge_cases, run_bulk_load_differential, run_dict_differential, run_seq_differential,
+    standard_scripts, SeqProfile,
 };
 
 #[test]
@@ -86,6 +86,58 @@ fn folklore_skiplist_edge_cases() {
 #[test]
 fn in_memory_skiplist_edge_cases() {
     dictionary_edge_cases(|| ExternalSkipList::<u64, u64>::in_memory(9));
+}
+
+// ---------------------------------------------------------------------
+// Runtime-selected backends: the same scripts through the builder/DynDict
+// facade, covering all seven engines with one loop — including the two
+// PMAs, which join the keyed battery through the RankedDict adapter.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_dyn_backend_matches_the_oracle_on_standard_scripts() {
+    for backend in Backend::ALL {
+        for (i, script) in standard_scripts().iter().enumerate() {
+            let mut dict: DynDict<u64, u64> = Dict::builder()
+                .backend(backend)
+                .seed(9000 + i as u64)
+                .block_elems(16)
+                .fanout(16)
+                .build();
+            run_dict_differential(&mut dict, script);
+            dict.check_invariants();
+        }
+    }
+}
+
+#[test]
+fn every_dyn_backend_passes_the_edge_cases() {
+    for backend in Backend::ALL {
+        dictionary_edge_cases(|| {
+            Dict::builder()
+                .backend(backend)
+                .seed(31)
+                .block_elems(8)
+                .fanout(4)
+                .build::<u64, u64>()
+        });
+    }
+}
+
+#[test]
+fn every_dyn_backend_bulk_loads_against_the_oracle() {
+    for backend in Backend::ALL {
+        run_bulk_load_differential(
+            || {
+                Dict::builder()
+                    .backend(backend)
+                    .seed(71)
+                    .build::<u64, u64>()
+            },
+            1_000,
+            0xACE,
+        );
+    }
 }
 
 #[test]

@@ -135,3 +135,125 @@ fn skiplist_layout_differs_across_seeds() {
         "different seeds should yield different leaf layouts"
     );
 }
+
+// ---------------------------------------------------------------------
+// bulk_load determinism: the layout after a bulk load must be a pure
+// function of (contents, bulk seed) — independent of the order the pairs
+// arrive in, of the structure's construction seed, and of anything it held
+// before the load.
+// ---------------------------------------------------------------------
+
+/// The same 2 000 pairs in three different arrival orders.
+fn bulk_inputs() -> [Vec<(u64, u64)>; 3] {
+    let ascending: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k * 5, k)).collect();
+    let mut descending = ascending.clone();
+    descending.reverse();
+    // Interleaved halves: evens first, then odds.
+    let mut interleaved: Vec<(u64, u64)> = ascending.iter().copied().step_by(2).collect();
+    interleaved.extend(ascending.iter().copied().skip(1).step_by(2));
+    [ascending, descending, interleaved]
+}
+
+#[test]
+fn cob_btree_bulk_load_is_order_independent_given_the_seed() {
+    let bulk_seed = 0xB01D;
+    let mut layouts = Vec::new();
+    for (i, input) in bulk_inputs().into_iter().enumerate() {
+        // Different construction seeds and different pre-existing contents:
+        // neither may leak into the post-load layout.
+        let mut t: CobBTree<u64, u64> = CobBTree::new(1_000 + i as u64);
+        for k in 0..50 * i as u64 {
+            t.insert(k, k);
+        }
+        t.bulk_load(input, bulk_seed);
+        layouts.push((t.to_sorted_vec(), t.pma().n_hat(), t.occupancy()));
+    }
+    assert_eq!(
+        layouts[0], layouts[1],
+        "descending load must be bit-identical"
+    );
+    assert_eq!(
+        layouts[0], layouts[2],
+        "interleaved load must be bit-identical"
+    );
+
+    let mut other: CobBTree<u64, u64> = CobBTree::new(1);
+    other.bulk_load(bulk_inputs()[0].clone(), bulk_seed + 1);
+    assert_eq!(other.to_sorted_vec(), layouts[0].0);
+    assert_ne!(
+        other.occupancy(),
+        layouts[0].2,
+        "a different bulk seed should yield a different layout"
+    );
+}
+
+#[test]
+fn skiplist_bulk_load_is_order_independent_given_the_seed() {
+    let bulk_seed = 0x51C1;
+    let mut layouts = Vec::new();
+    for (i, input) in bulk_inputs().into_iter().enumerate() {
+        let mut s: ExternalSkipList<u64, u64> =
+            ExternalSkipList::history_independent(16, 0.5, 2_000 + i as u64);
+        for k in 0..40 * i as u64 {
+            s.insert(k, k);
+        }
+        s.bulk_load(input, bulk_seed);
+        layouts.push((
+            s.to_sorted_vec(),
+            s.height(),
+            s.leaf_node_count(),
+            s.leaf_array_lengths(),
+            s.space_records(),
+        ));
+    }
+    assert_eq!(
+        layouts[0], layouts[1],
+        "descending load must be bit-identical"
+    );
+    assert_eq!(
+        layouts[0], layouts[2],
+        "interleaved load must be bit-identical"
+    );
+}
+
+#[test]
+fn hi_pma_bulk_load_matches_across_prior_histories() {
+    let bulk_seed = 0x99AA;
+    let items: Vec<u64> = (0..1_500u64).collect();
+    let mut fresh: HiPma<u64> = HiPma::new(7);
+    fresh.bulk_load(items.clone(), bulk_seed);
+    let mut churned: HiPma<u64> = HiPma::new(8);
+    for i in 0..400 {
+        churned.insert(i, i as u64).unwrap();
+    }
+    for _ in 0..200 {
+        churned.delete(0).unwrap();
+    }
+    churned.bulk_load(items, bulk_seed);
+    assert_eq!(fresh.to_vec(), churned.to_vec());
+    assert_eq!(fresh.n_hat(), churned.n_hat());
+    assert_eq!(
+        fresh.occupancy(),
+        churned.occupancy(),
+        "bulk_load layout must not depend on the structure's prior history"
+    );
+}
+
+#[test]
+fn dyn_dict_bulk_load_is_deterministic_per_backend() {
+    for backend in Backend::ALL {
+        let build = |input: Vec<(u64, u64)>| {
+            let mut d: DynDict<u64, u64> = Dict::builder().backend(backend).seed(17).build();
+            d.bulk_load(input, 0xD1CE);
+            d
+        };
+        let [a_in, b_in, _] = bulk_inputs();
+        let a = build(a_in);
+        let b = build(b_in);
+        assert_eq!(
+            a.to_sorted_vec(),
+            b.to_sorted_vec(),
+            "{backend}: contents must be order-independent"
+        );
+    }
+}
