@@ -25,6 +25,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> smoke-run the HI verification binary"
 AP_BENCH_SCALE=1 cargo run --release --bin hi_verification >/dev/null
 
+echo "==> smoke-run the update-throughput harness (alloc-free engine gate)"
+cargo run --release --bin update_throughput -- --smoke >/dev/null
+
 echo "==> run every example (builder/DynDict API regressions fail here)"
 for example in quickstart range_query_engine secure_delete_audit io_model_explorer; do
     echo "    --example ${example}"

@@ -114,7 +114,8 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
     }
 
     /// Occupancy bitmap of the backing array — the memory-representation
-    /// fingerprint used by the history-independence tests.
+    /// fingerprint used by the history-independence tests. See the
+    /// [`Occupancy`](hi_common::traits::Occupancy) impl for the packed form.
     pub fn occupancy(&self) -> Vec<bool> {
         self.pma.occupancy()
     }
@@ -145,13 +146,15 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
     }
 
     /// Inserts a key–value pair, returning the previous value if present.
+    /// The occupancy probe borrows the stored pair (no clone); only a
+    /// replacement pays the delete + reinsert.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let rank = self.lower_bound(&key);
-        if let Some((existing, old_value)) = self.pma.get_rank(rank) {
-            if existing == key {
+        if let Some((existing, _)) = self.pma.get_rank_ref(rank) {
+            if *existing == key {
                 // Replace: delete + reinsert at the same rank keeps the
                 // layout distribution a function of the key set only.
-                self.pma.delete(rank).expect("rank just observed");
+                let (_, old_value) = self.pma.delete(rank).expect("rank just observed");
                 self.pma
                     .insert(rank, (key, value))
                     .expect("rank still valid");
@@ -164,11 +167,12 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
         None
     }
 
-    /// Removes a key, returning its value if present.
+    /// Removes a key, returning its value if present. The probe borrows the
+    /// stored pair; only an actual removal moves it out.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let rank = self.lower_bound(key);
-        match self.pma.get_rank(rank) {
-            Some((existing, _)) if existing == *key => {
+        match self.pma.get_rank_ref(rank) {
+            Some((existing, _)) if existing == key => {
                 let (_, v) = self.pma.delete(rank).expect("rank just observed");
                 Some(v)
             }
@@ -272,6 +276,16 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
                 .range_query(0, self.len() - 1)
                 .expect("full range is valid")
         }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> hi_common::traits::Occupancy for CobBTree<K, V> {
+    fn slot_count(&self) -> usize {
+        self.pma.total_slots()
+    }
+
+    fn occupancy_words(&self) -> &[u64] {
+        hi_common::traits::Occupancy::occupancy_words(&self.pma)
     }
 }
 

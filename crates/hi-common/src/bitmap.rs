@@ -1,0 +1,422 @@
+//! A `u64`-word occupancy bitmap.
+//!
+//! The PMAs' memory representation — the thing the history-independence
+//! definitions quantify over — is *which slots are occupied*. This module
+//! stores that representation directly as packed `u64` words, so that
+//! occupancy counts are popcounts, gap scans are word scans, and the whole
+//! map costs one bit per slot instead of the discriminant-plus-padding of a
+//! `Vec<Option<T>>` slot array (16 bytes per slot for `u64` records).
+//!
+//! All range arguments are half-open slot intervals `[start, end)`.
+
+/// A fixed-length bitmap over array slots, packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zeros bitmap over `len` slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the bitmap covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words backing the map (the last word's high bits beyond
+    /// `len` are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Tests slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears slot `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Mask covering the bits of word `w` that fall inside `[start, end)`.
+    #[inline]
+    fn word_mask(w: usize, start: usize, end: usize) -> u64 {
+        let lo = start.max(w * 64);
+        let hi = end.min(w * 64 + 64);
+        if lo >= hi {
+            return 0;
+        }
+        let lo_bit = lo - w * 64;
+        let span = hi - lo;
+        if span == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << span) - 1) << lo_bit
+        }
+    }
+
+    /// Clears every slot in `[start, end)`, word-wise.
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return;
+        }
+        for w in start / 64..=(end - 1) / 64 {
+            self.words[w] &= !Self::word_mask(w, start, end);
+        }
+    }
+
+    /// Number of set slots in `[start, end)` via popcount.
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return 0;
+        }
+        (start / 64..=(end - 1) / 64)
+            .map(|w| (self.words[w] & Self::word_mask(w, start, end)).count_ones() as usize)
+            .sum()
+    }
+
+    /// Total number of set slots.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Index of the first set slot at or after `from`, scanning word by word.
+    pub fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.words[w] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                return (i < self.len).then_some(i);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Slot of the `n`-th (0-based) set bit in `[start, end)`, if it exists.
+    pub fn nth_set_in_range(&self, start: usize, end: usize, mut n: usize) -> Option<usize> {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return None;
+        }
+        for w in start / 64..=(end - 1) / 64 {
+            let mut word = self.words[w] & Self::word_mask(w, start, end);
+            let ones = word.count_ones() as usize;
+            if n >= ones {
+                n -= ones;
+                continue;
+            }
+            // The n-th set bit lives in this word; peel bits off.
+            for _ in 0..n {
+                word &= word - 1;
+            }
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Replaces the bits of `[start, start + len)` with the low `len` bits
+    /// of `pattern` (word 0 = slots `start..start + 64`, low bit first).
+    /// Word-wise: each affected bitmap word is rewritten with one masked
+    /// store, so rewriting a window costs `O(len / 64)` operations however
+    /// many bits are set.
+    pub fn write_range_bits(&mut self, start: usize, len: usize, pattern: &[u64]) {
+        debug_assert!(start + len <= self.len);
+        debug_assert!(pattern.len() >= len.div_ceil(64));
+        if len == 0 {
+            return;
+        }
+        // 64 pattern bits starting at pattern-bit offset `q`, zero-extended.
+        let bits_at = |q: usize| -> u64 {
+            let i = q / 64;
+            let s = q % 64;
+            let lo = pattern.get(i).copied().unwrap_or(0) >> s;
+            if s == 0 {
+                lo
+            } else {
+                lo | (pattern.get(i + 1).copied().unwrap_or(0) << (64 - s))
+            }
+        };
+        let end = start + len;
+        let shift = start % 64;
+        let w0 = start / 64;
+        for w in w0..=(end - 1) / 64 {
+            // Pattern bits aligned to output word `w`: the first word takes
+            // pattern offset 0 shifted up by `start % 64`; later words read
+            // at offset `w·64 − start`.
+            let value = if w == w0 {
+                bits_at(0) << shift
+            } else {
+                bits_at(w * 64 - start)
+            };
+            let mask = Self::word_mask(w, start, end);
+            self.words[w] = (self.words[w] & !mask) | (value & mask);
+        }
+    }
+
+    /// Largest run of clear slots *between two set slots* of `[start, end)`
+    /// (leading and trailing runs are not counted), scanning word by word.
+    pub fn max_interior_gap(&self, start: usize, end: usize) -> usize {
+        debug_assert!(start <= end && end <= self.len);
+        let mut max_gap = 0usize;
+        let mut prev: Option<usize> = None;
+        if start >= end {
+            return 0;
+        }
+        for w in start / 64..=(end - 1) / 64 {
+            let mut word = self.words[w] & Self::word_mask(w, start, end);
+            while word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                if let Some(p) = prev {
+                    max_gap = max_gap.max(i - p - 1);
+                }
+                prev = Some(i);
+                word &= word - 1;
+            }
+        }
+        max_gap
+    }
+
+    /// Decodes the bitmap into one `bool` per slot.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Naive reference model: the old `Vec<Option<()>>`-style slot probing,
+    /// against which the word-wise operations are pinned.
+    struct Reference(Vec<bool>);
+
+    impl Reference {
+        fn count_range(&self, start: usize, end: usize) -> usize {
+            self.0[start..end].iter().filter(|&&b| b).count()
+        }
+
+        fn max_interior_gap(&self, start: usize, end: usize) -> usize {
+            let mut max_gap = 0usize;
+            let mut current = 0usize;
+            let mut seen = false;
+            for &b in &self.0[start..end] {
+                if b {
+                    if seen {
+                        max_gap = max_gap.max(current);
+                    }
+                    seen = true;
+                    current = 0;
+                } else {
+                    current += 1;
+                }
+            }
+            max_gap
+        }
+
+        fn nth_set_in_range(&self, start: usize, end: usize, n: usize) -> Option<usize> {
+            self.0[start..end]
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .nth(n)
+                .map(|(i, _)| start + i)
+        }
+    }
+
+    fn random_pair(len: usize, density: f64, seed: u64) -> (Bitmap, Reference) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bm = Bitmap::new(len);
+        let mut bools = vec![false; len];
+        for (i, b) in bools.iter_mut().enumerate() {
+            if rng.gen_bool(density) {
+                bm.set(i);
+                *b = true;
+            }
+        }
+        (bm, Reference(bools))
+    }
+
+    #[test]
+    fn set_clear_get_roundtrip() {
+        let mut bm = Bitmap::new(130);
+        assert_eq!(bm.len(), 130);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn count_range_matches_reference_on_random_patterns() {
+        for (seed, density) in [(1u64, 0.1), (2, 0.5), (3, 0.9), (4, 0.0), (5, 1.0)] {
+            let len = 317;
+            let (bm, reference) = random_pair(len, density, seed);
+            for start in (0..len).step_by(13) {
+                for end in (start..=len).step_by(17) {
+                    assert_eq!(
+                        bm.count_range(start, end),
+                        reference.count_range(start, end),
+                        "seed {seed} range [{start}, {end})"
+                    );
+                }
+            }
+            assert_eq!(bm.count_ones(), reference.count_range(0, len));
+        }
+    }
+
+    #[test]
+    fn max_interior_gap_matches_reference_on_random_patterns() {
+        for (seed, density) in [(10u64, 0.05), (11, 0.3), (12, 0.7), (13, 0.02)] {
+            let len = 413;
+            let (bm, reference) = random_pair(len, density, seed);
+            for start in (0..len).step_by(19) {
+                for end in (start..=len).step_by(23) {
+                    assert_eq!(
+                        bm.max_interior_gap(start, end),
+                        reference.max_interior_gap(start, end),
+                        "seed {seed} range [{start}, {end})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nth_set_matches_reference_on_random_patterns() {
+        for seed in [20u64, 21, 22] {
+            let len = 200;
+            let (bm, reference) = random_pair(len, 0.4, seed);
+            for start in (0..len).step_by(11) {
+                for end in (start..=len).step_by(29) {
+                    let total = reference.count_range(start, end);
+                    for n in 0..total + 2 {
+                        assert_eq!(
+                            bm.nth_set_in_range(start, end, n),
+                            reference.nth_set_in_range(start, end, n),
+                            "seed {seed} range [{start}, {end}) n {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_set_bit_walks_every_set_slot() {
+        let (bm, reference) = random_pair(260, 0.25, 33);
+        let mut via_scan = Vec::new();
+        let mut at = 0usize;
+        while let Some(i) = bm.next_set_bit(at) {
+            via_scan.push(i);
+            at = i + 1;
+        }
+        let expected: Vec<usize> = reference
+            .0
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(via_scan, expected);
+        assert_eq!(bm.next_set_bit(260), None);
+    }
+
+    #[test]
+    fn clear_range_is_word_exact() {
+        let mut bm = Bitmap::new(300);
+        for i in 0..300 {
+            bm.set(i);
+        }
+        bm.clear_range(10, 200);
+        assert_eq!(bm.count_ones(), 300 - 190);
+        assert!(bm.get(9) && !bm.get(10) && !bm.get(199) && bm.get(200));
+        bm.clear_range(0, 0);
+        assert_eq!(bm.count_ones(), 110);
+        bm.clear_range(0, 300);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn write_range_bits_matches_per_bit_reference() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            let len_total = 1 + rng.gen_range(0..300usize);
+            let (mut bm, reference) = random_pair(len_total, 0.5, rng.gen());
+            let mut bools = reference.0;
+            let start = rng.gen_range(0..len_total);
+            let len = rng.gen_range(0..=len_total - start);
+            // Random pattern over `len` bits.
+            let mut pattern = vec![0u64; len.div_ceil(64).max(1)];
+            for b in 0..len {
+                if rng.gen_bool(0.5) {
+                    pattern[b / 64] |= 1 << (b % 64);
+                    bools[start + b] = true;
+                } else {
+                    bools[start + b] = false;
+                }
+            }
+            bm.write_range_bits(start, len, &pattern);
+            assert_eq!(
+                bm.to_bools(),
+                bools,
+                "start={start} len={len} total={len_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_bools_roundtrip() {
+        let (bm, reference) = random_pair(97, 0.5, 44);
+        assert_eq!(bm.to_bools(), reference.0);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.next_set_bit(0), None);
+        assert_eq!(bm.to_bools(), Vec::<bool>::new());
+    }
+}

@@ -26,15 +26,19 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod bitmap;
 pub mod capacity;
 pub mod counters;
 pub mod reservoir;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 pub mod traits;
 
+pub use bitmap::Bitmap;
 pub use capacity::HiCapacity;
 pub use counters::{OpCounters, SharedCounters};
 pub use reservoir::ReservoirLeader;
 pub use rng::{DetRng, RngSource};
-pub use traits::{Dictionary, KeyValue, RankError, RankedDict, RankedSequence};
+pub use scratch::Scratch;
+pub use traits::{Dictionary, KeyValue, Occupancy, RankError, RankedDict, RankedSequence};

@@ -1,0 +1,76 @@
+//! A reusable gather buffer for rebuild paths.
+//!
+//! Every rebalance in the PMAs (and every structural rebuild elsewhere)
+//! needs a temporary "all the elements of this window, in order" buffer.
+//! Allocating a fresh `Vec` per rebalance puts an allocator round-trip on
+//! the hot update path; [`Scratch`] keeps one buffer per structure and hands
+//! it out by value so the borrow checker never sees the structure and the
+//! buffer entangled. After warm-up the buffer's capacity has reached the
+//! high-water mark of past rebuilds and steady-state rebalances allocate
+//! nothing.
+
+/// A per-structure scratch arena: a `Vec<T>` whose capacity survives reuse.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch<T> {
+    buf: Vec<T>,
+}
+
+impl<T> Scratch<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Takes the buffer out of the arena (empty, capacity preserved). Pair
+    /// with [`Scratch::restore`]; taking twice without restoring simply
+    /// yields a fresh buffer for the nested use.
+    pub fn take(&mut self) -> Vec<T> {
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer to the arena, clearing it but keeping its capacity
+    /// (the larger of the returned and currently held capacities wins).
+    pub fn restore(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > self.buf.capacity() {
+            self.buf = buf;
+        }
+    }
+
+    /// Current capacity of the held buffer.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_survives_reuse() {
+        let mut scratch: Scratch<u64> = Scratch::new();
+        let mut buf = scratch.take();
+        buf.extend(0..1000);
+        scratch.restore(buf);
+        assert!(scratch.capacity() >= 1000);
+        let buf = scratch.take();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 1000);
+        scratch.restore(buf);
+    }
+
+    #[test]
+    fn nested_takes_are_safe() {
+        let mut scratch: Scratch<u64> = Scratch::new();
+        let mut a = scratch.take();
+        a.extend(0..500);
+        let b = scratch.take(); // nested: fresh buffer
+        assert!(b.is_empty());
+        scratch.restore(a);
+        scratch.restore(b); // smaller capacity loses; arena keeps the 500-cap buffer
+        assert!(scratch.capacity() >= 500);
+    }
+}

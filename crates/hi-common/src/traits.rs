@@ -183,6 +183,38 @@ pub trait RankedSequence {
 /// A key–value pair, the unit stored by the dictionary structures.
 pub type KeyValue<K, V> = (K, V);
 
+/// A structure whose memory representation is (or embeds) a slot-occupancy
+/// map — the fingerprint the history-independence definitions quantify over.
+///
+/// Implementations expose the packed [`bitmap`](crate::bitmap::Bitmap) words
+/// directly, so the statistical tests and the secure-delete audits can
+/// compare layouts without per-slot probing. The provided methods derive the
+/// legacy representations from the words.
+pub trait Occupancy {
+    /// Number of slots in the backing array.
+    fn slot_count(&self) -> usize;
+
+    /// The packed occupancy words, 64 slots per `u64`, low bit = low slot.
+    /// Bits at and beyond [`Self::slot_count`] are zero.
+    fn occupancy_words(&self) -> &[u64];
+
+    /// One `bool` per slot (the historical representation; allocates).
+    fn occupancy(&self) -> Vec<bool> {
+        let words = self.occupancy_words();
+        (0..self.slot_count())
+            .map(|i| words[i / 64] & (1u64 << (i % 64)) != 0)
+            .collect()
+    }
+
+    /// Number of occupied slots, by popcount over the packed words.
+    fn occupied_slots(&self) -> usize {
+        self.occupancy_words()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
 /// An ordered dictionary: the external-memory B-tree interface the paper's
 /// structures implement as history-independent alternatives.
 ///

@@ -13,13 +13,19 @@
 //! history leak the HI PMA removes. Keeping this baseline around lets the
 //! benchmarks reproduce the paper's "factor of ~7 runtime overhead" claim and
 //! lets the tests demonstrate the leak itself.
+//!
+//! Storage uses the same allocation-free engine as the HI PMA
+//! ([`SlotStore`]): values dense per segment, slot layout in a packed
+//! bitmap, rebalances gathering into a reusable [`Scratch`] arena and
+//! moving (never cloning) elements.
 
 use hi_common::counters::SharedCounters;
-use hi_common::traits::{RankError, RankedSequence};
+use hi_common::scratch::Scratch;
+use hi_common::traits::{Occupancy, RankError, RankedSequence};
 use io_sim::{Region, Tracer};
 
 use crate::fenwick::Fenwick;
-use crate::spread::{count_occupied, gather_from, spread_into};
+use crate::store::{ScanIter, SlotStore};
 
 /// Density thresholds for the classic PMA, linearly interpolated by depth.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +72,7 @@ impl DensityBands {
 /// The classic density-threshold PMA. Rank-addressed, like [`crate::HiPma`].
 #[derive(Debug, Clone)]
 pub struct ClassicPma<T: Clone> {
-    slots: Vec<Option<T>>,
+    store: SlotStore<T>,
     /// Elements per segment.
     seg_counts: Fenwick,
     seg_size: usize,
@@ -79,6 +85,8 @@ pub struct ClassicPma<T: Clone> {
     tracer: Tracer,
     region: Region,
     elem_size: u64,
+    /// Reusable gather buffer for rebalances and resizes.
+    scratch: Scratch<T>,
 }
 
 impl<T: Clone> ClassicPma<T> {
@@ -101,7 +109,7 @@ impl<T: Clone> ClassicPma<T> {
         elem_size: u64,
     ) -> Self {
         let mut pma = Self {
-            slots: Vec::new(),
+            store: SlotStore::new(1, 8),
             seg_counts: Fenwick::new(0),
             seg_size: 0,
             segments: 0,
@@ -112,8 +120,9 @@ impl<T: Clone> ClassicPma<T> {
             tracer,
             region: Region::new(0, elem_size, 1),
             elem_size,
+            scratch: Scratch::new(),
         };
-        pma.resize_to(8, &[]);
+        pma.resize_to(8, Vec::new());
         pma
     }
 
@@ -129,7 +138,7 @@ impl<T: Clone> ClassicPma<T> {
 
     /// Total slots in the backing array.
     pub fn total_slots(&self) -> usize {
-        self.slots.len()
+        self.store.total_slots()
     }
 
     /// Current segment size (`Θ(log N)` slots).
@@ -144,20 +153,29 @@ impl<T: Clone> ClassicPma<T> {
 
     /// Occupancy bitmap of the backing array (used by the history-leak
     /// demonstrations: unlike the HI PMA, this bitmap betrays where inserts
-    /// happened).
+    /// happened). Decoded from the packed words; see the [`Occupancy`] impl
+    /// for the allocation-free form.
     pub fn occupancy(&self) -> Vec<bool> {
-        self.slots.iter().map(|s| s.is_some()).collect()
+        self.store.bitmap().to_bools()
     }
 
     /// Verifies structural invariants (rank index consistent with slots,
     /// densities within the root band). Intended for tests.
     pub fn check_invariants(&self) {
-        assert_eq!(count_occupied(&self.slots), self.len);
+        assert_eq!(self.store.bitmap().count_ones(), self.len);
         assert_eq!(self.seg_counts.total() as usize, self.len);
         for seg in 0..self.segments {
             let start = seg * self.seg_size;
-            let occ = count_occupied(&self.slots[start..start + self.seg_size]);
+            let occ = self
+                .store
+                .bitmap()
+                .count_range(start, start + self.seg_size);
             assert_eq!(occ as u64, self.seg_counts.get(seg), "segment {seg}");
+            assert_eq!(
+                occ,
+                self.store.group_len(seg),
+                "segment {seg}: dense values and bitmap disagree"
+            );
             assert!(occ <= self.seg_size);
         }
     }
@@ -172,8 +190,9 @@ impl<T: Clone> ClassicPma<T> {
         ((2 * n).max(8)).next_power_of_two()
     }
 
-    /// Rebuilds the array with `total_slots` slots containing `elements`.
-    fn resize_to(&mut self, total_slots: usize, elements: &[T]) {
+    /// Rebuilds the array with `total_slots` slots containing `buf`,
+    /// consuming the buffer back into the scratch arena.
+    fn resize_to(&mut self, total_slots: usize, mut buf: Vec<T>) {
         debug_assert!(total_slots.is_power_of_two());
         // Segment size ≈ log2(total_slots), rounded so the segment count is a
         // power of two.
@@ -181,31 +200,35 @@ impl<T: Clone> ClassicPma<T> {
         let segments = (total_slots / target_seg).next_power_of_two().max(1);
         let seg_size = total_slots / segments;
         debug_assert!(seg_size * segments == total_slots);
-        self.slots = vec![None; total_slots];
+        self.store = SlotStore::new(segments, seg_size);
         self.seg_size = seg_size;
         self.segments = segments;
         self.height = segments.trailing_zeros();
-        self.len = elements.len();
+        self.len = buf.len();
         self.region = Region::new(0, self.elem_size, total_slots as u64);
-        // Spread evenly across the whole array, then record per-segment
-        // counts.
-        let moves = spread_into(elements, &mut self.slots);
-        self.counters.add_moves(moves);
+        // Spread evenly across the whole array (one window of every
+        // segment), then record per-segment counts.
+        let count = buf.len();
+        let mut iter = buf.drain(..);
+        self.store.fill_window(0, segments, &mut iter, count);
+        drop(iter);
+        self.scratch.restore(buf);
+        self.counters.add_moves(count as u64);
         self.counters.add_resize();
         self.tracer.write(self.region.base, self.region.byte_len());
         let mut counts = vec![0u64; segments];
-        for (seg, chunk) in self.slots.chunks(seg_size).enumerate() {
-            counts[seg] = count_occupied(chunk) as u64;
+        for (seg, c) in counts.iter_mut().enumerate() {
+            *c = self.store.group_len(seg) as u64;
         }
         self.seg_counts = Fenwick::from_counts(&counts);
     }
 
-    /// Gathers every element in rank order.
-    fn collect_all(&self) -> Vec<T> {
+    /// Moves every element, in rank order, into the scratch buffer.
+    fn gather_all(&mut self) -> Vec<T> {
         self.tracer.read(self.region.base, self.region.byte_len());
-        let mut out = Vec::with_capacity(self.len);
-        gather_from(&self.slots, &mut out);
-        out
+        let mut buf = self.scratch.take();
+        self.store.drain_window_into(0, self.segments, &mut buf);
+        buf
     }
 
     // ------------------------------------------------------------------
@@ -234,30 +257,36 @@ impl<T: Clone> ClassicPma<T> {
         (seg, within as usize)
     }
 
-    /// Rebalances the window of `1 << level` segments containing `seg` so it
-    /// holds `elements` evenly. Updates the segment counts.
-    fn rebalance_window(&mut self, seg: usize, level: u32, elements: &[T]) {
+    /// Refills the window of `1 << level` segments containing `seg` with the
+    /// elements of `buf`, evenly spread, updating the segment counts and
+    /// returning the buffer to the scratch arena. Every element is moved.
+    fn rebalance_window(&mut self, seg: usize, level: u32, mut buf: Vec<T>) {
         let window_segs = 1usize << level;
         let first_seg = (seg / window_segs) * window_segs;
         let start = first_seg * self.seg_size;
         let slot_count = window_segs * self.seg_size;
-        let moves = spread_into(elements, &mut self.slots[start..start + slot_count]);
-        self.counters.add_moves(moves);
+        let count = buf.len();
+        let mut iter = buf.drain(..);
+        self.store
+            .fill_window(first_seg, window_segs, &mut iter, count);
+        drop(iter);
+        self.scratch.restore(buf);
+        self.counters.add_moves(count as u64);
         self.counters.add_rebuild(slot_count as u64);
         self.tracer.write(
             self.region.addr(start as u64),
             self.region.span(slot_count as u64),
         );
         for s in first_seg..first_seg + window_segs {
-            let occ = count_occupied(&self.slots[s * self.seg_size..(s + 1) * self.seg_size]);
+            let occ = self.store.group_len(s);
             let old = self.seg_counts.get(s) as i64;
             self.seg_counts.add(s, occ as i64 - old);
         }
     }
 
-    /// Gathers the elements of the window of `1 << level` segments containing
-    /// `seg`.
-    fn collect_window(&self, seg: usize, level: u32) -> Vec<T> {
+    /// Moves the elements of the window of `1 << level` segments containing
+    /// `seg` into the scratch buffer (clearing the window).
+    fn gather_window(&mut self, seg: usize, level: u32) -> Vec<T> {
         let window_segs = 1usize << level;
         let first_seg = (seg / window_segs) * window_segs;
         let start = first_seg * self.seg_size;
@@ -266,9 +295,10 @@ impl<T: Clone> ClassicPma<T> {
             self.region.addr(start as u64),
             self.region.span(slot_count as u64),
         );
-        let mut out = Vec::new();
-        gather_from(&self.slots[start..start + slot_count], &mut out);
-        out
+        let mut buf = self.scratch.take();
+        self.store
+            .drain_window_into(first_seg, window_segs, &mut buf);
+        buf
     }
 
     /// Number of elements currently in the window of `1 << level` segments
@@ -305,26 +335,26 @@ impl<T: Clone> ClassicPma<T> {
             if count_after as f64 <= threshold * window_slots as f64 && count_after <= window_slots
             {
                 // Rebalance this window with the new element included.
-                let mut elements = self.collect_window(seg, level);
                 let window_segs = 1usize << level;
                 let first_seg = (seg / window_segs) * window_segs;
                 let rank_of_window_start = self.seg_counts.prefix_sum(first_seg) as usize;
+                let mut buf = self.gather_window(seg, level);
                 let pos = if rank >= self.len {
-                    elements.len()
+                    buf.len()
                 } else {
                     rank - rank_of_window_start
                 };
-                elements.insert(pos.min(elements.len()), item);
-                self.rebalance_window(seg, level, &elements);
+                buf.insert(pos.min(buf.len()), item);
+                self.rebalance_window(seg, level, buf);
                 self.len += 1;
                 return Ok(());
             }
             if level == self.height {
                 // Even the root is too dense: grow and retry by rebuilding.
-                let mut elements = self.collect_all();
-                elements.insert(rank, item);
-                let new_slots = Self::target_slots(elements.len());
-                self.resize_to(new_slots, &elements);
+                let mut buf = self.gather_all();
+                buf.insert(rank, item);
+                let new_slots = Self::target_slots(buf.len());
+                self.resize_to(new_slots, buf);
                 return Ok(());
             }
             level += 1;
@@ -352,18 +382,18 @@ impl<T: Clone> ClassicPma<T> {
                 let window_segs = 1usize << level;
                 let first_seg = (seg / window_segs) * window_segs;
                 let rank_of_window_start = self.seg_counts.prefix_sum(first_seg) as usize;
-                let mut elements = self.collect_window(seg, level);
-                let removed = elements.remove(rank - rank_of_window_start);
-                self.rebalance_window(seg, level, &elements);
+                let mut buf = self.gather_window(seg, level);
+                let removed = buf.remove(rank - rank_of_window_start);
+                self.rebalance_window(seg, level, buf);
                 self.len -= 1;
                 return Ok(removed);
             }
             if root_level {
                 // Shrink (or just rebuild at the same size when small).
-                let mut elements = self.collect_all();
-                let removed = elements.remove(rank);
-                let new_slots = Self::target_slots(elements.len());
-                self.resize_to(new_slots, &elements);
+                let mut buf = self.gather_all();
+                let removed = buf.remove(rank);
+                let new_slots = Self::target_slots(buf.len());
+                self.resize_to(new_slots, buf);
                 return Ok(removed);
             }
             level += 1;
@@ -375,7 +405,8 @@ impl<T: Clone> ClassicPma<T> {
         self.get_rank_ref(rank).cloned()
     }
 
-    /// Borrows the `rank`-th element, if any, without copying it.
+    /// Borrows the `rank`-th element, if any, without copying it. One
+    /// Fenwick rank search, then a direct dense index — no slot probing.
     pub fn get_rank_ref(&self, rank: usize) -> Option<&T> {
         if rank >= self.len {
             return None;
@@ -386,36 +417,20 @@ impl<T: Clone> ClassicPma<T> {
             self.region.addr(start as u64),
             self.region.span(self.seg_size as u64),
         );
-        self.slots[start..start + self.seg_size]
-            .iter()
-            .flatten()
-            .nth(within)
-    }
-
-    /// Absolute slot index of the element with the given rank (`rank < len`).
-    fn slot_of_rank(&self, rank: usize) -> usize {
-        let (seg, within) = self.segment_for_rank(rank);
-        let mut slot = seg * self.seg_size;
-        let mut seen = 0usize;
-        while seen < within || self.slots[slot].is_none() {
-            if self.slots[slot].is_some() {
-                seen += 1;
-            }
-            slot += 1;
-        }
-        slot
+        self.store.get(seg, within)
     }
 
     /// Lazily yields the elements with ranks `rank..len` in order: one
-    /// Fenwick rank lookup, then a sequential slot scan charged to the
-    /// tracer per slot as the iterator advances.
-    pub fn iter_from(&self, rank: usize) -> impl Iterator<Item = &T> {
-        let start_slot = if rank >= self.len {
-            self.slots.len()
+    /// Fenwick rank lookup, then a sequential scan of the dense segments,
+    /// each charged to the tracer as one read when the iterator enters it.
+    pub fn iter_from(&self, rank: usize) -> ScanIter<'_, T> {
+        let (seg, within) = if rank >= self.len {
+            (self.segments, 0)
         } else {
-            self.slot_of_rank(rank)
+            self.segment_for_rank(rank)
         };
-        crate::spread::scan_occupied_from(&self.slots, start_slot, self.tracer.clone(), self.region)
+        self.store
+            .iter_from(seg, within, self.tracer.clone(), self.region)
     }
 
     /// Borrows every element in rank order (a full sequential scan).
@@ -458,15 +473,26 @@ impl<T: Clone> ClassicPma<T> {
     /// accepted only for signature uniformity with the HI structures.
     pub fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
         let _ = seed;
-        let elements: Vec<T> = items.into_iter().collect();
-        let slots = Self::target_slots(elements.len());
-        self.resize_to(slots, &elements);
+        let mut buf = self.scratch.take();
+        buf.extend(items);
+        let slots = Self::target_slots(buf.len());
+        self.resize_to(slots, buf);
     }
 }
 
 impl<T: Clone> Default for ClassicPma<T> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<T: Clone> Occupancy for ClassicPma<T> {
+    fn slot_count(&self) -> usize {
+        self.store.total_slots()
+    }
+
+    fn occupancy_words(&self) -> &[u64] {
+        self.store.bitmap().words()
     }
 }
 
@@ -505,7 +531,6 @@ impl<T: Clone> RankedSequence for ClassicPma<T> {
         ClassicPma::bulk_load(self, items, seed)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,5 +693,14 @@ mod tests {
         RankedSequence::insert_at(&mut pma, 0, "a").unwrap();
         assert_eq!(pma.to_vec(), vec!["a", "b"]);
         assert_eq!(RankedSequence::delete_at(&mut pma, 1).unwrap(), "b");
+    }
+
+    #[test]
+    fn occupancy_trait_matches_legacy_representation() {
+        use hi_common::traits::Occupancy;
+        let pma = filled(700);
+        assert_eq!(Occupancy::occupancy(&pma), pma.occupancy());
+        assert_eq!(pma.occupied_slots(), 700);
+        assert_eq!(pma.slot_count(), pma.total_slots());
     }
 }

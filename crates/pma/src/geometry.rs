@@ -41,6 +41,9 @@ pub struct Geometry {
     pub c1: f64,
     /// The constant `C_L` used for leaf sizes.
     pub c_l: f64,
+    /// `|M_d|` per depth `0..height`, precomputed so the per-level reservoir
+    /// decisions on the update path never touch floating point.
+    candidate_sizes: Vec<usize>,
 }
 
 impl Geometry {
@@ -58,6 +61,7 @@ impl Geometry {
                 total_slots: leaf_slots,
                 c1: 0.0,
                 c_l: 2.0,
+                candidate_sizes: Vec::new(),
             };
         }
         let lg = (n_hat as f64).log2();
@@ -73,6 +77,12 @@ impl Geometry {
         let height = (lg - lg.log2()).ceil().max(1.0) as u32;
         let leaf_slots = (c_l * lg).ceil() as usize;
         let total_slots = (1usize << height) * leaf_slots;
+        let candidate_sizes = (0..height)
+            .map(|d| {
+                let raw = (c1 * n_hat as f64 / ((1u64 << d) as f64 * lg)).ceil() as usize;
+                raw.clamp(1, total_slots >> d)
+            })
+            .collect();
         Self {
             n_hat,
             height,
@@ -80,6 +90,7 @@ impl Geometry {
             total_slots,
             c1,
             c_l,
+            candidate_sizes,
         }
     }
 
@@ -108,11 +119,26 @@ impl Geometry {
     /// Candidate-set size `|M_d|` for a non-leaf range at depth `d`.
     ///
     /// Always at least 1 and never larger than the range's slot count.
+    /// Precomputed at construction, so the per-level lookup on the update
+    /// path is a table read.
+    #[inline]
     pub fn candidate_size(&self, d: u32) -> usize {
         debug_assert!(d < self.height, "leaves have no candidate set");
-        let lg = (self.n_hat as f64).log2();
-        let raw = (self.c1 * self.n_hat as f64 / ((1u64 << d) as f64 * lg)).ceil() as usize;
-        raw.clamp(1, self.slots_at_depth(d))
+        self.candidate_sizes[d as usize]
+    }
+
+    /// Leaf (group) index owning `slot`.
+    #[inline]
+    pub fn leaf_of_slot(&self, slot: usize) -> usize {
+        debug_assert!(slot < self.total_slots);
+        slot / self.leaf_slots
+    }
+
+    /// First slot of leaf `leaf`.
+    #[inline]
+    pub fn leaf_start(&self, leaf: usize) -> usize {
+        debug_assert!(leaf < self.leaf_count());
+        leaf * self.leaf_slots
     }
 
     /// 0-based start of the candidate window for a range currently holding

@@ -31,18 +31,35 @@
 //! tree in the van Emde Boas layout ([`veb_tree::VebTree`]), so finding the
 //! leaf containing a given rank costs `O(log N)` operations and `O(log_B N)`
 //! I/Os.
+//!
+//! # Storage engine
+//!
+//! The backing array is a [`SlotStore`]: element values live **dense, in
+//! rank order, one `Vec<T>` per leaf range** (capacity fixed at the leaf's
+//! slot count), and the slot-occupancy layout — the memory representation
+//! that weak history independence quantifies over — is a packed `u64`
+//! [`hi_common::Bitmap`] maintained bit-identically to the historical
+//! `Vec<Option<T>>` engine. A steady-state leaf update is therefore one
+//! `Vec::insert`/`remove` plus a rewrite of the leaf's bitmap words — **zero
+//! heap allocations and zero `Clone` calls** — and rebalances gather into a
+//! reusable [`Scratch`] arena and *move* elements back into the leaves.
+//! This is pure representation engineering: the occupancy distribution, the
+//! coins drawn, and therefore the WHI guarantee are unchanged (the
+//! representation function of Lemma 9 is computed, not sampled).
 
 use hi_common::capacity::{CapacityEvent, HiCapacity};
 use hi_common::counters::SharedCounters;
 use hi_common::rng::{DetRng, RngSource};
-use hi_common::traits::{RankError, RankedSequence};
+use hi_common::scratch::Scratch;
+use hi_common::traits::{Occupancy, RankError, RankedSequence};
 use io_sim::{Region, Tracer};
 use rand::Rng;
-use veb_tree::navigation::children;
+use veb_tree::navigation::{children, leaf_index};
 use veb_tree::VebTree;
 
 use crate::geometry::Geometry;
-use crate::spread::{count_occupied, gather_from, max_interior_gap, spread_into, spread_position};
+use crate::spread::spread_position;
+use crate::store::{ScanIter, SlotStore};
 
 /// Diagnostic record describing one range's balance element, used by the
 /// χ²-uniformity experiment (paper §4.3) and the statistical tests.
@@ -90,7 +107,7 @@ enum Decision {
 /// [cache-oblivious B-tree](https://docs.rs/cob-btree) built on top).
 #[derive(Debug, Clone)]
 pub struct HiPma<T: Clone> {
-    slots: Vec<Option<T>>,
+    store: SlotStore<T>,
     rank_tree: VebTree<u64>,
     /// For every non-leaf range, a copy of its balance element (the paper's
     /// §5 "tree storing the values of each balance element"), maintained
@@ -105,6 +122,9 @@ pub struct HiPma<T: Clone> {
     tracer: Tracer,
     array_region: Region,
     elem_size: u64,
+    /// Reusable gather buffer for the rebuild paths; capacity persists
+    /// across rebalances so steady-state rebuilds allocate nothing.
+    scratch: Scratch<T>,
 }
 
 impl<T: Clone> HiPma<T> {
@@ -152,7 +172,7 @@ impl<T: Clone> HiPma<T> {
         );
         let array_region = Region::new(0, elem_size, geometry.total_slots as u64);
         Self {
-            slots: vec![None; geometry.total_slots],
+            store: SlotStore::new(geometry.leaf_count(), geometry.leaf_slots),
             rank_tree,
             value_tree,
             geometry,
@@ -162,6 +182,7 @@ impl<T: Clone> HiPma<T> {
             tracer,
             array_region,
             elem_size,
+            scratch: Scratch::new(),
         }
     }
 
@@ -218,13 +239,15 @@ impl<T: Clone> HiPma<T> {
     /// Occupancy bitmap of the backing array — the part of the memory
     /// representation that the weak-history-independence tests compare across
     /// histories (slot contents are determined by the element set once the
-    /// occupancy is fixed).
+    /// occupancy is fixed). Decoded from the packed words; see the
+    /// [`Occupancy`] impl for the allocation-free form.
     pub fn occupancy(&self) -> Vec<bool> {
-        self.slots.iter().map(|s| s.is_some()).collect()
+        self.store.bitmap().to_bools()
     }
 
     /// Balance-element diagnostics for every non-leaf range, used by the
-    /// §4.3 χ² experiment.
+    /// §4.3 χ² experiment. Derived purely from the rank tree — no slot
+    /// probing.
     pub fn balance_records(&self) -> Vec<BalanceRecord> {
         let mut records = Vec::new();
         if self.geometry.is_small() {
@@ -268,12 +291,24 @@ impl<T: Clone> HiPma<T> {
             self.len(),
             "root count disagrees with len()"
         );
-        // Occupied slots equal the logical length.
+        // Occupied slots equal the logical length, by popcount…
         assert_eq!(
-            count_occupied(&self.slots),
+            self.store.bitmap().count_ones(),
             self.len(),
             "occupied slots disagree with len()"
         );
+        // …and the dense storage holds exactly as many values as the bitmap
+        // claims, leaf by leaf.
+        for leaf in 0..self.geometry.leaf_count() {
+            let start = self.geometry.leaf_start(leaf);
+            assert_eq!(
+                self.store.group_len(leaf),
+                self.store
+                    .bitmap()
+                    .count_range(start, start + self.geometry.leaf_slots),
+                "leaf {leaf}: dense values and bitmap disagree"
+            );
+        }
         if self.is_empty() {
             return;
         }
@@ -295,7 +330,10 @@ impl<T: Clone> HiPma<T> {
             len <= slots,
             "range {range} at depth {depth} holds {len} elements in {slots} slots"
         );
-        let occupied = count_occupied(&self.slots[slot_start..slot_start + slots]);
+        let occupied = self
+            .store
+            .bitmap()
+            .count_range(slot_start, slot_start + slots);
         assert_eq!(
             occupied, len,
             "range {range}: rank tree says {len}, slots say {occupied}"
@@ -304,7 +342,10 @@ impl<T: Clone> HiPma<T> {
             // Leaf: evenly spread, so interior gaps are bounded by the
             // slots-per-element ratio.
             if len >= 2 {
-                let gap = max_interior_gap(&self.slots[slot_start..slot_start + slots]);
+                let gap = self
+                    .store
+                    .bitmap()
+                    .max_interior_gap(slot_start, slot_start + slots);
                 assert!(
                     gap <= slots / len + 1,
                     "leaf {range}: gap {gap} too large for {len} elements in {slots} slots"
@@ -334,32 +375,38 @@ impl<T: Clone> HiPma<T> {
     // Rebuild machinery
     // ------------------------------------------------------------------
 
-    /// Collects every element in rank order (charging a sequential scan).
-    fn collect_all(&self) -> Vec<T> {
+    /// Moves every element, in rank order, into the scratch buffer (charging
+    /// a sequential scan). The leaves are left empty; the caller must refill
+    /// them (or replace the store) before the next operation.
+    fn gather_all(&mut self) -> Vec<T> {
         self.tracer
             .read(self.array_region.base, self.array_region.byte_len());
-        let mut out = Vec::with_capacity(self.len());
-        gather_from(&self.slots, &mut out);
-        out
+        let mut buf = self.scratch.take();
+        self.store
+            .drain_window_into(0, self.geometry.leaf_count(), &mut buf);
+        buf
     }
 
-    /// Collects the elements of the range starting at `slot_start` spanning
-    /// `slot_count` slots.
-    fn collect_range(&self, slot_start: usize, slot_count: usize) -> Vec<T> {
+    /// Moves the elements of the range starting at `slot_start` spanning
+    /// `slot_count` slots into the scratch buffer.
+    fn gather_range(&mut self, slot_start: usize, slot_count: usize) -> Vec<T> {
         self.tracer.read(
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
-        let mut out = Vec::new();
-        gather_from(&self.slots[slot_start..slot_start + slot_count], &mut out);
-        out
+        let g0 = self.geometry.leaf_of_slot(slot_start);
+        let window = slot_count / self.geometry.leaf_slots;
+        let mut buf = self.scratch.take();
+        self.store.drain_window_into(g0, window, &mut buf);
+        buf
     }
 
-    /// Rebuilds the entire structure for the current `N̂`, placing `elements`.
-    fn rebuild_everything(&mut self, elements: Vec<T>) {
+    /// Rebuilds the entire structure for the current `N̂`, placing `buf`.
+    /// Consumes the buffer back into the scratch arena.
+    fn rebuild_everything(&mut self, mut buf: Vec<T>) {
         let n_hat = self.capacity.n_hat().max(1);
         self.geometry = Geometry::for_n_hat(n_hat);
-        self.slots = vec![None; self.geometry.total_slots];
+        self.store = SlotStore::new(self.geometry.leaf_count(), self.geometry.leaf_slots);
         self.array_region = Region::new(0, self.elem_size, self.geometry.total_slots as u64);
         self.rank_tree = VebTree::new(
             self.geometry.levels(),
@@ -374,16 +421,41 @@ impl<T: Clone> HiPma<T> {
             self.tracer.clone(),
         );
         self.counters.add_rebuild(self.geometry.total_slots as u64);
-        self.rebuild_range(0, 0, 0, &elements, None);
+        self.plan_range(0, 0, 0, &buf, None);
+        self.refill_leaves(0, self.geometry.leaf_count(), &mut buf);
+        self.scratch.restore(buf);
     }
 
     /// Rebuilds range `range` (BFS index) at `depth`, whose slots start at
-    /// `slot_start`, so that it contains exactly `elements` in order.
+    /// `slot_start`, so that it contains exactly the elements of `buf`.
+    /// Phase 1 ([`Self::plan_range`]) draws the balance coins and updates
+    /// the trees in exactly the old engine's order; phase 2
+    /// ([`Self::refill_leaves`]) moves the elements back into the leaves.
+    fn rebuild_range(
+        &mut self,
+        range: usize,
+        depth: u32,
+        slot_start: usize,
+        mut buf: Vec<T>,
+        forced_balance: Option<usize>,
+    ) {
+        self.plan_range(range, depth, slot_start, &buf, forced_balance);
+        let g0 = self.geometry.leaf_of_slot(slot_start);
+        let window = self.geometry.slots_at_depth(depth) / self.geometry.leaf_slots;
+        self.refill_leaves(g0, window, &mut buf);
+        self.scratch.restore(buf);
+    }
+
+    /// Phase 1 of a rebuild: descends the range tree, drawing each range's
+    /// balance element (reservoir-forced or uniform) and writing the rank
+    /// and value trees — the same coin order as an element-placing rebuild,
+    /// so layouts stay bit-identical to the historical engine. Leaf visits
+    /// charge the element moves and the sequential leaf write.
     ///
     /// `forced_balance` pins the relative rank of the balance element of
     /// *this* range (a reservoir lottery winner); descendant ranges always
     /// draw their balances uniformly from their candidate windows.
-    fn rebuild_range(
+    fn plan_range(
         &mut self,
         range: usize,
         depth: u32,
@@ -400,11 +472,7 @@ impl<T: Clone> HiPma<T> {
         );
         self.rank_tree.set(range, elements.len() as u64);
         if depth == self.geometry.height {
-            let moves = spread_into(
-                elements,
-                &mut self.slots[slot_start..slot_start + slot_count],
-            );
-            self.counters.add_moves(moves);
+            self.counters.add_moves(elements.len() as u64);
             self.tracer.write(
                 self.array_region.addr(slot_start as u64),
                 self.array_region.span(slot_count as u64),
@@ -427,14 +495,27 @@ impl<T: Clone> HiPma<T> {
         };
         self.value_tree.set(range, elements.get(balance).cloned());
         let (left, right) = children(range);
-        self.rebuild_range(left, depth + 1, slot_start, &elements[..balance], None);
-        self.rebuild_range(
+        self.plan_range(left, depth + 1, slot_start, &elements[..balance], None);
+        self.plan_range(
             right,
             depth + 1,
             slot_start + slot_count / 2,
             &elements[balance..],
             None,
         );
+    }
+
+    /// Phase 2 of a rebuild: drains `buf` left to right, refilling leaves
+    /// `[first_leaf, first_leaf + leaf_window)` with the per-leaf counts
+    /// phase 1 recorded in the rank tree. Every element is *moved*.
+    fn refill_leaves(&mut self, first_leaf: usize, leaf_window: usize, buf: &mut Vec<T>) {
+        let levels = self.geometry.levels();
+        let mut iter = buf.drain(..);
+        for leaf in first_leaf..first_leaf + leaf_window {
+            let count = *self.rank_tree.peek(leaf_index(levels, leaf)) as usize;
+            self.store.fill_window(leaf, 1, &mut iter, count);
+        }
+        debug_assert!(iter.next().is_none(), "rebuild left elements unplaced");
     }
 
     // ------------------------------------------------------------------
@@ -540,52 +621,38 @@ impl<T: Clone> HiPma<T> {
     // Leaf operations
     // ------------------------------------------------------------------
 
+    /// Steady-state leaf insert: one dense `Vec::insert` plus a rewrite of
+    /// the leaf's bitmap words. No allocation, no clone, no gather buffer.
     fn leaf_insert(&mut self, slot_start: usize, rel_rank: usize, item: T) {
         let slot_count = self.geometry.leaf_slots;
-        let mut elements = Vec::with_capacity(slot_count);
         self.tracer.read(
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
-        gather_from(
-            &self.slots[slot_start..slot_start + slot_count],
-            &mut elements,
-        );
-        debug_assert!(rel_rank <= elements.len(), "leaf rank out of bounds");
-        elements.insert(rel_rank.min(elements.len()), item);
-        debug_assert!(
-            elements.len() <= slot_count,
-            "leaf overflow: Lemma 7 violated"
-        );
-        let moves = spread_into(
-            &elements,
-            &mut self.slots[slot_start..slot_start + slot_count],
-        );
-        self.counters.add_moves(moves);
+        let leaf = self.geometry.leaf_of_slot(slot_start);
+        let n = self.store.group_len(leaf);
+        debug_assert!(rel_rank <= n, "leaf rank out of bounds");
+        debug_assert!(n < slot_count, "leaf overflow: Lemma 7 violated");
+        self.store.insert_in_group(leaf, rel_rank.min(n), item);
+        self.counters.add_moves(n as u64 + 1);
         self.tracer.write(
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
     }
 
+    /// Steady-state leaf delete: the mirror of [`Self::leaf_insert`].
     fn leaf_delete(&mut self, slot_start: usize, rel_rank: usize) -> T {
         let slot_count = self.geometry.leaf_slots;
-        let mut elements = Vec::with_capacity(slot_count);
         self.tracer.read(
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
         );
-        gather_from(
-            &self.slots[slot_start..slot_start + slot_count],
-            &mut elements,
-        );
-        debug_assert!(rel_rank < elements.len(), "leaf rank out of bounds");
-        let removed = elements.remove(rel_rank);
-        let moves = spread_into(
-            &elements,
-            &mut self.slots[slot_start..slot_start + slot_count],
-        );
-        self.counters.add_moves(moves);
+        let leaf = self.geometry.leaf_of_slot(slot_start);
+        let n = self.store.group_len(leaf);
+        debug_assert!(rel_rank < n, "leaf rank out of bounds");
+        let removed = self.store.remove_in_group(leaf, rel_rank);
+        self.counters.add_moves(n as u64 - 1);
         self.tracer.write(
             self.array_region.addr(slot_start as u64),
             self.array_region.span(slot_count as u64),
@@ -608,19 +675,22 @@ impl<T: Clone> HiPma<T> {
         self.counters.add_insert();
         let event = self.capacity.on_insert(&mut self.rng);
         if let CapacityEvent::Rebuild { .. } = event {
-            let mut elements = self.collect_all();
-            elements.insert(rank, item);
+            let mut buf = self.gather_all();
+            buf.insert(rank, item);
             self.counters.add_resize();
-            self.rebuild_everything(elements);
+            self.rebuild_everything(buf);
             return Ok(());
         }
-        // Descend the range tree.
+        // Descend the range tree. Only the root count and each level's left
+        // child are read from the rank tree: a child's own count is derived
+        // from its parent's (`l1` going left, `len − l1` going right),
+        // halving the vEB accesses per level.
         let mut range = 0usize;
         let mut depth = 0u32;
         let mut slot_start = 0usize;
         let mut rel_rank = rank;
+        let mut len_before = *self.rank_tree.get(0) as usize;
         loop {
-            let len_before = *self.rank_tree.get(range) as usize;
             if depth == self.geometry.height {
                 self.rank_tree.set(range, (len_before + 1) as u64);
                 self.leaf_insert(slot_start, rel_rank, item);
@@ -634,20 +704,22 @@ impl<T: Clone> HiPma<T> {
             match decision {
                 Decision::Rebuild { forced } => {
                     let slot_count = self.geometry.slots_at_depth(depth);
-                    let mut elements = self.collect_range(slot_start, slot_count);
-                    elements.insert(rel_rank, item);
+                    let mut buf = self.gather_range(slot_start, slot_count);
+                    buf.insert(rel_rank, item);
                     self.counters.add_rebuild(slot_count as u64);
-                    self.rebuild_range(range, depth, slot_start, &elements, forced);
+                    self.rebuild_range(range, depth, slot_start, buf, forced);
                     return Ok(());
                 }
                 Decision::Descend => {
                     let half = self.geometry.slots_at_depth(depth) / 2;
                     if rel_rank <= l1 {
                         range = left;
+                        len_before = l1;
                     } else {
                         range = 2 * range + 2;
                         slot_start += half;
                         rel_rank -= l1;
+                        len_before -= l1;
                     }
                     depth += 1;
                 }
@@ -666,13 +738,14 @@ impl<T: Clone> HiPma<T> {
         self.counters.add_delete();
         let event = self.capacity.on_delete(&mut self.rng);
         if let CapacityEvent::Rebuild { .. } = event {
-            let mut elements = self.collect_all();
-            let removed = elements.remove(rank);
+            let mut buf = self.gather_all();
+            let removed = buf.remove(rank);
             self.counters.add_resize();
             if self.capacity.is_empty() {
+                self.scratch.restore(buf);
                 self.reset_empty();
             } else {
-                self.rebuild_everything(elements);
+                self.rebuild_everything(buf);
             }
             return Ok(removed);
         }
@@ -680,8 +753,8 @@ impl<T: Clone> HiPma<T> {
         let mut depth = 0u32;
         let mut slot_start = 0usize;
         let mut rel_rank = rank;
+        let mut len_before = *self.rank_tree.get(0) as usize;
         loop {
-            let len_before = *self.rank_tree.get(range) as usize;
             if depth == self.geometry.height {
                 self.rank_tree.set(range, (len_before - 1) as u64);
                 return Ok(self.leaf_delete(slot_start, rel_rank));
@@ -694,20 +767,22 @@ impl<T: Clone> HiPma<T> {
             match decision {
                 Decision::Rebuild { forced } => {
                     let slot_count = self.geometry.slots_at_depth(depth);
-                    let mut elements = self.collect_range(slot_start, slot_count);
-                    let removed = elements.remove(rel_rank);
+                    let mut buf = self.gather_range(slot_start, slot_count);
+                    let removed = buf.remove(rel_rank);
                     self.counters.add_rebuild(slot_count as u64);
-                    self.rebuild_range(range, depth, slot_start, &elements, forced);
+                    self.rebuild_range(range, depth, slot_start, buf, forced);
                     return Ok(removed);
                 }
                 Decision::Descend => {
                     let half = self.geometry.slots_at_depth(depth) / 2;
                     if rel_rank < l1 {
                         range = left;
+                        len_before = l1;
                     } else {
                         range = 2 * range + 2;
                         slot_start += half;
                         rel_rank -= l1;
+                        len_before -= l1;
                     }
                     depth += 1;
                 }
@@ -725,26 +800,23 @@ impl<T: Clone> HiPma<T> {
         if rank >= self.len() {
             return None;
         }
-        let (slot, _) = self.locate(rank);
-        self.slots[slot].as_ref()
+        let (leaf, idx) = self.locate(rank);
+        self.store.get(leaf, idx)
     }
 
     /// Lazily yields the elements with ranks `rank..len` in order, without
-    /// allocating: one rank-tree descent to find the starting slot, then a
-    /// sequential slot scan (`O(1 + k/B)` I/Os for `k` consumed elements,
-    /// charged to the tracer per slot as the iterator advances).
-    pub fn iter_from(&self, rank: usize) -> impl Iterator<Item = &T> {
-        let start_slot = if rank >= self.len() {
-            self.slots.len()
+    /// allocating: one rank-tree descent to find the starting leaf, then a
+    /// sequential scan of the dense leaves (`O(1 + k/B)` I/Os for `k`
+    /// consumed elements, charged to the tracer one leaf at a time as the
+    /// iterator enters it).
+    pub fn iter_from(&self, rank: usize) -> ScanIter<'_, T> {
+        let (leaf, idx) = if rank >= self.len() {
+            (self.geometry.leaf_count(), 0)
         } else {
-            self.locate(rank).0
+            self.locate(rank)
         };
-        crate::spread::scan_occupied_from(
-            &self.slots,
-            start_slot,
-            self.tracer.clone(),
-            self.array_region,
-        )
+        self.store
+            .iter_from(leaf, idx, self.tracer.clone(), self.array_region)
     }
 
     /// Borrows every element in rank order (a full sequential scan).
@@ -793,15 +865,17 @@ impl<T: Clone> HiPma<T> {
     /// operations. Cost is `O(n)` element moves instead of the incremental
     /// `O(n log² n)`.
     pub fn bulk_load(&mut self, items: impl IntoIterator<Item = T>, seed: u64) {
-        let elements: Vec<T> = items.into_iter().collect();
+        let mut buf = self.scratch.take();
+        buf.extend(items);
         let mut source = RngSource::from_seed(seed);
         self.rng = source.split("hi-pma");
-        self.capacity = HiCapacity::with_len(elements.len(), &mut self.rng);
+        self.capacity = HiCapacity::with_len(buf.len(), &mut self.rng);
         self.counters.add_resize();
-        if elements.is_empty() {
+        if buf.is_empty() {
+            self.scratch.restore(buf);
             self.reset_empty();
         } else {
-            self.rebuild_everything(elements);
+            self.rebuild_everything(buf);
         }
     }
 
@@ -809,7 +883,7 @@ impl<T: Clone> HiPma<T> {
     /// `bulk_load` of nothing).
     fn reset_empty(&mut self) {
         self.geometry = Geometry::for_n_hat(1);
-        self.slots = vec![None; self.geometry.total_slots];
+        self.store = SlotStore::new(self.geometry.leaf_count(), self.geometry.leaf_slots);
         self.array_region = Region::new(0, self.elem_size, self.geometry.total_slots as u64);
         self.rank_tree = VebTree::new(
             self.geometry.levels(),
@@ -825,9 +899,11 @@ impl<T: Clone> HiPma<T> {
         );
     }
 
-    /// Finds the absolute slot of the element with the given rank, returning
-    /// `(slot_index, leaf_slot_start)`. Charges the rank-tree descent and the
-    /// leaf scan to the tracer.
+    /// Finds the dense position of the element with the given rank,
+    /// returning `(leaf_index, index_within_leaf)`. Charges the rank-tree
+    /// descent and one sequential read of the leaf to the tracer. With dense
+    /// per-leaf storage the within-leaf position *is* the relative rank —
+    /// no slot probing.
     fn locate(&self, rank: usize) -> (usize, usize) {
         debug_assert!(rank < self.len());
         let mut range = 0usize;
@@ -847,22 +923,11 @@ impl<T: Clone> HiPma<T> {
             }
             depth += 1;
         }
-        // Scan the leaf for the rel_rank-th occupied slot.
-        let slot_count = self.geometry.leaf_slots;
         self.tracer.read(
             self.array_region.addr(slot_start as u64),
-            self.array_region.span(slot_count as u64),
+            self.array_region.span(self.geometry.leaf_slots as u64),
         );
-        let mut seen = 0usize;
-        for offset in 0..slot_count {
-            if self.slots[slot_start + offset].is_some() {
-                if seen == rel_rank {
-                    return (slot_start + offset, slot_start);
-                }
-                seen += 1;
-            }
-        }
-        unreachable!("rank tree and slot occupancy are out of sync");
+        (self.geometry.leaf_of_slot(slot_start), rel_rank)
     }
 
     /// Expected slot position of the `j`-th element of a leaf holding `n`
@@ -908,21 +973,27 @@ impl<T: Clone> HiPma<T> {
             }
             depth += 1;
         }
-        let slot_count = self.geometry.leaf_slots;
         self.tracer.read(
             self.array_region.addr(slot_start as u64),
-            self.array_region.span(slot_count as u64),
+            self.array_region.span(self.geometry.leaf_slots as u64),
         );
-        let mut pos = 0usize;
-        for offset in 0..slot_count {
-            if let Some(e) = &self.slots[slot_start + offset] {
-                if f(e) != std::cmp::Ordering::Less {
-                    return rank_offset + pos;
-                }
-                pos += 1;
+        let leaf = self.geometry.leaf_of_slot(slot_start);
+        for (pos, e) in self.store.group(leaf).iter().enumerate() {
+            if f(e) != std::cmp::Ordering::Less {
+                return rank_offset + pos;
             }
         }
-        rank_offset + pos
+        rank_offset + self.store.group_len(leaf)
+    }
+}
+
+impl<T: Clone> Occupancy for HiPma<T> {
+    fn slot_count(&self) -> usize {
+        self.geometry.total_slots
+    }
+
+    fn occupancy_words(&self) -> &[u64] {
+        self.store.bitmap().words()
     }
 }
 
@@ -961,7 +1032,6 @@ impl<T: Clone> RankedSequence for HiPma<T> {
         HiPma::bulk_load(self, items, seed)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1415,5 +1485,36 @@ mod tests {
             "a".to_string()
         );
         assert_eq!(pma.to_vec(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn occupancy_trait_matches_legacy_representation() {
+        use hi_common::traits::Occupancy;
+        let pma = filled(900, 21);
+        assert_eq!(Occupancy::occupancy(&pma), pma.occupancy());
+        assert_eq!(pma.occupied_slots(), 900);
+        assert_eq!(pma.slot_count(), pma.total_slots());
+        // The packed words cover every slot and nothing beyond.
+        assert_eq!(pma.occupancy_words().len(), pma.total_slots().div_ceil(64));
+    }
+
+    #[test]
+    fn rebuild_scratch_capacity_is_reused() {
+        // After a capacity rebuild has sized the arena, steady-state range
+        // rebuilds must not grow it again (the allocation-free guarantee is
+        // asserted allocator-level in tests/alloc_regression.rs).
+        let mut pma = filled(4_000, 23);
+        let cap_after_warmup = pma.scratch.capacity();
+        assert!(cap_after_warmup >= 2_000, "arena never warmed up");
+        for i in 0..500 {
+            pma.delete(i % pma.len()).unwrap();
+        }
+        for i in 0..500u64 {
+            pma.insert((i as usize * 13) % (pma.len() + 1), i).unwrap();
+        }
+        assert!(
+            pma.scratch.capacity() >= cap_after_warmup,
+            "scratch arena must persist across rebalances"
+        );
     }
 }

@@ -43,6 +43,7 @@ pub mod fenwick;
 pub mod geometry;
 pub mod hi_pma;
 pub mod spread;
+pub mod store;
 
 pub use classic::{ClassicPma, DensityBands};
 pub use geometry::Geometry;

@@ -5,6 +5,9 @@
 //! history independence: the layout of a leaf holding `n` elements in `L`
 //! slots must be a function of `(n, L)` only (paper §3.1, base case of the
 //! recursion), never of which element arrived when.
+//!
+//! The placement arithmetic lives here; the storage it drives (dense values
+//! plus an occupancy bitmap) lives in [`crate::store`].
 
 /// Slot index of the `j`-th of `n` elements spread evenly over `slots` slots
 /// (`0 ≤ j < n ≤ slots`).
@@ -13,82 +16,43 @@
 /// element at slot 0 and leaves gaps as evenly as possible. Consecutive
 /// elements are at most `⌈slots / n⌉` slots apart, so a constant-factor-full
 /// leaf has `O(1)` gaps between consecutive elements (Lemma 8).
+///
+/// The product is computed in `u64` — one native multiply and divide — and
+/// falls back to `u128` only when `j · slots` would overflow (arrays beyond
+/// ~2³² slots), keeping the division off the critical path's slow lane.
 #[inline]
 pub fn spread_position(j: usize, n: usize, slots: usize) -> usize {
     debug_assert!(n > 0 && j < n && n <= slots);
-    // u128 arithmetic avoids overflow for absurdly large arrays.
-    ((j as u128 * slots as u128) / n as u128) as usize
-}
-
-/// Writes `elements` evenly into `slots[0..len]`, clearing every other slot.
-/// Returns the number of element placements performed (each placement is one
-/// "element move" in the paper's Figure 2 accounting).
-pub fn spread_into<T: Clone>(elements: &[T], slots: &mut [Option<T>]) -> u64 {
-    let n = elements.len();
-    let len = slots.len();
-    assert!(n <= len, "cannot pack {n} elements into {len} slots");
-    for s in slots.iter_mut() {
-        *s = None;
-    }
-    for (j, elem) in elements.iter().enumerate() {
-        slots[spread_position(j, n, len)] = Some(elem.clone());
-    }
-    n as u64
-}
-
-/// Collects the occupied slots of a window, in slot order, into `out`.
-pub fn gather_from<T: Clone>(slots: &[Option<T>], out: &mut Vec<T>) {
-    for v in slots.iter().flatten() {
-        out.push(v.clone());
+    match (j as u64).checked_mul(slots as u64) {
+        Some(product) => (product / n as u64) as usize,
+        None => ((j as u128 * slots as u128) / n as u128) as usize,
     }
 }
 
-/// Counts the occupied slots of a window.
-pub fn count_occupied<T>(slots: &[Option<T>]) -> usize {
-    slots.iter().filter(|s| s.is_some()).count()
-}
-
-/// Largest run of consecutive empty slots *between two occupied slots* of the
-/// window (leading and trailing gaps are not counted). Used by the Lemma 8
-/// invariant checks.
-pub fn max_interior_gap<T>(slots: &[Option<T>]) -> usize {
-    let mut max_gap = 0usize;
-    let mut current = 0usize;
-    let mut seen_element = false;
-    for slot in slots {
-        match slot {
-            Some(_) => {
-                if seen_element {
-                    max_gap = max_gap.max(current);
-                }
-                seen_element = true;
-                current = 0;
-            }
-            None => current += 1,
+/// Calls `f` with the slot position of each of `n` elements spread evenly
+/// over `slots` slots, in increasing element order — exactly
+/// `spread_position(0..n)`, but generated incrementally (one division per
+/// *window* instead of one per element): `⌊j·S/n⌋` advances by `⌊S/n⌋` per
+/// step plus a Bresenham-style carry of the remainder.
+#[inline]
+pub fn for_each_spread_position(n: usize, slots: usize, mut f: impl FnMut(usize)) {
+    if n == 0 {
+        return;
+    }
+    debug_assert!(n <= slots);
+    let step = slots / n;
+    let rem = slots % n;
+    let mut pos = 0usize;
+    let mut err = 0usize;
+    for _ in 0..n {
+        f(pos);
+        pos += step;
+        err += rem;
+        if err >= n {
+            pos += 1;
+            err -= n;
         }
     }
-    max_gap
-}
-
-/// Lazily yields the occupied elements of `slots[start_slot..]` in order,
-/// charging each visited slot to `tracer` as the iterator advances — the
-/// shared sequential-scan engine behind both PMAs' `iter_from`/`range_iter`
-/// (one rank lookup up front, then `O(1 + k/B)` transfers for `k` consumed
-/// elements). A `start_slot` past the end yields nothing.
-pub(crate) fn scan_occupied_from<T>(
-    slots: &[Option<T>],
-    start_slot: usize,
-    tracer: io_sim::Tracer,
-    region: io_sim::Region,
-) -> impl Iterator<Item = &T> {
-    let start_slot = start_slot.min(slots.len());
-    slots[start_slot..]
-        .iter()
-        .enumerate()
-        .inspect(move |(off, _)| {
-            tracer.read(region.addr((start_slot + off) as u64), region.span(1));
-        })
-        .filter_map(|(_, slot)| slot.as_ref())
 }
 
 #[cfg(test)]
@@ -121,63 +85,50 @@ mod tests {
     }
 
     #[test]
-    fn spread_into_places_all_elements_in_order() {
-        let elements = vec![10, 20, 30, 40];
-        let mut slots = vec![None; 10];
-        let moves = spread_into(&elements, &mut slots);
-        assert_eq!(moves, 4);
-        let mut gathered = Vec::new();
-        gather_from(&slots, &mut gathered);
-        assert_eq!(gathered, elements);
-        assert_eq!(count_occupied(&slots), 4);
-    }
-
-    #[test]
-    fn spread_into_clears_stale_slots() {
-        let mut slots = vec![Some(99); 8];
-        spread_into(&[1, 2], &mut slots);
-        assert_eq!(count_occupied(&slots), 2);
-        let mut gathered = Vec::new();
-        gather_from(&slots, &mut gathered);
-        assert_eq!(gathered, vec![1, 2]);
-    }
-
-    #[test]
-    fn spread_empty_clears_everything() {
-        let mut slots = vec![Some(7); 5];
-        let moves = spread_into::<i32>(&[], &mut slots);
-        assert_eq!(moves, 0);
-        assert_eq!(count_occupied(&slots), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot pack")]
-    fn overfull_panics() {
-        let mut slots = vec![None; 2];
-        spread_into(&[1, 2, 3], &mut slots);
-    }
-
-    #[test]
-    fn interior_gaps_are_bounded_for_half_full_windows() {
-        // A window at least half full has interior gaps of at most 2 slots.
-        for n in 4..=40usize {
-            let slots_len = 2 * n;
-            let elements: Vec<usize> = (0..n).collect();
-            let mut slots = vec![None; slots_len];
-            spread_into(&elements, &mut slots);
-            assert!(max_interior_gap(&slots) <= 2, "n = {n}");
+    fn fast_path_agrees_with_u128_reference() {
+        // Property test pinning the u64 fast path to the old all-u128
+        // arithmetic, including near the overflow boundary.
+        let reference =
+            |j: usize, n: usize, slots: usize| ((j as u128 * slots as u128) / n as u128) as usize;
+        let huge = 1usize << 40;
+        for (j, n, slots) in [
+            (0, 1, 1),
+            (3, 7, 100),
+            (12_345, 54_321, 100_000),
+            (huge - 2, huge - 1, huge),
+            (huge / 2, huge / 2 + 1, huge),
+        ] {
+            assert_eq!(
+                spread_position(j, n, slots),
+                reference(j, n, slots),
+                "j={j} n={n} slots={slots}"
+            );
         }
     }
 
     #[test]
-    fn max_interior_gap_examples() {
-        let slots = vec![Some(1), None, None, Some(2), None, Some(3), None];
-        assert_eq!(max_interior_gap(&slots), 2);
-        let no_gap = vec![Some(1), Some(2)];
-        assert_eq!(max_interior_gap(&no_gap), 0);
-        let empty: Vec<Option<i32>> = vec![None; 4];
-        assert_eq!(max_interior_gap(&empty), 0);
-        let single = vec![None, Some(5), None];
-        assert_eq!(max_interior_gap(&single), 0);
+    fn incremental_positions_match_the_closed_form() {
+        // Property test pinning the Bresenham generator to `⌊j·S/n⌋`.
+        for n in 1..=64usize {
+            for slots in n..=130usize {
+                let mut got = Vec::with_capacity(n);
+                for_each_spread_position(n, slots, |p| got.push(p));
+                let expected: Vec<usize> = (0..n).map(|j| spread_position(j, n, slots)).collect();
+                assert_eq!(got, expected, "n={n} slots={slots}");
+            }
+        }
+        for_each_spread_position(0, 10, |_| panic!("no positions for n = 0"));
+    }
+
+    #[test]
+    fn gaps_are_bounded_for_half_full_windows() {
+        // A window at least half full has interior gaps of at most 2 slots.
+        for n in 4..=40usize {
+            let slots = 2 * n;
+            let positions: Vec<usize> = (0..n).map(|j| spread_position(j, n, slots)).collect();
+            for pair in positions.windows(2) {
+                assert!(pair[1] - pair[0] - 1 <= 2, "n = {n}");
+            }
+        }
     }
 }

@@ -1,0 +1,373 @@
+//! Flat slot storage: dense per-group values plus a packed occupancy bitmap.
+//!
+//! Both PMAs view their backing array as a sequence of fixed-width *groups*
+//! of slots (the HI PMA's leaf ranges, the classic PMA's segments). The old
+//! engine stored the array as `Vec<Option<T>>` — 16 bytes per slot for `u64`
+//! records, a discriminant probe per slot scan, and a clone per element per
+//! rebalance. [`SlotStore`] splits the representation:
+//!
+//! * **values** live dense, in rank order, in one `Vec<T>` per group whose
+//!   capacity is fixed at the group's slot count (Lemma 7 guarantees a group
+//!   never overflows), so gathers and spreads are `memmove`s of contiguous
+//!   values and steady-state leaf updates are a single `Vec::insert`;
+//! * the **virtual slot layout** — which slot of the group each element
+//!   occupies, i.e. the memory representation that weak history independence
+//!   is defined over — lives in a [`Bitmap`], maintained bit-identically to
+//!   the old engine's `Option` occupancy (`⌊j·slots/n⌋` even spreading).
+//!
+//! Occupancy counts are popcounts, gap checks are word scans, and rebalances
+//! *move* elements (drain/refill) instead of cloning them.
+
+use hi_common::bitmap::Bitmap;
+use io_sim::{Region, Tracer};
+
+use crate::spread::for_each_spread_position;
+
+/// Dense per-group value storage with a packed slot-occupancy bitmap.
+#[derive(Debug, Clone)]
+pub struct SlotStore<T> {
+    groups: Vec<Vec<T>>,
+    bitmap: Bitmap,
+    group_slots: usize,
+    /// Words per group-sized bit pattern (`⌈group_slots / 64⌉`).
+    pattern_stride: usize,
+    /// `patterns[n·stride .. (n+1)·stride]` is the even spread of `n`
+    /// elements over one group's slots, as packed bits. A group's occupancy
+    /// is a pure function of its element count, so a group rewrite is a
+    /// table row blitted in with a couple of masked word stores instead of
+    /// one read-modify-write per element.
+    patterns: Vec<u64>,
+}
+
+impl<T> SlotStore<T> {
+    /// Creates an empty store of `group_count` groups of `group_slots` slots
+    /// each. Every group's capacity is reserved up front so steady-state
+    /// updates never reallocate.
+    pub fn new(group_count: usize, group_slots: usize) -> Self {
+        assert!(group_count > 0 && group_slots > 0);
+        let pattern_stride = group_slots.div_ceil(64);
+        let mut patterns = vec![0u64; (group_slots + 1) * pattern_stride];
+        for n in 0..=group_slots {
+            let row = &mut patterns[n * pattern_stride..(n + 1) * pattern_stride];
+            for_each_spread_position(n, group_slots, |p| row[p / 64] |= 1 << (p % 64));
+        }
+        Self {
+            groups: (0..group_count)
+                .map(|_| Vec::with_capacity(group_slots))
+                .collect(),
+            bitmap: Bitmap::new(group_count * group_slots),
+            group_slots,
+            pattern_stride,
+            patterns,
+        }
+    }
+
+    /// Total number of slots.
+    pub fn total_slots(&self) -> usize {
+        self.bitmap.len()
+    }
+
+    /// Slots per group.
+    pub fn group_slots(&self) -> usize {
+        self.group_slots
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The occupancy bitmap (the structure's layout fingerprint).
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// The dense elements of group `g`, in rank order.
+    pub fn group(&self, g: usize) -> &[T] {
+        &self.groups[g]
+    }
+
+    /// Number of elements in group `g`.
+    pub fn group_len(&self, g: usize) -> usize {
+        self.groups[g].len()
+    }
+
+    /// Total number of stored elements.
+    pub fn element_count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Borrows the element at dense index `idx` of group `g`.
+    pub fn get(&self, g: usize, idx: usize) -> Option<&T> {
+        self.groups.get(g)?.get(idx)
+    }
+
+    /// First slot of group `g`.
+    #[inline]
+    fn group_start(&self, g: usize) -> usize {
+        g * self.group_slots
+    }
+
+    /// Rewrites the bitmap bits of group `g` to the even spread of `n`
+    /// elements over its slots — the exact layout the old `spread_into`
+    /// produced — as one masked store per word (the precomputed pattern
+    /// row; an out-of-range `n` fails the row indexing).
+    fn respread_bits(&mut self, g: usize, n: usize) {
+        let start = self.group_start(g);
+        self.bitmap.write_range_bits(
+            start,
+            self.group_slots,
+            &self.patterns[n * self.pattern_stride..(n + 1) * self.pattern_stride],
+        );
+    }
+
+    /// Inserts `item` at dense rank `rel` of group `g` and respreads the
+    /// group's slot bits. Zero allocations (the group's capacity is fixed)
+    /// and zero clones.
+    pub fn insert_in_group(&mut self, g: usize, rel: usize, item: T) {
+        debug_assert!(self.groups[g].len() < self.group_slots, "group overflow");
+        self.groups[g].insert(rel, item);
+        let n = self.groups[g].len();
+        self.respread_bits(g, n);
+    }
+
+    /// Removes and returns the element at dense rank `rel` of group `g`,
+    /// respreading the group's slot bits.
+    pub fn remove_in_group(&mut self, g: usize, rel: usize) -> T {
+        let item = self.groups[g].remove(rel);
+        let n = self.groups[g].len();
+        self.respread_bits(g, n);
+        item
+    }
+
+    /// Moves every element of groups `[g0, g0 + window_groups)` into `out`
+    /// (in rank order), clearing the groups and their bits.
+    pub fn drain_window_into(&mut self, g0: usize, window_groups: usize, out: &mut Vec<T>) {
+        let mut total = 0usize;
+        for g in g0..g0 + window_groups {
+            total += self.groups[g].len();
+        }
+        out.reserve(total + 1); // +1: callers usually insert one more element
+        for g in g0..g0 + window_groups {
+            out.append(&mut self.groups[g]);
+        }
+        let start = self.group_start(g0);
+        self.bitmap
+            .clear_range(start, start + window_groups * self.group_slots);
+    }
+
+    /// Fills groups `[g0, g0 + window_groups)` — which must be empty — with
+    /// `count` elements taken from `iter`, evenly spread over the window's
+    /// slots. Elements land in the group owning their spread position, so
+    /// the dense storage and the bitmap describe the same layout.
+    pub fn fill_window<I: Iterator<Item = T>>(
+        &mut self,
+        g0: usize,
+        window_groups: usize,
+        iter: &mut I,
+        count: usize,
+    ) {
+        let slots = window_groups * self.group_slots;
+        // Hard assert (as the old `spread_into` had): an overfull window in
+        // release would silently repeat positions and overflow group
+        // capacities instead of failing loudly.
+        assert!(
+            count <= slots,
+            "cannot pack {count} elements into {slots} slots"
+        );
+        let start = self.group_start(g0);
+        if window_groups == 1 {
+            // Single-group fill (the HI PMA's per-leaf refills): move the
+            // elements in one tight loop, blit the pattern row in one go.
+            let group = &mut self.groups[g0];
+            debug_assert!(group.is_empty());
+            group.extend(iter.take(count));
+            debug_assert_eq!(group.len(), count, "iterator shorter than promised count");
+            self.bitmap.write_range_bits(
+                start,
+                self.group_slots,
+                &self.patterns[count * self.pattern_stride..(count + 1) * self.pattern_stride],
+            );
+            return;
+        }
+        let groups = &mut self.groups;
+        let bitmap = &mut self.bitmap;
+        let group_slots = self.group_slots;
+        for_each_spread_position(count, slots, |p| {
+            let g = g0 + p / group_slots;
+            debug_assert!(groups[g].len() < group_slots);
+            let item = iter.next().expect("iterator shorter than promised count");
+            groups[g].push(item);
+            bitmap.set(start + p);
+        });
+    }
+
+    /// Lazily yields the elements from dense position `(g, idx)` onward, in
+    /// rank order. Each group is charged to `tracer` as one sequential read
+    /// of its slot span when the iterator enters it (per-window batching —
+    /// the old engine charged per slot).
+    pub fn iter_from(
+        &self,
+        g: usize,
+        idx: usize,
+        tracer: Tracer,
+        region: Region,
+    ) -> ScanIter<'_, T> {
+        ScanIter {
+            store: self,
+            group: g,
+            idx,
+            entered: false,
+            tracer,
+            region,
+        }
+    }
+}
+
+/// Sequential scan over a [`SlotStore`] from a dense position, charging each
+/// visited group to the tracer as one read.
+pub struct ScanIter<'a, T> {
+    store: &'a SlotStore<T>,
+    group: usize,
+    idx: usize,
+    entered: bool,
+    tracer: Tracer,
+    region: Region,
+}
+
+impl<'a, T> ScanIter<'a, T> {
+    fn charge_group(&self, g: usize) {
+        if self.tracer.is_enabled() {
+            let slots = self.store.group_slots as u64;
+            self.tracer
+                .read(self.region.addr(g as u64 * slots), self.region.span(slots));
+        }
+    }
+}
+
+impl<'a, T> Iterator for ScanIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            if self.group >= self.store.group_count() {
+                return None;
+            }
+            if !self.entered {
+                self.charge_group(self.group);
+                self.entered = true;
+            }
+            if let Some(item) = self.store.groups[self.group].get(self.idx) {
+                self.idx += 1;
+                return Some(item);
+            }
+            self.group += 1;
+            self.idx = 0;
+            self.entered = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(groups: &[&[u64]], group_slots: usize) -> SlotStore<u64> {
+        let mut s: SlotStore<u64> = SlotStore::new(groups.len(), group_slots);
+        for (g, elems) in groups.iter().enumerate() {
+            let mut iter = elems.iter().copied();
+            s.fill_window(g, 1, &mut iter, elems.len());
+        }
+        s
+    }
+
+    #[test]
+    fn fill_and_bits_match_even_spread() {
+        let s = store_with(&[&[10, 20], &[30, 40, 50]], 6);
+        assert_eq!(s.total_slots(), 12);
+        assert_eq!(s.element_count(), 5);
+        // Group 0: 2 elements over 6 slots -> slots 0 and 3.
+        // Group 1: 3 elements over 6 slots -> slots 6, 8, 10.
+        let occupied: Vec<usize> = (0..12).filter(|&i| s.bitmap().get(i)).collect();
+        assert_eq!(occupied, vec![0, 3, 6, 8, 10]);
+        assert_eq!(s.group(0), &[10, 20]);
+        assert_eq!(s.group(1), &[30, 40, 50]);
+    }
+
+    #[test]
+    fn insert_and_remove_respread() {
+        let mut s = store_with(&[&[10, 30]], 8);
+        s.insert_in_group(0, 1, 20);
+        assert_eq!(s.group(0), &[10, 20, 30]);
+        // 3 elements over 8 slots -> 0, 2, 5.
+        let occupied: Vec<usize> = (0..8).filter(|&i| s.bitmap().get(i)).collect();
+        assert_eq!(occupied, vec![0, 2, 5]);
+        assert_eq!(s.remove_in_group(0, 0), 10);
+        assert_eq!(s.group(0), &[20, 30]);
+        assert_eq!(s.bitmap().count_ones(), 2);
+    }
+
+    #[test]
+    fn drain_then_refill_moves_everything() {
+        let mut s = store_with(&[&[1, 2], &[3], &[4, 5, 6]], 4);
+        let mut out = Vec::new();
+        s.drain_window_into(0, 3, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.element_count(), 0);
+        assert_eq!(s.bitmap().count_ones(), 0);
+        // Refill as one 3-group window: 6 elements over 12 slots.
+        let mut iter = out.into_iter();
+        s.fill_window(0, 3, &mut iter, 6);
+        assert_eq!(s.element_count(), 6);
+        let gathered: Vec<u64> = s
+            .iter_from(0, 0, Tracer::disabled(), Region::new(0, 8, 12))
+            .copied()
+            .collect();
+        assert_eq!(gathered, vec![1, 2, 3, 4, 5, 6]);
+        // Window spread: positions 0, 2, 4, 6, 8, 10 -> groups get 2 each.
+        assert_eq!(s.group_len(0), 2);
+        assert_eq!(s.group_len(1), 2);
+        assert_eq!(s.group_len(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn overfull_window_panics() {
+        let mut s: SlotStore<u64> = SlotStore::new(2, 4);
+        let mut iter = 0..9u64;
+        s.fill_window(0, 2, &mut iter, 9);
+    }
+
+    #[test]
+    fn scan_iter_crosses_empty_groups() {
+        let s = store_with(&[&[], &[7], &[], &[8, 9]], 4);
+        let all: Vec<u64> = s
+            .iter_from(0, 0, Tracer::disabled(), Region::new(0, 8, 16))
+            .copied()
+            .collect();
+        assert_eq!(all, vec![7, 8, 9]);
+        let tail: Vec<u64> = s
+            .iter_from(3, 1, Tracer::disabled(), Region::new(0, 8, 16))
+            .copied()
+            .collect();
+        assert_eq!(tail, vec![9]);
+        let none: Vec<u64> = s
+            .iter_from(4, 0, Tracer::disabled(), Region::new(0, 8, 16))
+            .copied()
+            .collect();
+        assert_eq!(none, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scan_iter_charges_per_group_not_per_slot() {
+        use io_sim::IoConfig;
+        let s = store_with(&[&[1, 2, 3], &[4, 5, 6]], 256);
+        let tracer = Tracer::enabled(IoConfig::new(4096, 1 << 10));
+        let region = Region::new(0, 16, 512);
+        let n = s.iter_from(0, 0, tracer.clone(), region).count();
+        assert_eq!(n, 6);
+        // Each group spans exactly one 4 KiB block (256 slots x 16 bytes):
+        // one read per group entered, not one per slot visited.
+        assert_eq!(tracer.stats().reads, 2);
+    }
+}

@@ -52,6 +52,16 @@ impl<K, V> LeafArray<K, V> {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Aligns the in-memory capacity with the drawn padded size (the space
+    /// the array occupies on simulated disk), so inserts into this array
+    /// cannot reallocate before the next pad redraw.
+    fn reserve_pad(&mut self) {
+        let want = self.pad.padded();
+        if self.entries.capacity() < want {
+            self.entries.reserve_exact(want - self.entries.len());
+        }
+    }
 }
 
 /// A leaf node: a group of consecutive leaf arrays stored contiguously on
@@ -335,17 +345,12 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
         let Some(pos) = self.locate(&key) else {
             let level = self.params.draw_level(&mut self.rng);
             let pad = LeafPad::draw(1, self.params.min_pad, &mut self.rng);
-            self.nodes.push(LeafNode {
-                arrays: vec![LeafArray {
-                    entries: vec![Entry {
-                        key: key.clone(),
-                        value,
-                        level,
-                    }],
-                    pad,
-                }],
-            });
             self.levels_insert(&key, level);
+            let mut entries = Vec::with_capacity(pad.padded());
+            entries.push(Entry { key, value, level });
+            self.nodes.push(LeafNode {
+                arrays: vec![LeafArray { entries, pad }],
+            });
             self.len = 1;
             ios += self.node_rebuild_cost(0);
             self.finish_op(ios);
@@ -362,16 +367,16 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             return Some(old);
         }
         let level = self.params.draw_level(&mut self.rng);
-        let entry = Entry {
-            key: key.clone(),
-            value,
-            level,
-        };
+        if level >= 1 {
+            // Only promoted keys are copied into the upper-level index; the
+            // common (unpromoted) insert moves the key straight into the
+            // leaf array without a single clone.
+            self.levels_insert(&key, level);
+        }
         self.nodes[pos.node].arrays[pos.array]
             .entries
-            .insert(pos.entry, entry);
+            .insert(pos.entry, Entry { key, value, level });
         self.len += 1;
-        self.levels_insert(&key, level);
 
         let node_split_level: usize = if self.params.group_leaf_nodes { 2 } else { 1 };
         let mut rebuilt_nodes: Vec<usize> = Vec::new();
@@ -387,14 +392,14 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             if old_head_level >= 1 {
                 let tail: Vec<Entry<K, V>> = self.nodes[0].arrays[0].entries.split_off(1);
                 self.nodes[0].arrays[0].pad = LeafPad::draw(1, self.params.min_pad, &mut self.rng);
+                self.nodes[0].arrays[0].reserve_pad();
                 let tail_pad = LeafPad::draw(tail.len(), self.params.min_pad, &mut self.rng);
-                self.nodes[0].arrays.insert(
-                    1,
-                    LeafArray {
-                        entries: tail,
-                        pad: tail_pad,
-                    },
-                );
+                let mut tail_array = LeafArray {
+                    entries: tail,
+                    pad: tail_pad,
+                };
+                tail_array.reserve_pad();
+                self.nodes[0].arrays.insert(1, tail_array);
                 rebuilt_nodes.push(0);
                 if old_head_level as usize >= node_split_level {
                     let moved: Vec<LeafArray<K, V>> = self.nodes[0].arrays.split_off(1);
@@ -408,6 +413,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
                         .pad
                         .update(n, self.params.min_pad, &mut self.rng);
                 if redraw {
+                    self.nodes[0].arrays[0].reserve_pad();
                     rebuilt_nodes.push(0);
                 } else {
                     ios += self.leaf_read_cost(pos); // write the array back
@@ -421,14 +427,16 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             let head_len = self.nodes[pos.node].arrays[pos.array].len();
             let head_pad = LeafPad::draw(head_len, self.params.min_pad, &mut self.rng);
             self.nodes[pos.node].arrays[pos.array].pad = head_pad;
+            self.nodes[pos.node].arrays[pos.array].reserve_pad();
             let tail_pad = LeafPad::draw(tail.len(), self.params.min_pad, &mut self.rng);
-            self.nodes[pos.node].arrays.insert(
-                pos.array + 1,
-                LeafArray {
-                    entries: tail,
-                    pad: tail_pad,
-                },
-            );
+            let mut tail_array = LeafArray {
+                entries: tail,
+                pad: tail_pad,
+            };
+            tail_array.reserve_pad();
+            self.nodes[pos.node]
+                .arrays
+                .insert(pos.array + 1, tail_array);
             rebuilt_nodes.push(pos.node);
             if level as usize >= node_split_level {
                 // The new array (and everything after it) starts a new node.
@@ -446,6 +454,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
                 &mut self.rng,
             );
             if redraw {
+                self.nodes[pos.node].arrays[pos.array].reserve_pad();
                 rebuilt_nodes.push(pos.node);
             } else {
                 ios += self.leaf_read_cost(pos); // write the array back
@@ -495,6 +504,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
                 prev.entries.extend(remains);
                 let n = prev.len();
                 prev.pad = LeafPad::draw(n, self.params.min_pad, &mut self.rng);
+                prev.reserve_pad();
                 rebuilt_nodes.push(pos.node);
             } else {
                 // First array of a non-first node: its head had level ≥
@@ -512,6 +522,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
                 last.entries.extend(first.entries);
                 let n = last.len();
                 last.pad = LeafPad::draw(n, self.params.min_pad, &mut self.rng);
+                last.reserve_pad();
                 prev_node.arrays.extend(node.arrays);
                 rebuilt_nodes.push(pos.node - 1);
             }

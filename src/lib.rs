@@ -205,7 +205,7 @@ pub mod prelude {
     pub use hi_common::capacity::HiCapacity;
     pub use hi_common::counters::{OpCounters, SharedCounters};
     pub use hi_common::rng::RngSource;
-    pub use hi_common::traits::{Dictionary, RankedDict, RankedSequence};
+    pub use hi_common::traits::{Dictionary, Occupancy, RankedDict, RankedSequence};
     pub use io_sim::{IoConfig, IoModel, Tracer};
     pub use pma::{ClassicPma, HiPma};
     pub use skiplist::{ExternalSkipList, SkipParams};

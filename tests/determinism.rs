@@ -137,6 +137,89 @@ fn skiplist_layout_differs_across_seeds() {
 }
 
 // ---------------------------------------------------------------------
+// Engine-independence pins: the storage engine is an implementation detail
+// of the representation function — the occupancy bitmap for a given
+// (operations, seed) must never change when the engine is rewritten. The
+// fingerprints below were captured from the original Vec<Option<T>> slot
+// engine (pre flat-storage rework) and pin the flat bitmap engine, and any
+// future engine, to bit-identical layouts across both the incremental and
+// bulk_load build paths.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the occupancy bits plus trailing layout parameters.
+fn layout_fingerprint(bits: &[bool], extra: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &b in bits {
+        step(b as u64);
+    }
+    for &e in extra {
+        step(e);
+    }
+    h
+}
+
+#[test]
+fn hi_pma_layouts_are_bit_identical_to_the_reference_engine() {
+    // Sequential appends.
+    let mut p: HiPma<u64> = HiPma::new(0xFEED5EED);
+    for i in 0..10_000 {
+        p.insert_at(i, i as u64).unwrap();
+    }
+    assert_eq!(
+        layout_fingerprint(&p.occupancy(), &[p.n_hat() as u64, p.total_slots() as u64]),
+        0x2A55_19A0_F05F_C4DA,
+        "sequential-append layout diverged from the reference engine"
+    );
+
+    // Deterministic mixed rank churn.
+    let mut p: HiPma<u64> = HiPma::new(0xABCD);
+    for i in 0u64..8_000 {
+        let len = p.len() as u64;
+        if i % 3 == 2 && len > 0 {
+            p.delete_at(((i * 104_729) % len) as usize).unwrap();
+        } else {
+            p.insert_at(((i * 7_919) % (len + 1)) as usize, i).unwrap();
+        }
+    }
+    assert_eq!(
+        layout_fingerprint(&p.occupancy(), &[p.n_hat() as u64, p.total_slots() as u64]),
+        0xD9BA_3261_B875_16C3,
+        "mixed-churn layout diverged from the reference engine"
+    );
+}
+
+#[test]
+fn hi_pma_bulk_load_layout_is_bit_identical_to_the_reference_engine() {
+    let mut p: HiPma<u64> = HiPma::new(1);
+    p.bulk_load((0..5_000u64).map(|k| k * 3), 0xB01D);
+    assert_eq!(
+        layout_fingerprint(&p.occupancy(), &[p.n_hat() as u64, p.total_slots() as u64]),
+        0x6439_4AD5_3978_65E4,
+        "bulk_load layout diverged from the reference engine"
+    );
+}
+
+#[test]
+fn classic_pma_layout_is_bit_identical_to_the_reference_engine() {
+    let mut c: ClassicPma<u64> = ClassicPma::new();
+    for i in 0..6_000 {
+        c.insert_at(i, i as u64).unwrap();
+    }
+    for i in 0..2_000u64 {
+        c.insert_at(0, i).unwrap();
+    }
+    assert_eq!(
+        layout_fingerprint(&c.occupancy(), &[c.total_slots() as u64]),
+        0x29F1_9C9F_FDDD_7421,
+        "classic-PMA layout diverged from the reference engine"
+    );
+}
+
+// ---------------------------------------------------------------------
 // bulk_load determinism: the layout after a bulk load must be a pure
 // function of (contents, bulk seed) — independent of the order the pairs
 // arrive in, of the structure's construction seed, and of anything it held
