@@ -28,6 +28,12 @@ AP_BENCH_SCALE=1 cargo run --release --bin hi_verification >/dev/null
 echo "==> smoke-run the update-throughput harness (alloc-free engine gate)"
 cargo run --release --bin update_throughput -- --smoke >/dev/null
 
+echo "==> smoke-run the shard-scaling harness (sharded service gate)"
+cargo run --release --bin shard_scaling -- --smoke >/dev/null
+
+echo "==> run the sharded HI / stress batteries explicitly"
+cargo test -q --test shard_history_independence --test shard_stress >/dev/null
+
 echo "==> run every example (builder/DynDict API regressions fail here)"
 for example in quickstart range_query_engine secure_delete_audit io_model_explorer; do
     echo "    --example ${example}"

@@ -1,0 +1,182 @@
+//! Batched throughput of the sharded dictionary service: shards × threads
+//! × workload.
+//!
+//! The standing acceptance bar comes from `update_throughput` (PR 3): the
+//! single-threaded HI PMA sustains ~336 k uniform inserts/s at 1 M keys.
+//! This harness measures the first multi-core rows of the trajectory:
+//! `multi_put` / `multi_get` batches over `S` hash-partitioned shards,
+//! executed either inline (`T=1`) or fanned out to one scoped worker
+//! thread per shard (`T=S`), under uniform and Zipf-skewed key streams.
+//! Sharding pays twice: worker threads run on as many cores as the host
+//! offers, and each shard holds `N/S` keys, so the HI PMA's `O(log² N)`
+//! per-update cost and the keyed adapter's binary search both shrink.
+//!
+//! A snapshot of these rows is appended to `BENCH_baseline.json`; later
+//! PRs are held to them (see EXPERIMENTS.md). Scale with
+//! `AP_BENCH_SHARD_N`, dump rows with `AP_BENCH_JSON=out.json`, or pass
+//! `--smoke` for a seconds-long CI run.
+
+use std::hint::black_box;
+
+use anti_persistence::dict::{Backend, Dict, DynDict};
+use anti_persistence::prelude::*;
+use ap_bench::{emit, env_usize, timed, Row};
+
+/// splitmix64, the stateless key scrambler used across the benches.
+fn scramble(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pre-generated key stream: uniform (distinct w.h.p.) or Zipf-like
+/// (squared unit sample squashed onto a narrow hot set — heavy overwrites).
+fn key_stream(ops: usize, zipf: bool, salt: u64) -> Vec<u64> {
+    (0..ops as u64)
+        .map(|i| {
+            let r = scramble(i ^ salt);
+            if zipf {
+                let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+                ((u * u) * (ops as f64 / 2.0)) as u64
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
+fn service(backend: Backend, shards: usize, threads: usize) -> ShardedDict<DynDict<u64, u64>> {
+    let mut s: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+        .backend(backend)
+        .seed(7)
+        .shards(shards)
+        .build_sharded();
+    // T=1 pins every batch to the inline path; T=S lets each batch fan out
+    // to one scoped worker thread per shard.
+    s.set_parallel_threshold(if threads == 1 { usize::MAX } else { 0 });
+    s
+}
+
+/// Loads `keys` through `multi_put` in `batch`-sized rounds; returns ops/s.
+fn put_phase(s: &mut ShardedDict<DynDict<u64, u64>>, keys: &[u64], batch: usize) -> f64 {
+    let (_, secs) = timed(|| {
+        for chunk in keys.chunks(batch) {
+            s.multi_put(chunk.iter().map(|&k| (k, k ^ 0xABCD)));
+        }
+    });
+    keys.len() as f64 / secs.max(1e-9)
+}
+
+/// Reads `keys` through `multi_get` in `batch`-sized rounds; returns ops/s.
+fn get_phase(s: &ShardedDict<DynDict<u64, u64>>, keys: &[u64], batch: usize) -> f64 {
+    let mut sink = 0u64;
+    let (_, secs) = timed(|| {
+        for chunk in keys.chunks(batch) {
+            for v in s.multi_get(chunk).into_iter().flatten() {
+                sink ^= v;
+            }
+        }
+    });
+    black_box(sink);
+    keys.len() as f64 / secs.max(1e-9)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    rows: &mut Vec<Row>,
+    backend: Backend,
+    workload: &str,
+    zipf: bool,
+    shards: usize,
+    threads: usize,
+    n: usize,
+    batch: usize,
+) -> f64 {
+    let keys = key_stream(n, zipf, 0xA11CE);
+    let mut s = service(backend, shards, threads);
+    let put_ops = put_phase(&mut s, &keys, batch);
+    let reads = key_stream(n / 2, zipf, 0xBEEF);
+    let get_ops = get_phase(&s, &reads, batch);
+    println!(
+        "{backend:<12} {workload:<8} S={shards:<2} T={threads:<2} \
+         multi_put x{n:>8}: {put_ops:>12.0} ops/s   multi_get x{:>8}: {get_ops:>12.0} ops/s",
+        reads.len()
+    );
+    rows.push(Row::new(
+        &format!("sharded-{backend} multi_put/{workload} S={shards} T={threads}"),
+        n as f64,
+        put_ops,
+        "ops/sec",
+    ));
+    rows.push(Row::new(
+        &format!("sharded-{backend} multi_get/{workload} S={shards} T={threads}"),
+        reads.len() as f64,
+        get_ops,
+        "ops/sec",
+    ));
+    put_ops
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, batch) = if smoke {
+        (40_000, 8_192)
+    } else {
+        (
+            env_usize("AP_BENCH_SHARD_N", 1_000_000),
+            env_usize("AP_BENCH_SHARD_BATCH", 65_536),
+        )
+    };
+    // PR 3's single-threaded rank-engine acceptance row, the bar the
+    // sharded service must clear on the 1M-key uniform workload.
+    let baseline = 335_991.0f64;
+    let shard_counts = if smoke {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!("## sharded hi-pma service, {n} keys per cell (batch {batch})\n");
+    let mut best_uniform = 0.0f64;
+    for &shards in &shard_counts {
+        let thread_plans: &[usize] = if shards == 1 { &[1] } else { &[1, shards] };
+        for &threads in thread_plans {
+            for (workload, zipf) in [("uniform", false), ("zipf", true)] {
+                let put_ops = run_cell(
+                    &mut rows,
+                    Backend::HiPma,
+                    workload,
+                    zipf,
+                    shards,
+                    threads,
+                    n,
+                    batch,
+                );
+                if workload == "uniform" && threads > 1 {
+                    best_uniform = best_uniform.max(put_ops);
+                }
+            }
+        }
+    }
+    if !smoke {
+        println!(
+            "\nbest threaded uniform multi_put: {best_uniform:.0} ops/s \
+             ({:.2}x the PR 3 single-thread baseline of {baseline:.0} ops/s)",
+            best_uniform / baseline
+        );
+    }
+
+    println!("\n## cross-engine comparison at S=4, T=4\n");
+    for backend in [Backend::CobBTree, Backend::BTree, Backend::HiSkipList] {
+        for (workload, zipf) in [("uniform", false), ("zipf", true)] {
+            run_cell(&mut rows, backend, workload, zipf, 4, 4, n, batch);
+        }
+    }
+
+    emit(
+        "sharded batched throughput (ops/sec, higher is better)",
+        &rows,
+    );
+}

@@ -16,8 +16,8 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
-use std::cell::Cell;
 use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hi_common::counters::SharedCounters;
 use hi_common::traits::{below_end_bound, cloned_bounds, normalize_pairs, Dictionary};
@@ -57,7 +57,7 @@ impl<K, V> Node<K, V> {
 ///
 /// Every node (internal or leaf) holds at most `B` entries and at least
 /// `⌈B/2⌉` (except the root). Each node is charged as one disk block.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BTree<K: Ord + Clone, V: Clone> {
     nodes: Vec<Node<K, V>>,
     root: NodeId,
@@ -65,8 +65,26 @@ pub struct BTree<K: Ord + Clone, V: Clone> {
     len: usize,
     counters: SharedCounters,
     tracer: Tracer,
-    total_ios: Cell<u64>,
-    last_op_ios: Cell<u64>,
+    // Relaxed atomics, not `Cell`s: the I/O ledger must not stop the whole
+    // tree from being `Sync` (shared readers on the sharded service layer's
+    // worker threads all charge node touches through `&self`).
+    total_ios: AtomicU64,
+    last_op_ios: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> Clone for BTree<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            fanout: self.fanout,
+            len: self.len,
+            counters: self.counters.clone(),
+            tracer: self.tracer.clone(),
+            total_ios: AtomicU64::new(self.total_ios.load(Ordering::Relaxed)),
+            last_op_ios: AtomicU64::new(self.last_op_ios.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<K: Ord + Clone, V: Clone> BTree<K, V> {
@@ -92,8 +110,8 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             len: 0,
             counters,
             tracer,
-            total_ios: Cell::new(0),
-            last_op_ios: Cell::new(0),
+            total_ios: AtomicU64::new(0),
+            last_op_ios: AtomicU64::new(0),
         }
     }
 
@@ -119,12 +137,12 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
 
     /// Block transfers charged to the most recent operation.
     pub fn last_op_ios(&self) -> u64 {
-        self.last_op_ios.get()
+        self.last_op_ios.load(Ordering::Relaxed)
     }
 
     /// Block transfers charged since construction.
     pub fn total_ios(&self) -> u64 {
-        self.total_ios.get()
+        self.total_ios.load(Ordering::Relaxed)
     }
 
     /// The shared operation counters.
@@ -144,16 +162,16 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     }
 
     fn finish_op(&self, ios: u64) {
-        self.last_op_ios.set(ios);
-        self.total_ios.set(self.total_ios.get() + ios);
+        self.last_op_ios.store(ios, Ordering::Relaxed);
+        self.total_ios.fetch_add(ios, Ordering::Relaxed);
         self.tracer.charge(ios, 0);
     }
 
     /// Charges one node touch to the running iteration (lazy traversals call
     /// this per node instead of batching a `finish_op`).
     fn charge_node(&self) {
-        self.last_op_ios.set(self.last_op_ios.get() + 1);
-        self.total_ios.set(self.total_ios.get() + 1);
+        self.last_op_ios.fetch_add(1, Ordering::Relaxed);
+        self.total_ios.fetch_add(1, Ordering::Relaxed);
         self.tracer.charge(1, 0);
     }
 
@@ -199,7 +217,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     /// advances.
     pub fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
         self.counters.add_query();
-        self.last_op_ios.set(0);
+        self.last_op_ios.store(0, Ordering::Relaxed);
         let (start, end) = cloned_bounds(&range);
         BTreeIter::seek(self, &start).take_while(move |&(k, _)| below_end_bound(k, &end))
     }
@@ -1097,5 +1115,20 @@ mod tests {
         t.get(&25_000);
         assert_eq!(t.last_op_ios(), h, "search should read one node per level");
         assert!(t.total_ios() > 0);
+    }
+}
+
+// Compile-time audit for the sharded service layer: the B-tree must be
+// movable onto worker threads whenever its keys and values are.
+#[cfg(test)]
+mod send_sync_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn btree_is_send_and_sync() {
+        assert_send_sync::<BTree<u64, u64>>();
+        assert_send_sync::<BTree<String, Vec<u8>>>();
     }
 }

@@ -536,3 +536,19 @@ mod tests {
         assert_eq!(sum_values(&t), 30);
     }
 }
+
+// Compile-time audit for the sharded service layer: the cache-oblivious
+// B-tree (PMA + vEB trees + RNG + instrumentation handles) must be movable
+// onto worker threads whenever its keys and values are.
+#[cfg(test)]
+mod send_sync_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn cob_btree_is_send_and_sync() {
+        assert_send_sync::<CobBTree<u64, u64>>();
+        assert_send_sync::<CobBTree<String, Vec<u8>>>();
+    }
+}

@@ -4,13 +4,15 @@
 //! `N log²N`; Theorem 11 is stated in terms of RAM operations and rebuild
 //! counts. Every structure in the workspace therefore carries an
 //! [`OpCounters`] value that it bumps as it works. The counters are plain
-//! integers (no atomics) because each structure is single-threaded; the
-//! [`SharedCounters`] wrapper offers interior mutability for the cases where
-//! a structure and its auxiliary trees need to report into one ledger.
+//! integers; the [`SharedCounters`] wrapper offers interior mutability for
+//! the cases where a structure and its auxiliary trees need to report into
+//! one ledger. The wrapper is `Send + Sync` (an `Arc<Mutex<_>>` underneath)
+//! so whole engines can move onto the sharded service layer's worker
+//! threads; each engine still owns its ledger exclusively, so the lock is
+//! never contended on the hot path.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Running totals of the work a structure has performed.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -110,7 +112,7 @@ impl fmt::Display for OpCounters {
 /// ledger that the benchmark harness reads once.
 #[derive(Debug, Clone, Default)]
 pub struct SharedCounters {
-    inner: Rc<RefCell<OpCounters>>,
+    inner: Arc<Mutex<OpCounters>>,
 }
 
 impl SharedCounters {
@@ -121,60 +123,90 @@ impl SharedCounters {
 
     /// Returns a snapshot of the current totals.
     pub fn snapshot(&self) -> OpCounters {
-        *self.inner.borrow()
+        *self.inner.lock().expect("counter ledger lock poisoned")
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        self.inner.borrow_mut().reset();
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .reset();
     }
 
     /// Applies `f` to the underlying counters.
     pub fn update<F: FnOnce(&mut OpCounters)>(&self, f: F) {
-        f(&mut self.inner.borrow_mut());
+        f(&mut self.inner.lock().expect("counter ledger lock poisoned"));
     }
 
     /// Adds `n` element moves.
     pub fn add_moves(&self, n: u64) {
-        self.inner.borrow_mut().element_moves += n;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .element_moves += n;
     }
 
     /// Records a rebuild that rewrote `slots` slots.
     pub fn add_rebuild(&self, slots: u64) {
-        let mut c = self.inner.borrow_mut();
+        let mut c = self.inner.lock().expect("counter ledger lock poisoned");
         c.rebuilds += 1;
         c.rebuild_slots += slots;
     }
 
     /// Records a whole-structure resize.
     pub fn add_resize(&self) {
-        self.inner.borrow_mut().resizes += 1;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .resizes += 1;
     }
 
     /// Adds `n` key comparisons.
     pub fn add_comparisons(&self, n: u64) {
-        self.inner.borrow_mut().comparisons += n;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .comparisons += n;
     }
 
     /// Records a completed insert.
     pub fn add_insert(&self) {
-        self.inner.borrow_mut().inserts += 1;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .inserts += 1;
     }
 
     /// Records a completed delete.
     pub fn add_delete(&self) {
-        self.inner.borrow_mut().deletes += 1;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .deletes += 1;
     }
 
     /// Records a completed query.
     pub fn add_query(&self) {
-        self.inner.borrow_mut().queries += 1;
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .queries += 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_counters_are_send_and_sync() {
+        // Compile-time audit: every engine embeds a SharedCounters, so the
+        // ledger being thread-safe is what lets whole engines migrate onto
+        // the sharded service layer's worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedCounters>();
+    }
 
     #[test]
     fn counters_start_zeroed() {

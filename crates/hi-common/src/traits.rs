@@ -113,6 +113,46 @@ pub trait RankedSequence {
     /// Borrows the `rank`-th element without copying it.
     fn get_ref(&self, rank: usize) -> Option<&Self::Item>;
 
+    /// Rank of the first element `e` for which `f(e)` is not
+    /// [`Less`](std::cmp::Ordering::Less), assuming the caller keeps the
+    /// sequence sorted with respect to `f` (`len()` when every element
+    /// compares `Less`).
+    ///
+    /// The provided default binary-searches over [`Self::get_ref`] —
+    /// `O(log n)` probes, each potentially a full rank descent.
+    /// Implementations with an internal search index override this with a
+    /// single descent (the HI PMA routes it through its augmented value
+    /// tree, the paper's §5 keyed search), which is what makes the
+    /// [`RankedDict`] adapter's keyed operations competitive with native
+    /// rank addressing.
+    fn lower_bound_by<F>(&self, f: F) -> usize
+    where
+        F: Fn(&Self::Item) -> std::cmp::Ordering,
+    {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let probe = self.get_ref(mid).expect("mid < len");
+            if f(probe) == std::cmp::Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// [`Self::lower_bound_by`] fused with a borrow of the element at the
+    /// returned rank (`None` when the rank is `len()`), so keyed callers
+    /// inspect the search result without paying a second rank descent.
+    fn lower_bound_ref_by<F>(&self, f: F) -> (usize, Option<&Self::Item>)
+    where
+        F: Fn(&Self::Item) -> std::cmp::Ordering,
+    {
+        let rank = self.lower_bound_by(f);
+        (rank, self.get_ref(rank))
+    }
+
     /// Returns a clone of the `rank`-th element.
     fn get(&self, rank: usize) -> Option<Self::Item> {
         self.get_ref(rank).cloned()
@@ -410,33 +450,19 @@ where
     }
 
     /// Rank of the first pair whose key is ≥ `key` (or `len` if none).
+    /// One [`RankedSequence::lower_bound_by`] descent.
     fn lower_bound(&self, key: &K) -> usize {
-        let (mut lo, mut hi) = (0usize, self.seq.len());
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let probe = self.seq.get_ref(mid).expect("mid < len");
-            if probe.0 < *key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        self.seq.lower_bound_by(|pair| pair.0.cmp(key))
     }
 
     /// Rank of the first pair whose key is > `key` (or `len` if none).
+    /// `Equal` probes are mapped to `Less`, turning the lower-bound descent
+    /// into an upper bound.
     fn upper_bound(&self, key: &K) -> usize {
-        let (mut lo, mut hi) = (0usize, self.seq.len());
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let probe = self.seq.get_ref(mid).expect("mid < len");
-            if probe.0 <= *key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        self.seq.lower_bound_by(|pair| match pair.0.cmp(key) {
+            std::cmp::Ordering::Greater => std::cmp::Ordering::Greater,
+            _ => std::cmp::Ordering::Less,
+        })
     }
 
     fn start_rank(&self, start: &Bound<K>) -> usize {
@@ -462,19 +488,18 @@ where
     }
 
     fn insert(&mut self, key: K, value: V) -> Option<V> {
-        let rank = self.lower_bound(&key);
-        if let Some((existing, _)) = self.seq.get_ref(rank) {
-            if *existing == key {
-                // Overwrite as delete + reinsert at the same rank — the same
-                // HI-preserving replace `CobBTree::insert` uses: the layout
-                // distribution stays a function of the key set only, at the
-                // cost of two rank updates for a value change.
-                let (_, old) = self.seq.delete_at(rank).expect("rank just observed");
-                self.seq
-                    .insert_at(rank, (key, value))
-                    .expect("rank still valid");
-                return Some(old);
-            }
+        let (rank, probe) = self.seq.lower_bound_ref_by(|pair| pair.0.cmp(&key));
+        let hit = matches!(probe, Some((existing, _)) if *existing == key);
+        if hit {
+            // Overwrite as delete + reinsert at the same rank — the same
+            // HI-preserving replace `CobBTree::insert` uses: the layout
+            // distribution stays a function of the key set only, at the
+            // cost of two rank updates for a value change.
+            let (_, old) = self.seq.delete_at(rank).expect("rank just observed");
+            self.seq
+                .insert_at(rank, (key, value))
+                .expect("rank still valid");
+            return Some(old);
         }
         self.seq
             .insert_at(rank, (key, value))
@@ -483,20 +508,20 @@ where
     }
 
     fn remove(&mut self, key: &K) -> Option<V> {
-        let rank = self.lower_bound(key);
-        match self.seq.get_ref(rank) {
-            Some((existing, _)) if existing == key => {
-                let (_, v) = self.seq.delete_at(rank).expect("rank just observed");
-                Some(v)
-            }
-            _ => None,
+        let (rank, probe) = self.seq.lower_bound_ref_by(|pair| pair.0.cmp(key));
+        let hit = matches!(probe, Some((existing, _)) if existing == key);
+        if hit {
+            let (_, v) = self.seq.delete_at(rank).expect("rank just observed");
+            Some(v)
+        } else {
+            None
         }
     }
 
     fn get_ref(&self, key: &K) -> Option<&V> {
         self.counters.add_query();
-        let rank = self.lower_bound(key);
-        match self.seq.get_ref(rank) {
+        let (_, probe) = self.seq.lower_bound_ref_by(|pair| pair.0.cmp(key));
+        match probe {
             Some((existing, v)) if existing == key => Some(v),
             _ => None,
         }
@@ -517,7 +542,8 @@ where
 
     fn successor(&self, key: &K) -> Option<(K, V)> {
         self.counters.add_query();
-        self.seq.get(self.lower_bound(key))
+        let (_, probe) = self.seq.lower_bound_ref_by(|pair| pair.0.cmp(key));
+        probe.cloned()
     }
 
     fn predecessor(&self, key: &K) -> Option<(K, V)> {

@@ -949,8 +949,20 @@ impl<T: Clone> HiPma<T> {
     where
         F: Fn(&T) -> std::cmp::Ordering,
     {
+        self.lower_bound_ref_by(f).0
+    }
+
+    /// [`HiPma::lower_bound_by`] fused with a borrow of the element at the
+    /// returned rank, still in one descent: when the lower bound lands in
+    /// the leaf the descent reached, the element is read straight out of
+    /// the dense leaf; only the rare fall-off-the-leaf case (the bound
+    /// belongs to a later leaf) pays a second rank descent.
+    pub fn lower_bound_ref_by<F>(&self, f: F) -> (usize, Option<&T>)
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
         if self.is_empty() {
-            return 0;
+            return (0, None);
         }
         let mut range = 0usize;
         let mut depth = 0u32;
@@ -978,12 +990,18 @@ impl<T: Clone> HiPma<T> {
             self.array_region.span(self.geometry.leaf_slots as u64),
         );
         let leaf = self.geometry.leaf_of_slot(slot_start);
-        for (pos, e) in self.store.group(leaf).iter().enumerate() {
-            if f(e) != std::cmp::Ordering::Less {
-                return rank_offset + pos;
-            }
+        let group = self.store.group(leaf);
+        // The dense leaf is sorted under `f`; binary-search it instead of
+        // the previous linear scan.
+        let pos = group.partition_point(|e| f(e) == std::cmp::Ordering::Less);
+        let rank = rank_offset + pos;
+        if pos < group.len() {
+            (rank, Some(&group[pos]))
+        } else {
+            // The bound lies beyond this leaf; resolve the element (if any)
+            // by rank.
+            (rank, self.get_rank_ref(rank))
         }
-        rank_offset + self.store.group_len(leaf)
     }
 }
 
@@ -1018,6 +1036,23 @@ impl<T: Clone> RankedSequence for HiPma<T> {
 
     fn get(&self, rank: usize) -> Option<T> {
         self.get_rank(rank)
+    }
+
+    fn lower_bound_by<F>(&self, f: F) -> usize
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
+        // Single value-tree descent (the §5 keyed search) instead of the
+        // default binary search over O(log n) rank descents — this is what
+        // keeps the keyed adapter's operations near native rank speed.
+        HiPma::lower_bound_by(self, f)
+    }
+
+    fn lower_bound_ref_by<F>(&self, f: F) -> (usize, Option<&T>)
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
+        HiPma::lower_bound_ref_by(self, f)
     }
 
     fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {

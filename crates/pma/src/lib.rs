@@ -48,3 +48,21 @@ pub mod store;
 pub use classic::{ClassicPma, DensityBands};
 pub use geometry::Geometry;
 pub use hi_pma::{BalanceRecord, HiPma};
+
+// The sharded service layer moves whole engines onto worker threads; both
+// PMAs must therefore stay `Send + Sync` (their counters/tracer handles are
+// the only shared state, and those are thread-safe by construction). This is
+// a compile-time audit: it fails to build if a non-`Send` field sneaks in.
+#[cfg(test)]
+mod send_sync_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn pma_engines_are_send_and_sync() {
+        assert_send_sync::<HiPma<u64>>();
+        assert_send_sync::<HiPma<(u64, String)>>();
+        assert_send_sync::<ClassicPma<u64>>();
+    }
+}

@@ -1,0 +1,660 @@
+//! Sharded concurrent dictionary service.
+//!
+//! The paper proves that a *single* dictionary's memory representation can
+//! be a pure function of its contents and secret coins. A deployment that
+//! serves heavy traffic does not run a single dictionary — it hash-partitions
+//! the key space across `S` independent shards and works on them from many
+//! threads. This crate shows (and the workspace's test battery verifies)
+//! that the guarantee survives that scale-out: a [`ShardedDict`]'s complete
+//! observable state — which shard each key lives on, plus every shard's
+//! layout — remains a pure function of `(contents, seed, S)`.
+//!
+//! Three properties make that work, and each is load-bearing:
+//!
+//! 1. **Seeded routing** ([`router::ShardRouter`]): shard assignment derives
+//!    from `(key, seed, S)` only — never from load, arrival order, or any
+//!    other history-dependent signal.
+//! 2. **Independent per-shard coins**: every shard's engine is seeded by a
+//!    pure function of the root seed and the shard index
+//!    ([`router::ShardRouter::shard_seed`]), so no randomness is shared and
+//!    no cross-shard draw order exists for thread scheduling to perturb.
+//! 3. **Order-preserving batching**: the batched operations
+//!    ([`ShardedDict::multi_put`], [`ShardedDict::multi_get`],
+//!    [`ShardedDict::multi_remove`]) group a batch by shard *preserving the
+//!    batch's relative order within each shard*. A shard therefore observes
+//!    exactly the subsequence of operations routed to it, regardless of how
+//!    the caller split the stream into batches or how many worker threads
+//!    executed them — so the final layout is bit-identical across every
+//!    split and schedule (`tests/shard_history_independence.rs` and the
+//!    determinism battery pin this).
+//!
+//! Batches execute on scoped worker threads (one per shard holding work,
+//! [`std::thread::scope`]); small batches stay inline under a configurable
+//! threshold. Global range scans k-way-merge the shards' lazy iterators
+//! without allocating ([`merge::KWayMerge`]). Per-shard instrumentation
+//! rolls up through the [`Instrumented`] trait.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod merge;
+pub mod router;
+
+use std::cmp::Ordering;
+use std::hash::Hash;
+use std::ops::RangeBounds;
+use std::thread;
+
+use hi_common::counters::OpCounters;
+use hi_common::traits::{cloned_bounds, Dictionary, KeyValue};
+use io_sim::IoStats;
+
+pub use merge::KWayMerge;
+pub use router::{derive_seed, SeededHasher, ShardRouter, MAX_SHARDS};
+
+/// Batches smaller than this run inline instead of spawning worker threads;
+/// the result is identical either way, so the threshold is purely a
+/// throughput knob (and the tests drive it to 0 to force the threaded path).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
+
+/// Read access to the per-engine instrumentation ledgers, so a sharded
+/// service can report one aggregated [`IoStats`] / [`OpCounters`] view.
+///
+/// Implemented by the workspace's `DynDict` facade; any engine wrapper that
+/// carries a tracer and a counter ledger can join.
+pub trait Instrumented {
+    /// Block-transfer totals recorded by the engine's tracer.
+    fn io_stats(&self) -> IoStats;
+    /// Operation totals recorded by the engine's counter ledger.
+    fn op_counters(&self) -> OpCounters;
+}
+
+/// A dictionary hash-partitioned across `S` independent shards.
+///
+/// Implements the whole [`Dictionary`] surface (single-key operations route
+/// through the seeded router; ordered navigation and range scans merge
+/// across shards), and adds the batched, thread-parallel operations a
+/// service front-end actually calls.
+#[derive(Debug, Clone)]
+pub struct ShardedDict<D> {
+    router: ShardRouter,
+    shards: Vec<D>,
+    parallel_threshold: usize,
+}
+
+impl<D: Dictionary> ShardedDict<D>
+where
+    D::Key: Hash,
+{
+    /// Wraps pre-built shards. `shards.len()` must match the router's count.
+    pub fn from_shards(router: ShardRouter, shards: Vec<D>) -> Self {
+        assert_eq!(
+            shards.len(),
+            router.shard_count(),
+            "shard vector length must match the router's shard count"
+        );
+        Self {
+            router,
+            shards,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Builds `router.shard_count()` shards by calling
+    /// `build(index, derived_seed)` — the derived seed is
+    /// [`ShardRouter::shard_seed`], so the whole structure's randomness
+    /// stems from the router's root seed.
+    pub fn build_with(router: ShardRouter, mut build: impl FnMut(usize, u64) -> D) -> Self {
+        let shards = (0..router.shard_count())
+            .map(|i| build(i, router.shard_seed(i)))
+            .collect();
+        Self::from_shards(router, shards)
+    }
+
+    /// The seeded router partitioning the key space.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in index order — read-only access for audits and layout
+    /// fingerprinting (each shard's occupancy is part of the observable
+    /// state the history-independence tests quantify over).
+    pub fn shards(&self) -> &[D] {
+        &self.shards
+    }
+
+    /// The shard `key` routes to.
+    pub fn shard_of(&self, key: &D::Key) -> usize {
+        self.router.route(key)
+    }
+
+    /// Batches at or above the returned size fan out to worker threads.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Overrides the inline/threaded cut-over (0 forces threads for every
+    /// non-empty batch — the determinism tests use this to prove scheduling
+    /// is not a layout side channel).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
+    }
+
+    /// Groups `pairs` by destination shard, preserving relative order.
+    fn partition_pairs(
+        &self,
+        pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>,
+    ) -> Vec<Vec<KeyValue<D::Key, D::Value>>> {
+        let mut parts: Vec<Vec<KeyValue<D::Key, D::Value>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (k, v) in pairs {
+            parts[self.router.route(&k)].push((k, v));
+        }
+        parts
+    }
+}
+
+impl<D> ShardedDict<D>
+where
+    D: Dictionary + Send,
+    D::Key: Hash + Send + Sync,
+    D::Value: Send + Sync,
+{
+    /// Inserts every pair, batched per shard and executed on scoped worker
+    /// threads (one per shard with work). Semantically identical to calling
+    /// [`Dictionary::insert`] per pair in order: pairs routed to the same
+    /// shard are applied in their batch order, so later duplicates win, and
+    /// the resulting layout is bit-identical no matter how the caller split
+    /// the stream into batches — per-shard subsequences are invariant under
+    /// batch partitioning.
+    pub fn multi_put(&mut self, pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>) {
+        let parts = self.partition_pairs(pairs);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        if total < self.parallel_threshold.max(1) || self.shards.len() == 1 {
+            for (shard, part) in self.shards.iter_mut().zip(parts) {
+                shard.extend(part);
+            }
+        } else {
+            thread::scope(|s| {
+                for (shard, part) in self.shards.iter_mut().zip(parts) {
+                    if !part.is_empty() {
+                        s.spawn(move || shard.extend(part));
+                    }
+                }
+            });
+        }
+    }
+
+    /// Batched, order-preserving parallel form of [`Dictionary::extend`].
+    ///
+    /// This inherent method shadows the trait's element-at-a-time default
+    /// when called on a concrete `ShardedDict`; both produce identical
+    /// shard states.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>) {
+        self.multi_put(pairs);
+    }
+
+    /// Removes every key in `keys`, batched per shard on scoped worker
+    /// threads. Returns how many were present.
+    pub fn multi_remove(&mut self, keys: impl IntoIterator<Item = D::Key>) -> usize {
+        let mut parts: Vec<Vec<D::Key>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for k in keys {
+            parts[self.router.route(&k)].push(k);
+        }
+        let total: usize = parts.iter().map(Vec::len).sum();
+        if total < self.parallel_threshold.max(1) || self.shards.len() == 1 {
+            self.shards
+                .iter_mut()
+                .zip(parts)
+                .map(|(shard, part)| part.iter().filter(|k| shard.remove(k).is_some()).count())
+                .sum()
+        } else {
+            thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(parts)
+                    .filter(|(_, part)| !part.is_empty())
+                    .map(|(shard, part)| {
+                        s.spawn(move || part.iter().filter(|k| shard.remove(k).is_some()).count())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .sum()
+            })
+        }
+    }
+
+    /// Looks up every key of `keys`, batched per shard on scoped worker
+    /// threads, returning the values in input order. Read-only: shards are
+    /// shared (`&self`), so callers can run `multi_get` from many threads
+    /// concurrently.
+    pub fn multi_get(&self, keys: &[D::Key]) -> Vec<Option<D::Value>>
+    where
+        D: Sync,
+    {
+        let mut parts: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            parts[self.router.route(k)].push(i);
+        }
+        let mut out: Vec<Option<D::Value>> = (0..keys.len()).map(|_| None).collect();
+        if keys.len() < self.parallel_threshold.max(1) || self.shards.len() == 1 {
+            for (shard, part) in self.shards.iter().zip(&parts) {
+                for &i in part {
+                    out[i] = shard.get(&keys[i]);
+                }
+            }
+        } else {
+            thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(&parts)
+                    .filter(|(_, part)| !part.is_empty())
+                    .map(|(shard, part)| {
+                        s.spawn(move || {
+                            part.iter()
+                                .map(|&i| (i, shard.get(&keys[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Scatter each worker's results straight into `out` — no
+                // intermediate flattened buffer.
+                for handle in handles {
+                    for (i, v) in handle.join().expect("shard worker panicked") {
+                        out[i] = v;
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// Parallel [`Dictionary::bulk_load`]: partitions `pairs` by shard and
+    /// rebuilds every shard concurrently, each from coins derived as a pure
+    /// function of `(seed, shard index)`. Bit-identical to the sequential
+    /// trait method for the same `(contents, seed, S)`.
+    pub fn bulk_load_parallel(
+        &mut self,
+        pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>,
+        seed: u64,
+    ) {
+        let parts = self.partition_pairs(pairs);
+        thread::scope(|s| {
+            for (i, (shard, part)) in self.shards.iter_mut().zip(parts).enumerate() {
+                s.spawn(move || shard.bulk_load(part, derive_seed(seed, i)));
+            }
+        });
+    }
+}
+
+impl<D: Dictionary> Dictionary for ShardedDict<D>
+where
+    D::Key: Hash,
+{
+    type Key = D::Key;
+    type Value = D::Value;
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(Dictionary::len).sum()
+    }
+
+    fn insert(&mut self, key: D::Key, value: D::Value) -> Option<D::Value> {
+        let shard = self.router.route(&key);
+        self.shards[shard].insert(key, value)
+    }
+
+    fn remove(&mut self, key: &D::Key) -> Option<D::Value> {
+        self.shards[self.router.route(key)].remove(key)
+    }
+
+    fn get_ref(&self, key: &D::Key) -> Option<&D::Value> {
+        self.shards[self.router.route(key)].get_ref(key)
+    }
+
+    /// Merges the shards' lazy range iterators into one ascending stream —
+    /// allocation-free after the iterator is constructed, and snapshot
+    /// consistent (the `&self` borrow excludes writers for the scan's whole
+    /// lifetime).
+    fn range_iter<R: RangeBounds<D::Key>>(
+        &self,
+        range: R,
+    ) -> impl Iterator<Item = (&D::Key, &D::Value)> {
+        let (start, end) = cloned_bounds(&range);
+        KWayMerge::new(
+            self.shards
+                .iter()
+                .map(move |s| s.range_iter((start.clone(), end.clone()))),
+            |a: &(&D::Key, &D::Value), b: &(&D::Key, &D::Value)| a.0.cmp(b.0),
+        )
+    }
+
+    fn successor(&self, key: &D::Key) -> Option<KeyValue<D::Key, D::Value>> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.successor(key))
+            .min_by(|a, b| a.0.cmp(&b.0))
+    }
+
+    fn predecessor(&self, key: &D::Key) -> Option<KeyValue<D::Key, D::Value>> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.predecessor(key))
+            .max_by(|a, b| a.0.cmp(&b.0))
+    }
+
+    /// Partitions `pairs` by shard and bulk-loads each shard with coins
+    /// derived from `(seed, shard index)` — the layout becomes a pure
+    /// function of `(contents, seed, S)`, independent of arrival order and
+    /// of everything the structure held before.
+    /// [`ShardedDict::bulk_load_parallel`] is the multi-threaded form and
+    /// produces bit-identical shards.
+    fn bulk_load(
+        &mut self,
+        pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>,
+        seed: u64,
+    ) {
+        let parts = self.partition_pairs(pairs);
+        for (i, (shard, part)) in self.shards.iter_mut().zip(parts).enumerate() {
+            shard.bulk_load(part, derive_seed(seed, i));
+        }
+    }
+}
+
+impl<D: Dictionary + Instrumented> ShardedDict<D>
+where
+    D::Key: Hash,
+{
+    /// Aggregated block-transfer totals across every shard's tracer.
+    pub fn io_stats(&self) -> IoStats {
+        self.shards
+            .iter()
+            .map(Instrumented::io_stats)
+            .fold(IoStats::default(), |acc, s| IoStats {
+                reads: acc.reads + s.reads,
+                writes: acc.writes + s.writes,
+                accesses: acc.accesses + s.accesses,
+            })
+    }
+
+    /// Aggregated operation totals across every shard's counter ledger.
+    pub fn op_counters(&self) -> OpCounters {
+        let mut total = OpCounters::new();
+        for shard in &self.shards {
+            total.absorb(&shard.op_counters());
+        }
+        total
+    }
+}
+
+/// Compares merge items by key; exposed for callers that build their own
+/// [`KWayMerge`] over shard iterators.
+pub fn by_key<K: Ord, V>(a: &(&K, &V), b: &(&K, &V)) -> Ordering {
+    a.0.cmp(b.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A trivial shard engine for exercising the service layer in
+    /// isolation from the real engines (those are covered by the root
+    /// integration batteries).
+    #[derive(Debug, Default, Clone)]
+    struct MapDict {
+        map: BTreeMap<u64, u64>,
+        loads: usize,
+        last_seed: u64,
+    }
+
+    impl Dictionary for MapDict {
+        type Key = u64;
+        type Value = u64;
+
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+
+        fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+            self.map.insert(key, value)
+        }
+
+        fn remove(&mut self, key: &u64) -> Option<u64> {
+            self.map.remove(key)
+        }
+
+        fn get_ref(&self, key: &u64) -> Option<&u64> {
+            self.map.get(key)
+        }
+
+        fn range_iter<R: RangeBounds<u64>>(&self, range: R) -> impl Iterator<Item = (&u64, &u64)> {
+            // The workspace's engines treat inverted ranges as empty;
+            // BTreeMap::range panics on them, so normalise first.
+            use std::ops::Bound;
+            let (s, e) = cloned_bounds(&range);
+            let inverted = match (&s, &e) {
+                (Bound::Included(a), Bound::Included(b)) => a > b,
+                (Bound::Included(a), Bound::Excluded(b))
+                | (Bound::Excluded(a), Bound::Included(b))
+                | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+                _ => false,
+            };
+            let bounds = if inverted {
+                (Bound::Excluded(u64::MAX), Bound::Unbounded)
+            } else {
+                (s, e)
+            };
+            self.map.range(bounds)
+        }
+
+        fn successor(&self, key: &u64) -> Option<(u64, u64)> {
+            self.map.range(*key..).next().map(|(k, v)| (*k, *v))
+        }
+
+        fn predecessor(&self, key: &u64) -> Option<(u64, u64)> {
+            self.map.range(..=*key).next_back().map(|(k, v)| (*k, *v))
+        }
+
+        fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (u64, u64)>, seed: u64) {
+            self.map = pairs.into_iter().collect();
+            self.loads += 1;
+            self.last_seed = seed;
+        }
+    }
+
+    impl Instrumented for MapDict {
+        fn io_stats(&self) -> IoStats {
+            IoStats {
+                reads: self.map.len() as u64,
+                writes: 1,
+                accesses: 2,
+            }
+        }
+
+        fn op_counters(&self) -> OpCounters {
+            let mut c = OpCounters::new();
+            c.inserts = self.map.len() as u64;
+            c
+        }
+    }
+
+    fn sharded(shards: usize) -> ShardedDict<MapDict> {
+        ShardedDict::build_with(ShardRouter::new(0xFACADE, shards), |_, _| {
+            MapDict::default()
+        })
+    }
+
+    #[test]
+    fn sharded_dict_is_send_and_sync() {
+        // Compile-time audit: the whole point of the service layer.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedDict<MapDict>>();
+    }
+
+    #[test]
+    fn single_key_operations_match_a_flat_map() {
+        let mut d = sharded(5);
+        let mut oracle = BTreeMap::new();
+        for i in 0..2_000u64 {
+            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 512;
+            assert_eq!(d.insert(k, i), oracle.insert(k, i), "insert {k}");
+        }
+        assert_eq!(d.len(), oracle.len());
+        for k in 0..512u64 {
+            assert_eq!(d.get_ref(&k), oracle.get(&k), "get {k}");
+            assert_eq!(
+                d.successor(&k),
+                oracle.range(k..).next().map(|(a, b)| (*a, *b)),
+                "succ {k}"
+            );
+            assert_eq!(
+                d.predecessor(&k),
+                oracle.range(..=k).next_back().map(|(a, b)| (*a, *b)),
+                "pred {k}"
+            );
+        }
+        for k in (0..512u64).step_by(3) {
+            assert_eq!(d.remove(&k), oracle.remove(&k), "remove {k}");
+        }
+        assert_eq!(
+            d.to_sorted_vec(),
+            oracle.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_iter_merges_across_shards_in_order() {
+        let mut d = sharded(7);
+        for k in 0..1_000u64 {
+            d.insert(k, k * 2);
+        }
+        let all: Vec<u64> = d.range_iter(..).map(|(k, _)| *k).collect();
+        assert_eq!(all, (0..1_000).collect::<Vec<_>>());
+        let window: Vec<u64> = d.range_iter(250..=260).map(|(k, _)| *k).collect();
+        assert_eq!(window, (250..=260).collect::<Vec<_>>());
+        // Inverted bounds yield an empty scan, matching the engines'
+        // uniform contract.
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 600..300;
+        assert_eq!(d.range_iter(inverted).count(), 0);
+    }
+
+    #[test]
+    fn batched_ops_match_sequential_ops_bit_for_bit() {
+        // Same stream, three splits: per-op, small batches threaded, one
+        // giant batch. Shard states must be identical — the per-shard
+        // subsequence is invariant under batch partitioning.
+        let stream: Vec<(u64, u64)> = (0..3_000u64)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 997, i))
+            .collect();
+
+        let mut per_op = sharded(6);
+        for (k, v) in &stream {
+            per_op.insert(*k, *v);
+        }
+
+        let mut batched = sharded(6);
+        batched.set_parallel_threshold(0); // force worker threads
+        for chunk in stream.chunks(113) {
+            batched.multi_put(chunk.to_vec());
+        }
+
+        let mut single_batch = sharded(6);
+        single_batch.multi_put(stream.clone());
+
+        for i in 0..6 {
+            assert_eq!(per_op.shards()[i].map, batched.shards()[i].map, "shard {i}");
+            assert_eq!(
+                per_op.shards()[i].map,
+                single_batch.shards()[i].map,
+                "shard {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_get_returns_values_in_input_order() {
+        let mut d = sharded(4);
+        d.multi_put((0..500u64).map(|k| (k, k + 1)));
+        let keys: Vec<u64> = vec![499, 3, 1_000, 0, 77, 2_000];
+        let expected: Vec<Option<u64>> = vec![Some(500), Some(4), None, Some(1), Some(78), None];
+        assert_eq!(d.multi_get(&keys), expected);
+        // Threaded path agrees with the inline path.
+        let mut threaded = d.clone();
+        threaded.set_parallel_threshold(0);
+        assert_eq!(threaded.multi_get(&keys), expected);
+    }
+
+    #[test]
+    fn multi_remove_counts_hits() {
+        let mut d = sharded(3);
+        d.multi_put((0..100u64).map(|k| (k, k)));
+        assert_eq!(d.multi_remove(vec![1, 2, 3, 500]), 3);
+        assert_eq!(d.len(), 97);
+        d.set_parallel_threshold(0);
+        assert_eq!(d.multi_remove((0..200u64).collect::<Vec<_>>()), 97);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_partitions_and_derives_per_shard_seeds() {
+        let mut d = sharded(4);
+        d.insert(424242, 1); // must be discarded by the load
+        d.bulk_load((0..400u64).map(|k| (k, k)), 0xB01D);
+        assert_eq!(d.len(), 400);
+        assert_eq!(d.get(&424242), None);
+        let seeds: Vec<u64> = d.shards().iter().map(|s| s.last_seed).collect();
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, derive_seed(0xB01D, i), "shard {i} seed");
+            assert_eq!(d.shards()[i].loads, 1);
+        }
+
+        // The parallel form produces bit-identical shards.
+        let mut p = sharded(4);
+        p.bulk_load_parallel((0..400u64).rev().map(|k| (k, k)), 0xB01D);
+        for i in 0..4 {
+            assert_eq!(d.shards()[i].map, p.shards()[i].map, "shard {i}");
+            assert_eq!(d.shards()[i].last_seed, p.shards()[i].last_seed);
+        }
+    }
+
+    #[test]
+    fn instrumentation_rolls_up_across_shards() {
+        let mut d = sharded(3);
+        d.multi_put((0..90u64).map(|k| (k, k)));
+        let io = d.io_stats();
+        assert_eq!(io.reads, 90);
+        assert_eq!(io.writes, 3);
+        assert_eq!(io.accesses, 6);
+        assert_eq!(d.op_counters().inserts, 90);
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_service() {
+        let mut d = sharded(4);
+        d.multi_put((0..2_000u64).map(|k| (k, k * 3)));
+        thread::scope(|s| {
+            for t in 0..4 {
+                let d = &d;
+                s.spawn(move || {
+                    let keys: Vec<u64> = (0..500u64).map(|i| i * 4 + t).collect();
+                    let got = d.multi_get(&keys);
+                    for (k, v) in keys.iter().zip(got) {
+                        assert_eq!(v, Some(k * 3));
+                    }
+                    assert_eq!(d.range_iter(100..200).count(), 100);
+                });
+            }
+        });
+    }
+}

@@ -21,9 +21,9 @@
 //! charged the padded size of every leaf node they rewrite. The benches read
 //! the per-operation costs to reproduce Theorem 3 and Lemma 15.
 
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use hi_common::counters::SharedCounters;
 use hi_common::rng::{DetRng, RngSource};
@@ -96,7 +96,7 @@ struct Position {
 }
 
 /// An external-memory skip list over ordered keys.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ExternalSkipList<K: Ord + Clone, V: Clone> {
     nodes: Vec<LeafNode<K, V>>,
     /// `levels[i]` (for `i ≥ 1`) holds the keys promoted to level `i`, in
@@ -107,8 +107,27 @@ pub struct ExternalSkipList<K: Ord + Clone, V: Clone> {
     rng: DetRng,
     counters: SharedCounters,
     tracer: Tracer,
-    total_ios: Cell<u64>,
-    last_op_ios: Cell<u64>,
+    // Relaxed atomics, not `Cell`s: the I/O ledger must not stop the list
+    // from being `Sync` (shared readers on the sharded service layer's
+    // worker threads all charge leaf touches through `&self`).
+    total_ios: AtomicU64,
+    last_op_ios: AtomicU64,
+}
+
+impl<K: Ord + Clone, V: Clone> Clone for ExternalSkipList<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            levels: self.levels.clone(),
+            len: self.len,
+            params: self.params,
+            rng: self.rng.clone(),
+            counters: self.counters.clone(),
+            tracer: self.tracer.clone(),
+            total_ios: AtomicU64::new(self.total_ios.load(AtomicOrdering::Relaxed)),
+            last_op_ios: AtomicU64::new(self.last_op_ios.load(AtomicOrdering::Relaxed)),
+        }
+    }
 }
 
 impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
@@ -155,8 +174,8 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
             rng: source.split("skiplist"),
             counters,
             tracer,
-            total_ios: Cell::new(0),
-            last_op_ios: Cell::new(0),
+            total_ios: AtomicU64::new(0),
+            last_op_ios: AtomicU64::new(0),
         }
     }
 
@@ -182,12 +201,12 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
 
     /// Block transfers charged to the most recent operation.
     pub fn last_op_ios(&self) -> u64 {
-        self.last_op_ios.get()
+        self.last_op_ios.load(AtomicOrdering::Relaxed)
     }
 
     /// Block transfers charged since construction.
     pub fn total_ios(&self) -> u64 {
-        self.total_ios.get()
+        self.total_ios.load(AtomicOrdering::Relaxed)
     }
 
     /// The shared operation counters.
@@ -214,20 +233,20 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
     }
 
     fn charge(&self, ios: u64) -> u64 {
-        self.total_ios.set(self.total_ios.get() + ios);
+        self.total_ios.fetch_add(ios, AtomicOrdering::Relaxed);
         self.tracer.charge(ios, 0);
         ios
     }
 
     fn finish_op(&self, ios: u64) {
-        self.last_op_ios.set(ios);
+        self.last_op_ios.store(ios, AtomicOrdering::Relaxed);
         self.charge(ios);
     }
 
     /// Adds `ios` to the running operation (lazy traversals charge node by
     /// node instead of batching a [`Self::finish_op`]).
     fn charge_append(&self, ios: u64) {
-        self.last_op_ios.set(self.last_op_ios.get() + ios);
+        self.last_op_ios.fetch_add(ios, AtomicOrdering::Relaxed);
         self.charge(ios);
     }
 
@@ -599,7 +618,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
     /// node's leaf arrays contiguously on disk).
     pub fn range_iter<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
         self.counters.add_query();
-        self.last_op_ios.set(0);
+        self.last_op_ios.store(0, AtomicOrdering::Relaxed);
         let (start, end) = cloned_bounds(&range);
         SkipIter::seek(self, &start).take_while(move |&(k, _)| below_end_bound(k, &end))
     }

@@ -38,3 +38,17 @@ pub mod params;
 
 pub use external::ExternalSkipList;
 pub use params::{LeafPad, SkipParams};
+
+// Compile-time audit for the sharded service layer: the external skip list
+// (nodes + RNG + instrumentation handles) must be movable onto worker
+// threads whenever its keys and values are.
+#[cfg(test)]
+mod send_sync_audit {
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn skip_list_is_send_and_sync() {
+        assert_send_sync::<crate::ExternalSkipList<u64, u64>>();
+        assert_send_sync::<crate::ExternalSkipList<String, Vec<u8>>>();
+    }
+}

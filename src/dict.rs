@@ -38,16 +38,18 @@
 //! ```
 
 use std::fmt;
+use std::hash::Hash;
 use std::ops::RangeBounds;
 use std::str::FromStr;
 
 use btree::BTree;
 use cob_btree::CobBTree;
-use hi_common::counters::SharedCounters;
+use hi_common::counters::{OpCounters, SharedCounters};
 use hi_common::rng::RngSource;
-use hi_common::traits::{Dictionary, RankedDict};
+use hi_common::traits::{Dictionary, Occupancy, RankedDict};
 use io_sim::{IoConfig, IoStats, Tracer};
 use pma::{ClassicPma, DensityBands, HiPma};
+use shard::{Instrumented, ShardRouter, ShardedDict};
 use skiplist::{ExternalSkipList, SkipParams};
 
 /// The dictionary engines a [`DictBuilder`] can construct.
@@ -147,6 +149,9 @@ pub struct DictConfig {
     /// When set, the structure reports into a fresh [`Tracer`] with this
     /// cache configuration; when `None`, tracing is disabled (zero cost).
     pub io: Option<IoConfig>,
+    /// Shard count for [`DictBuilder::build_sharded`] (`1..=64`). Ignored by
+    /// the single-shard [`DictBuilder::build`].
+    pub shards: usize,
 }
 
 impl Default for DictConfig {
@@ -159,6 +164,7 @@ impl Default for DictConfig {
             epsilon: 0.5,
             elem_size: 16,
             io: None,
+            shards: 1,
         }
     }
 }
@@ -238,6 +244,12 @@ impl DictBuilder {
         self
     }
 
+    /// Sets the shard count consumed by [`Self::build_sharded`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &DictConfig {
         &self.config
@@ -306,6 +318,46 @@ impl DictBuilder {
             tracer,
             inner,
         }
+    }
+
+    /// Constructs a hash-partitioned service of [`Self::shards`] independent
+    /// copies of the configured backend behind a seeded
+    /// [`ShardRouter`] — the scale-out form of [`Self::build`].
+    ///
+    /// Every stream of randomness derives from the builder's one seed: the
+    /// router hashes keys with it, and shard `i`'s engine draws its layout
+    /// coins from [`ShardRouter::shard_seed`]`(i)`. The sharded map's full
+    /// observable state — key-to-shard assignment plus every shard's layout
+    /// — is therefore a pure function of *(contents, seed, shard count)*,
+    /// which `tests/shard_history_independence.rs` verifies across
+    /// histories, batch partitionings and thread schedules.
+    ///
+    /// ```
+    /// use anti_persistence::dict::{Backend, Dict};
+    /// use anti_persistence::prelude::*;
+    ///
+    /// let mut service: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+    ///     .backend(Backend::HiPma)
+    ///     .seed(7)
+    ///     .shards(4)
+    ///     .build_sharded();
+    /// service.multi_put((0..1_000u64).map(|k| (k, k)));
+    /// assert_eq!(service.len(), 1_000);
+    /// assert_eq!(service.multi_get(&[3, 2_000])[0], Some(3));
+    /// assert_eq!(service.range_iter(10..20).count(), 10);
+    /// ```
+    pub fn build_sharded<K, V>(self) -> ShardedDict<DynDict<K, V>>
+    where
+        K: Ord + Clone + Hash,
+        V: Clone,
+    {
+        let c = self.config;
+        let router = ShardRouter::new(c.seed, c.shards);
+        ShardedDict::build_with(router, |_, shard_seed| {
+            let mut shard_config = c.clone();
+            shard_config.seed = shard_seed;
+            DictBuilder::from_config(shard_config).build()
+        })
     }
 }
 
@@ -394,6 +446,46 @@ impl<K: Ord + Clone, V: Clone> DynDict<K, V> {
             Inner::HiPma(d) => d.seq().check_invariants(),
             Inner::ClassicPma(d) => d.seq().check_invariants(),
         }
+    }
+
+    /// The engine's packed slot-occupancy bitmap (the [`Occupancy`] view),
+    /// for backends whose representation is a slot array: the PMA-backed
+    /// engines and the cache-oblivious B-tree. `None` for the node-based
+    /// engines (B-tree, skip lists), whose layout observables are exposed by
+    /// their own crates instead.
+    ///
+    /// This is the fingerprint the history-independence and determinism
+    /// batteries hash — per shard — to pin a [`ShardedDict`]'s layout.
+    pub fn occupancy_words(&self) -> Option<&[u64]> {
+        match &self.inner {
+            Inner::CobBTree(d) => Some(d.occupancy_words()),
+            Inner::HiPma(d) => Some(d.seq().occupancy_words()),
+            Inner::ClassicPma(d) => Some(d.seq().occupancy_words()),
+            Inner::BTree(_) | Inner::SkipList(_) => None,
+        }
+    }
+
+    /// One `bool` per slot of the backing array (allocating convenience
+    /// form of [`Self::occupancy_words`]).
+    pub fn occupancy(&self) -> Option<Vec<bool>> {
+        match &self.inner {
+            Inner::CobBTree(d) => Some(d.occupancy()),
+            Inner::HiPma(d) => Some(d.seq().occupancy()),
+            Inner::ClassicPma(d) => Some(d.seq().occupancy()),
+            Inner::BTree(_) | Inner::SkipList(_) => None,
+        }
+    }
+}
+
+/// Lets a [`ShardedDict`] of `DynDict` shards roll its per-shard tracers
+/// and counter ledgers up into one aggregated view.
+impl<K: Ord + Clone, V: Clone> Instrumented for DynDict<K, V> {
+    fn io_stats(&self) -> IoStats {
+        self.tracer.stats()
+    }
+
+    fn op_counters(&self) -> OpCounters {
+        self.counters.snapshot()
     }
 }
 
@@ -550,6 +642,99 @@ mod tests {
                 "{backend}: searches must show up in the uniform I/O ledger"
             );
             assert!(d.counters().snapshot().queries > 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn every_backend_is_send_and_sync() {
+        // Compile-time audit for the sharded service layer: all seven
+        // engines must migrate onto worker threads, and so must the
+        // sharded facade over them.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DynDict<u64, u64>>();
+        assert_send_sync::<DynDict<String, Vec<u8>>>();
+        assert_send_sync::<ShardedDict<DynDict<u64, u64>>>();
+    }
+
+    #[test]
+    fn every_backend_builds_sharded_and_serves_batches() {
+        for backend in Backend::ALL {
+            let mut service: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+                .backend(backend)
+                .seed(23)
+                .shards(3)
+                .build_sharded();
+            assert_eq!(service.shard_count(), 3, "{backend}");
+            service.multi_put((0..600u64).map(|k| (k * 2, k)));
+            assert_eq!(service.len(), 600, "{backend}");
+            // Every key landed on the shard the router names, and nowhere
+            // else.
+            for k in (0..1_200u64).step_by(100) {
+                let home = service.shard_of(&k);
+                for (i, s) in service.shards().iter().enumerate() {
+                    assert_eq!(
+                        s.contains(&k),
+                        i == home && k % 2 == 0,
+                        "{backend}: key {k} misplaced on shard {i}"
+                    );
+                }
+            }
+            let got = service.multi_get(&[0, 2, 1_198, 1_199]);
+            assert_eq!(got, vec![Some(0), Some(1), Some(599), None], "{backend}");
+            assert_eq!(
+                service.range_iter(..).map(|(k, _)| *k).collect::<Vec<_>>(),
+                (0..600u64).map(|k| k * 2).collect::<Vec<_>>(),
+                "{backend}: merged scan must be the sorted union"
+            );
+            assert_eq!(
+                service.multi_remove((0..10u64).collect::<Vec<_>>()),
+                5,
+                "{backend}"
+            );
+            assert_eq!(service.len(), 595, "{backend}");
+            for s in service.shards() {
+                s.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_instrumentation_rolls_up() {
+        let mut service: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+            .backend(Backend::BTree)
+            .io(IoConfig::new(4096, 1 << 10))
+            .shards(4)
+            .build_sharded();
+        service.multi_put((0..2_000u64).map(|k| (k, k)));
+        assert_eq!(service.op_counters().inserts, 2_000);
+        assert!(service.io_stats().transfers() > 0);
+        // The roll-up is the sum of the per-shard ledgers.
+        let per_shard: u64 = service
+            .shards()
+            .iter()
+            .map(|s| s.counters().snapshot().inserts)
+            .sum();
+        assert_eq!(per_shard, 2_000);
+    }
+
+    #[test]
+    fn occupancy_is_exposed_for_slot_array_backends() {
+        for backend in Backend::ALL {
+            let mut d: DynDict<u64, u64> = Dict::builder().backend(backend).seed(4).build();
+            for k in 0..200u64 {
+                d.insert(k, k);
+            }
+            let words = d.occupancy_words();
+            let slot_backed = matches!(
+                backend,
+                Backend::CobBTree | Backend::HiPma | Backend::ClassicPma
+            );
+            assert_eq!(words.is_some(), slot_backed, "{backend}");
+            if let (Some(words), Some(bits)) = (words, d.occupancy()) {
+                let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+                assert_eq!(popcount, 200, "{backend}: occupied slots");
+                assert_eq!(bits.iter().filter(|&&b| b).count(), 200, "{backend}");
+            }
         }
     }
 

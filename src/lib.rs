@@ -193,6 +193,7 @@ pub use cob_btree;
 pub use hi_common;
 pub use io_sim;
 pub use pma;
+pub use shard;
 pub use skiplist;
 pub use veb_tree;
 pub use workloads;
@@ -208,6 +209,7 @@ pub mod prelude {
     pub use hi_common::traits::{Dictionary, Occupancy, RankedDict, RankedSequence};
     pub use io_sim::{IoConfig, IoModel, Tracer};
     pub use pma::{ClassicPma, HiPma};
+    pub use shard::{Instrumented, KWayMerge, ShardRouter, ShardedDict};
     pub use skiplist::{ExternalSkipList, SkipParams};
 }
 

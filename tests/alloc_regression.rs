@@ -20,9 +20,12 @@
 //! mutex instead of running concurrently.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use anti_persistence::dict::{Backend, Dict, DynDict};
+use anti_persistence::prelude::{Dictionary, ShardedDict};
 use pma::HiPma;
 use skiplist::ExternalSkipList;
 
@@ -175,6 +178,37 @@ fn steady_state_hi_pma_deletes_are_allocation_free() {
         clean += 1;
     }
     assert!(clean > 1_500, "only {clean} steady-state deletes measured");
+}
+
+#[test]
+fn sharded_merged_scans_are_allocation_free_after_setup() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    // The k-way merge buffers shard iterators in inline arrays and the
+    // cache-oblivious B-tree's lazy iterators are allocation-free, so a
+    // merged global scan over a sharded service must cost zero heap
+    // allocations once the service is built — construction of the merge
+    // iterator included.
+    let mut service: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+        .backend(Backend::CobBTree)
+        .seed(0x5CA7)
+        .shards(4)
+        .build_sharded();
+    service.multi_put((0..40_000u64).map(|k| (k * 2, k)));
+
+    let mut sink = 0u64;
+    let before = allocations();
+    for i in 0..50u64 {
+        // Full merged scan plus a merged window scan per round.
+        sink ^= service.range_iter(..).map(|(_, v)| *v).sum::<u64>();
+        let lo = (i * 317) % 60_000;
+        sink ^= service.range_iter(lo..lo + 4_000).count() as u64;
+    }
+    let delta = allocations() - before;
+    black_box(sink);
+    assert_eq!(
+        delta, 0,
+        "merged k-way scans allocated {delta} times across 100 scans"
+    );
 }
 
 #[test]

@@ -322,6 +322,119 @@ fn hi_pma_bulk_load_matches_across_prior_histories() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Sharded determinism: a ShardedDict's layout must be a pure function of
+// (contents, seed, S) — the same operation stream must produce bit-identical
+// per-shard layouts no matter how the caller split it into batches and no
+// matter whether the batches ran inline or on scoped worker threads. This
+// holds by construction (grouping a stream by shard preserves each shard's
+// subsequence, and shards share no randomness), and these tests pin it.
+// ---------------------------------------------------------------------
+
+/// Every shard's occupancy bitmap, in shard order — the sharded layout
+/// observable (`None` never occurs for the slot-array backends used here).
+fn shard_layouts(d: &ShardedDict<DynDict<u64, u64>>) -> Vec<Vec<bool>> {
+    d.shards()
+        .iter()
+        .map(|s| s.occupancy().expect("slot-array backend"))
+        .collect()
+}
+
+#[test]
+fn sharded_layouts_are_bit_identical_across_work_splits() {
+    // Same stream of 4 000 operations, same root seed, four execution
+    // plans: per-op inserts, small threaded batches, large sequential
+    // batches, one giant threaded batch. Across ≥ 3 shard counts.
+    let stream: Vec<(u64, u64)> = (0..4_000u64)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % 60_000, i))
+        .collect();
+    for shards in [2usize, 4, 8] {
+        let build = |chunk: usize, threshold: usize| {
+            let mut d: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+                .backend(Backend::HiPma)
+                .seed(0x5A4D)
+                .shards(shards)
+                .build_sharded();
+            d.set_parallel_threshold(threshold);
+            for part in stream.chunks(chunk) {
+                d.multi_put(part.to_vec());
+            }
+            d
+        };
+        let mut per_op: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(0x5A4D)
+            .shards(shards)
+            .build_sharded();
+        for (k, v) in &stream {
+            per_op.insert(*k, *v);
+        }
+        let reference = shard_layouts(&per_op);
+        let threaded_small = build(173, 0);
+        let sequential_large = build(1_024, usize::MAX);
+        let threaded_whole = build(stream.len(), 0);
+        for (label, d) in [
+            ("threaded batches of 173", &threaded_small),
+            ("sequential batches of 1024", &sequential_large),
+            ("one threaded batch", &threaded_whole),
+        ] {
+            assert_eq!(
+                d.to_sorted_vec(),
+                per_op.to_sorted_vec(),
+                "S={shards}, {label}: contents must agree"
+            );
+            assert_eq!(
+                shard_layouts(d),
+                reference,
+                "S={shards}, {label}: per-shard layouts must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_bulk_load_layout_is_pinned_and_order_free() {
+    // bulk_load is the strongest form: layout = f(contents, seed, S) with
+    // *no* dependence on arrival order at all. Pin the S=4 fingerprint so
+    // engine rewrites cannot silently change the sharded representation,
+    // and check the parallel loader is bit-identical to the sequential one.
+    let load = |input: Vec<(u64, u64)>, parallel: bool| {
+        let mut d: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(0xC0DE)
+            .shards(4)
+            .build_sharded();
+        d.insert(999_999, 1); // pre-existing state must not leak through
+        if parallel {
+            d.bulk_load_parallel(input, 0xB01D);
+        } else {
+            d.bulk_load(input, 0xB01D);
+        }
+        d
+    };
+    let ascending: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k * 7, k)).collect();
+    let mut shuffled = ascending.clone();
+    shuffled.reverse();
+    let a = load(ascending.clone(), false);
+    let b = load(shuffled, true);
+    assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+    assert_eq!(
+        shard_layouts(&a),
+        shard_layouts(&b),
+        "parallel reversed load must be bit-identical to sequential ascending load"
+    );
+
+    let mut fingerprint_bits: Vec<bool> = Vec::new();
+    for layout in shard_layouts(&a) {
+        fingerprint_bits.extend(layout);
+    }
+    assert_eq!(
+        layout_fingerprint(&fingerprint_bits, &[4]),
+        0x9614_6F25_95D6_A4E3,
+        "sharded bulk_load layout diverged from the pinned fingerprint"
+    );
+}
+
 #[test]
 fn dyn_dict_bulk_load_is_deterministic_per_backend() {
     for backend in Backend::ALL {
