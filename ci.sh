@@ -26,10 +26,20 @@ echo "==> smoke-run the HI verification binary"
 AP_BENCH_SCALE=1 cargo run --release --bin hi_verification >/dev/null
 
 echo "==> smoke-run the update-throughput harness (alloc-free engine gate)"
-cargo run --release --bin update_throughput -- --smoke >/dev/null
+AP_BENCH_JSON=target/ci_update_rows.json \
+    cargo run --release --bin update_throughput -- --smoke >/dev/null
 
 echo "==> smoke-run the shard-scaling harness (sharded service gate)"
-cargo run --release --bin shard_scaling -- --smoke >/dev/null
+AP_BENCH_JSON=target/ci_shard_rows.json \
+    cargo run --release --bin shard_scaling -- --smoke >/dev/null
+
+echo "==> smoke-run the batch-throughput harness (group-commit gate)"
+AP_BENCH_JSON=target/ci_batch_rows.json \
+    cargo run --release --bin batch_throughput -- --smoke >/dev/null
+
+echo "==> validate the bench JSON row dumps (malformed rows fail CI)"
+cargo run --release --quiet --bin json_check \
+    target/ci_update_rows.json target/ci_shard_rows.json target/ci_batch_rows.json
 
 echo "==> run the sharded HI / stress batteries explicitly"
 cargo test -q --test shard_history_independence --test shard_stress >/dev/null

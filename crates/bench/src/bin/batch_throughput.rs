@@ -1,0 +1,247 @@
+//! Group-commit batch throughput: batch size × workload × backend.
+//!
+//! The batch-apply engine pays one shared left-to-right locate pass, one
+//! decision replay per operation (coin-for-coin identical to per-op
+//! application — the determinism battery pins the layouts bit-identical)
+//! and **one merge-rebalance per touched window**. Sequential and Zipf
+//! batches, whose windows coalesce hard, gain the most; uniform batches
+//! gain from the amortized locate pass and from moving the *union* (not
+//! the sum) of the rebuilt windows. The replayed decisions themselves —
+//! reservoir lotteries, balance draws, rank-tree updates — are the
+//! irreducible cost both paths share, which is what bounds the speedup on
+//! scattered workloads (see EXPERIMENTS.md for the measured breakdown).
+//!
+//! Four sections:
+//!
+//! 1. **hi-pma headline** — 1M preloaded keys, batch sizes 1/16/256/4096
+//!    against the per-op baseline, for uniform / sequential / Zipf streams;
+//! 2. **classic-pma headline** — same grid (its expensive per-op window
+//!    rebalances make it the biggest batching winner);
+//! 3. **ingest** — building 1M keys from empty (the `shard_scaling` S=1
+//!    shape), batched vs per-op;
+//! 4. **backend sweep** — every `DynDict` backend at 200k preloaded keys,
+//!    batch 256 vs per-op, uniform stream.
+//!
+//! Rows are appended to `BENCH_baseline.json` snapshots (see
+//! EXPERIMENTS.md). Scale with `AP_BENCH_BATCH_N`, dump rows with
+//! `AP_BENCH_JSON=out.json`, or pass `--smoke` for a seconds-long CI run.
+
+use std::hint::black_box;
+
+use anti_persistence::dict::{Backend, Dict, DynDict};
+use anti_persistence::prelude::Dictionary;
+use ap_bench::{emit, env_usize, timed, Row};
+use hi_common::batch::BatchOp;
+
+/// splitmix64, the stateless key scrambler used across the benches.
+fn scramble(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pre-generated keyed op stream (9 puts : 1 remove).
+fn op_stream(ops: usize, workload: &str, preload: usize, salt: u64) -> Vec<BatchOp<u64, u64>> {
+    (0..ops as u64)
+        .map(|i| {
+            let r = scramble(i ^ salt);
+            let key = match workload {
+                // Ascending block beyond the preloaded range: the ingest
+                // shape (every batch is a sorted run of fresh keys).
+                "sequential" => (preload as u64) * 4 + i,
+                // Squared unit sample over a narrow hot set: heavy
+                // overwrites of a few keys.
+                "zipf" => {
+                    let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+                    ((u * u) * (preload as f64 / 8.0)) as u64
+                }
+                // Uniform over the full 64-bit space: mostly-new keys.
+                _ => r,
+            };
+            if r % 10 == 9 && workload != "sequential" {
+                BatchOp::Remove(key)
+            } else {
+                BatchOp::Put(key, i)
+            }
+        })
+        .collect()
+}
+
+/// A freshly preloaded dictionary (bulk-loaded: O(n), fresh coins).
+fn preloaded(backend: Backend, preload: usize) -> DynDict<u64, u64> {
+    let mut d: DynDict<u64, u64> = Dict::builder().backend(backend).seed(7).build();
+    d.bulk_load((0..preload as u64).map(|k| (scramble(k) | 1, k)), 0xB01D);
+    d
+}
+
+/// Applies `stream` per-op (the pre-batch-engine `extend`), returning ops/s.
+fn per_op_phase(dict: &mut DynDict<u64, u64>, stream: &[BatchOp<u64, u64>]) -> f64 {
+    let (_, secs) = timed(|| {
+        for op in stream {
+            match op {
+                BatchOp::Put(k, v) => {
+                    dict.insert(*k, *v);
+                }
+                BatchOp::Remove(k) => {
+                    dict.remove(k);
+                }
+            }
+        }
+    });
+    stream.len() as f64 / secs.max(1e-9)
+}
+
+/// Applies `stream` in `batch`-sized chunks through `apply_batch`.
+fn batched_phase(dict: &mut DynDict<u64, u64>, stream: &[BatchOp<u64, u64>], batch: usize) -> f64 {
+    let (_, secs) = timed(|| {
+        let mut removed = 0usize;
+        for chunk in stream.chunks(batch) {
+            removed += dict.apply_batch(chunk.to_vec());
+        }
+        black_box(removed);
+    });
+    stream.len() as f64 / secs.max(1e-9)
+}
+
+fn headline(rows: &mut Vec<Row>, backend: Backend, name: &str, preload: usize, ops: usize) {
+    println!("## {name} (S=1), {preload} preloaded keys, {ops} ops per cell\n");
+    let mut acceptance: Option<(f64, f64)> = None;
+    for workload in ["uniform", "sequential", "zipf"] {
+        let stream = op_stream(ops, workload, preload, 0xA11CE);
+        let mut dict = preloaded(backend, preload);
+        let per_op = per_op_phase(&mut dict, &stream);
+        println!("{name:<12} {workload:<11} per-op      : {per_op:>12.0} ops/s");
+        rows.push(Row::new(
+            &format!("{name} per-op/{workload}"),
+            ops as f64,
+            per_op,
+            "ops/sec",
+        ));
+        for batch in [1usize, 16, 256, 4_096] {
+            let mut dict = preloaded(backend, preload);
+            let ops_per_sec = batched_phase(&mut dict, &stream, batch);
+            let speedup = ops_per_sec / per_op.max(1e-9);
+            println!(
+                "{name:<12} {workload:<11} batch {batch:>5}: {ops_per_sec:>12.0} ops/s  ({speedup:>5.2}x)"
+            );
+            rows.push(Row::new(
+                &format!("{name} batch-{batch}/{workload}"),
+                ops as f64,
+                ops_per_sec,
+                "ops/sec",
+            ));
+            if workload == "uniform" && batch >= 256 {
+                let best = acceptance.map_or(0.0, |(s, _)| s);
+                if speedup > best {
+                    acceptance = Some((speedup, ops_per_sec));
+                }
+            }
+        }
+    }
+    if let Some((speedup, ops_per_sec)) = acceptance {
+        println!(
+            "\n{name} uniform batched put at batch >= 256 reaches {ops_per_sec:.0} ops/s \
+             = {speedup:.2}x per-op ({})",
+            if speedup >= 2.0 {
+                "PASS >= 2x"
+            } else {
+                "below 2x"
+            }
+        );
+        rows.push(Row::new(
+            &format!("{name} batch-speedup/uniform"),
+            256.0,
+            speedup,
+            "x",
+        ));
+    }
+}
+
+/// Build-from-empty ingest: the PR 4 `shard_scaling` S=1 workload shape —
+/// `total` uniform keys inserted into a growing structure.
+fn ingest(rows: &mut Vec<Row>, backend: Backend, name: &str, total: usize, batch: usize) {
+    let stream: Vec<BatchOp<u64, u64>> = (0..total as u64)
+        .map(|i| BatchOp::Put(scramble(i), i))
+        .collect();
+    let mut dict = preloaded(backend, 0);
+    let per_op = per_op_phase(&mut dict, &stream);
+    let mut dict = preloaded(backend, 0);
+    let batched = batched_phase(&mut dict, &stream, batch);
+    println!(
+        "{name:<12} ingest 0->{total}: per-op {per_op:>10.0} ops/s | batch-{batch} {batched:>10.0} ops/s  ({:.2}x)",
+        batched / per_op.max(1e-9)
+    );
+    rows.push(Row::new(
+        &format!("{name} ingest-per-op/uniform"),
+        total as f64,
+        per_op,
+        "ops/sec",
+    ));
+    rows.push(Row::new(
+        &format!("{name} ingest-batch-{batch}/uniform"),
+        total as f64,
+        batched,
+        "ops/sec",
+    ));
+}
+
+fn backend_sweep(rows: &mut Vec<Row>, preload: usize, ops: usize) {
+    println!(
+        "\n## all backends, {preload} preloaded keys, {ops} uniform ops, batch 256 vs per-op\n"
+    );
+    let stream = op_stream(ops, "uniform", preload, 0xBACE);
+    for backend in Backend::ALL {
+        let mut dict = preloaded(backend, preload);
+        let per_op = per_op_phase(&mut dict, &stream);
+        let mut dict = preloaded(backend, preload);
+        let batched = batched_phase(&mut dict, &stream, 256);
+        println!(
+            "{backend:<20} per-op {per_op:>12.0} ops/s | batch-256 {batched:>12.0} ops/s  ({:.2}x)",
+            batched / per_op.max(1e-9)
+        );
+        rows.push(Row::new(
+            &format!("{backend} per-op/uniform"),
+            ops as f64,
+            per_op,
+            "ops/sec",
+        ));
+        rows.push(Row::new(
+            &format!("{backend} batch-256/uniform"),
+            ops as f64,
+            batched,
+            "ops/sec",
+        ));
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (preload, ops, sweep_preload, sweep_ops) = if smoke {
+        (20_000, 6_000, 10_000, 3_000)
+    } else {
+        (
+            env_usize("AP_BENCH_BATCH_N", 1_000_000),
+            env_usize("AP_BENCH_BATCH_OPS", 200_000),
+            200_000,
+            50_000,
+        )
+    };
+    let mut rows: Vec<Row> = Vec::new();
+    headline(&mut rows, Backend::HiPma, "hi-pma", preload, ops);
+    headline(&mut rows, Backend::ClassicPma, "classic-pma", preload, ops);
+    println!("\n## build-from-empty ingest (the shard_scaling S=1 shape)\n");
+    ingest(&mut rows, Backend::HiPma, "hi-pma", preload, 4_096);
+    ingest(
+        &mut rows,
+        Backend::ClassicPma,
+        "classic-pma",
+        preload,
+        4_096,
+    );
+    backend_sweep(&mut rows, sweep_preload, sweep_ops);
+    emit(
+        "batched update throughput (ops/sec, higher is better)",
+        &rows,
+    );
+}

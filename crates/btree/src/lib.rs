@@ -509,6 +509,131 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     }
 
     // ------------------------------------------------------------------
+    // Batched insert (shared-prefix finger)
+    // ------------------------------------------------------------------
+
+    /// Inserts one pair of a batch, reusing `finger` — the last descent's
+    /// leaf together with its separator bounds — when the key still falls
+    /// inside that leaf and the leaf has room. A finger hit costs one leaf
+    /// read + write; a miss pays a full descent (recording the path in the
+    /// reusable `path` buffer so splits can propagate iteratively) and
+    /// re-seats the finger. Structurally identical to [`BTree::insert`]:
+    /// the same leaves are chosen and the same splits fire, in the same
+    /// order.
+    fn insert_with_finger(
+        &mut self,
+        finger: &mut Option<(NodeId, Option<K>, Option<K>)>,
+        path: &mut Vec<(NodeId, usize)>,
+        key: K,
+        value: V,
+    ) -> Option<V> {
+        self.counters.add_insert();
+        if let Some((leaf, low, high)) = finger.as_ref() {
+            let in_bounds =
+                low.as_ref().is_none_or(|l| *l <= key) && high.as_ref().is_none_or(|h| key < *h);
+            if in_bounds {
+                if let Node::Leaf { keys, values } = &mut self.nodes[*leaf] {
+                    match keys.binary_search(&key) {
+                        Ok(idx) => {
+                            let old = std::mem::replace(&mut values[idx], value);
+                            self.finish_op(2);
+                            return Some(old);
+                        }
+                        Err(idx) if keys.len() < self.fanout => {
+                            keys.insert(idx, key);
+                            values.insert(idx, value);
+                            self.len += 1;
+                            self.finish_op(2);
+                            return None;
+                        }
+                        Err(_) => {} // full leaf: fall through to the descent
+                    }
+                }
+            }
+        }
+        *finger = None;
+        // Full descent, recording the root-to-leaf path and the leaf's
+        // separator bounds.
+        path.clear();
+        let mut low: Option<K> = None;
+        let mut high: Option<K> = None;
+        let mut node = self.root;
+        let mut ios = 0u64;
+        loop {
+            ios += 2;
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| *k <= key);
+                    if idx > 0 {
+                        low = Some(keys[idx - 1].clone());
+                    }
+                    if idx < keys.len() {
+                        high = Some(keys[idx].clone());
+                    }
+                    path.push((node, idx));
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let leaf = node;
+        let mut old = None;
+        let mut need_split = false;
+        if let Node::Leaf { keys, values } = &mut self.nodes[leaf] {
+            match keys.binary_search(&key) {
+                Ok(idx) => {
+                    old = Some(std::mem::replace(&mut values[idx], value));
+                }
+                Err(idx) => {
+                    keys.insert(idx, key);
+                    values.insert(idx, value);
+                    self.len += 1;
+                    need_split = keys.len() > self.fanout;
+                }
+            }
+        }
+        let mut split = if need_split {
+            Some(self.split_leaf(leaf))
+        } else {
+            None
+        };
+        let clean = split.is_none();
+        // Propagate splits up the recorded path, exactly as the recursive
+        // per-op unwinding would.
+        while let Some((sep, right)) = split.take() {
+            match path.pop() {
+                Some((parent, idx)) => {
+                    let mut parent_split = false;
+                    if let Node::Internal { keys, children } = &mut self.nodes[parent] {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        parent_split = children.len() > self.fanout;
+                    }
+                    if parent_split {
+                        split = Some(self.split_internal(parent));
+                    }
+                }
+                None => {
+                    let new_root = self.nodes.len();
+                    let old_root = self.root;
+                    self.nodes.push(Node::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right],
+                    });
+                    self.root = new_root;
+                    ios += 1;
+                }
+            }
+        }
+        if clean {
+            // Bounds (and the leaf itself) survive only a split-free insert.
+            *finger = Some((leaf, low, high));
+        }
+        self.finish_op(ios);
+        old
+    }
+
+    // ------------------------------------------------------------------
     // Delete
     // ------------------------------------------------------------------
 
@@ -943,6 +1068,79 @@ impl<K: Ord + Clone, V: Clone> Dictionary for BTree<K, V> {
     fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
         BTree::bulk_load(self, pairs, seed)
     }
+
+    /// Batched updates with shared-prefix finger insertion: runs of keys
+    /// that land in the same leaf skip the root descent entirely. Produces
+    /// exactly the tree the per-op loop would (same leaves, same splits,
+    /// same arena order); only the I/O accounting shrinks.
+    fn apply_batch(&mut self, ops: Vec<hi_common::batch::BatchOp<K, V>>) -> usize {
+        let mut removed = 0usize;
+        let mut finger: Option<(NodeId, Option<K>, Option<K>)> = None;
+        let mut path: Vec<(NodeId, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                hi_common::batch::BatchOp::Put(k, v) => {
+                    self.insert_with_finger(&mut finger, &mut path, k, v);
+                }
+                hi_common::batch::BatchOp::Remove(k) => {
+                    // Removals rebalance (borrow/merge), which can reshape
+                    // any node on the path: drop the finger.
+                    finger = None;
+                    if self.remove(&k).is_some() {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Sorted-probe lookups with a leaf finger: consecutive keys that fall
+    /// in the same leaf cost one node touch instead of a descent. Results
+    /// are returned in input order via an index permutation.
+    fn get_many(&self, keys_in: &[K]) -> Vec<Option<V>> {
+        let mut order: Vec<u32> = (0..keys_in.len() as u32).collect();
+        order.sort_by(|&a, &b| keys_in[a as usize].cmp(&keys_in[b as usize]));
+        let mut out: Vec<Option<V>> = (0..keys_in.len()).map(|_| None).collect();
+        // `(leaf, upper separator)`: probes ascend, so only the upper bound
+        // can invalidate the finger.
+        let mut finger: Option<(NodeId, Option<K>)> = None;
+        for &i in &order {
+            let key = &keys_in[i as usize];
+            self.counters.add_query();
+            let leaf = match &finger {
+                Some((leaf, high)) if high.as_ref().is_none_or(|h| key < h) => {
+                    self.charge_node();
+                    *leaf
+                }
+                _ => {
+                    let mut node = self.root;
+                    let mut high: Option<K> = None;
+                    let mut ios = 0u64;
+                    loop {
+                        ios += 1;
+                        match &self.nodes[node] {
+                            Node::Internal { keys, children } => {
+                                let idx = keys.partition_point(|k| k <= key);
+                                if idx < keys.len() {
+                                    high = Some(keys[idx].clone());
+                                }
+                                node = children[idx];
+                            }
+                            Node::Leaf { .. } => break,
+                        }
+                    }
+                    self.finish_op(ios);
+                    finger = Some((node, high));
+                    node
+                }
+            };
+            if let Node::Leaf { keys, values } = &self.nodes[leaf] {
+                out[i as usize] = keys.binary_search(key).ok().map(|idx| values[idx].clone());
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -1102,6 +1300,57 @@ mod tests {
                 t.remove(&0);
                 t.check_invariants();
             }
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_per_op_structure() {
+        use hi_common::batch::BatchOp;
+        // Finger insertion must produce exactly the per-op tree: same arena
+        // (node ids, split order), same contents — across sequential,
+        // random and duplicate-heavy batches, interleaved with removals.
+        for fanout in [4usize, 16, 64] {
+            let mut rng = StdRng::seed_from_u64(fanout as u64 ^ 0xBA7C4);
+            let mut per_op: BTree<u64, u64> = BTree::new(fanout);
+            let mut batched: BTree<u64, u64> = BTree::new(fanout);
+            for round in 0..6 {
+                let ops: Vec<BatchOp<u64, u64>> = (0..800)
+                    .map(|i| {
+                        let key = match round % 3 {
+                            0 => (round * 1_000 + i) as u64, // sequential run
+                            1 => rng.gen_range(0..5_000u64), // random
+                            _ => rng.gen_range(0..64u64),    // hot duplicates
+                        };
+                        if rng.gen_bool(0.25) {
+                            BatchOp::Remove(key)
+                        } else {
+                            BatchOp::Put(key, rng.gen())
+                        }
+                    })
+                    .collect();
+                let mut expected_removed = 0usize;
+                for op in &ops {
+                    match op {
+                        BatchOp::Put(k, v) => {
+                            per_op.insert(*k, *v);
+                        }
+                        BatchOp::Remove(k) => {
+                            if per_op.remove(k).is_some() {
+                                expected_removed += 1;
+                            }
+                        }
+                    }
+                }
+                let removed = Dictionary::apply_batch(&mut batched, ops);
+                assert_eq!(removed, expected_removed, "fanout {fanout} round {round}");
+                assert_eq!(per_op.len(), batched.len());
+                assert_eq!(per_op.to_sorted_vec(), batched.to_sorted_vec());
+                batched.check_invariants();
+            }
+            // get_many agrees with per-key gets, in input order.
+            let probes: Vec<u64> = (0..200).map(|_| rng.gen_range(0..6_000u64)).collect();
+            let expected: Vec<Option<u64>> = probes.iter().map(|k| batched.get(k)).collect();
+            assert_eq!(Dictionary::get_many(&batched, &probes), expected);
         }
     }
 

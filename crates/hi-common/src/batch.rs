@@ -1,0 +1,331 @@
+//! Group-commit batch updates: one locate pass + one replay pass + one
+//! rebalance per touched window.
+//!
+//! A history-independent structure's layout is a pure function of
+//! *(contents, coins)*, and its coins are drawn in a canonical per-operation
+//! order. A batch of updates therefore cannot reorder the *decisions* — the
+//! capacity events, the reservoir lotteries, the balance draws must happen
+//! exactly as if the operations were applied one at a time — but it is free
+//! to defer every *element move* until the decisions are in, and then touch
+//! each affected region of the backing array once.
+//!
+//! [`apply_keyed_batch`] is the engine-independent driver that turns a batch
+//! of keyed operations ([`BatchOp`]) into rank-addressed splices against any
+//! [`RankedSequence`] of key–value pairs kept in ascending key order:
+//!
+//! 1. **Locate** (read-only): the distinct keys are visited in ascending
+//!    order and resolved to their lower-bound ranks with a single shared
+//!    left-to-right descent — a [`SeekFinger`] resumes from the previous
+//!    key's leaf instead of restarting at the root
+//!    ([`RankedSequence::lower_bound_seek_by`]).
+//! 2. **Replay** (arrival order): every operation is translated to the rank
+//!    it would apply at mid-batch — the located rank plus the net number of
+//!    earlier batch inserts/deletes below its key, maintained in a Fenwick
+//!    tree over the distinct keys — and handed to the engine's
+//!    [`RankedSequence::batch_insert_at`] / [`RankedSequence::batch_delete_at`],
+//!    which draw exactly the per-op coins and defer the data movement.
+//!    An overwrite of a present key replays as delete + reinsert at the same
+//!    rank, precisely what [`RankedDict::insert`](crate::traits::RankedDict)
+//!    does per-op.
+//! 3. **Commit**: [`RankedSequence::batch_commit`] executes one
+//!    merge-rebalance per touched window.
+//!
+//! The provided defaults on [`RankedSequence`] apply each splice
+//! immediately, so the driver is *bit-identical* to the per-op loop for
+//! every engine; engines with a deferred implementation (the PMAs) stay
+//! bit-identical by construction because the replay draws the same coins in
+//! the same order.
+
+use crate::traits::RankedSequence;
+
+/// One keyed operation of a batch: an upsert or a removal.
+///
+/// A batch is an ordered sequence of these; duplicates are allowed and mean
+/// exactly what the per-op loop would do (later writes win, a remove after a
+/// put deletes the freshly written key, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp<K, V> {
+    /// Insert or overwrite `key` with `value`.
+    Put(K, V),
+    /// Remove `key` if present.
+    Remove(K),
+}
+
+impl<K, V> BatchOp<K, V> {
+    /// The key the operation addresses.
+    pub fn key(&self) -> &K {
+        match self {
+            BatchOp::Put(k, _) => k,
+            BatchOp::Remove(k) => k,
+        }
+    }
+
+    /// Returns `true` for [`BatchOp::Put`].
+    pub fn is_put(&self) -> bool {
+        matches!(self, BatchOp::Put(..))
+    }
+}
+
+/// A resumable position for ascending ordered probes.
+///
+/// Engines interpret the fields themselves (`group` is a leaf/segment index,
+/// `base_rank` the rank of its first element). A finger is only meaningful
+/// between mutations: create a fresh one per read-only probe run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeekFinger {
+    /// Engine-defined group (leaf / segment) the previous probe landed in.
+    pub group: usize,
+    /// Rank of the first element of that group at probe time.
+    pub base_rank: usize,
+    /// Whether the finger holds a position at all.
+    pub valid: bool,
+}
+
+impl SeekFinger {
+    /// A fresh, invalid finger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A Fenwick (binary-indexed) tree over signed per-key deltas, used by the
+/// batch driver to answer "net inserts minus deletes among keys strictly
+/// below this one" in `O(log d)`.
+#[derive(Debug, Clone, Default)]
+pub struct SignedFenwick {
+    tree: Vec<i64>,
+}
+
+impl SignedFenwick {
+    /// A tree over `n` zeroed slots.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Clears and resizes to `n` slots, keeping the allocation when possible.
+    pub fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
+    }
+
+    /// Adds `delta` at `index`.
+    pub fn add(&mut self, index: usize, delta: i64) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of deltas in `[0, index)`.
+    pub fn prefix(&self, index: usize) -> i64 {
+        let mut i = index.min(self.tree.len().saturating_sub(1));
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Applies a batch of keyed operations to a key-sorted [`RankedSequence`] of
+/// pairs, bit-identically to applying them one at a time in arrival order
+/// (insert = lower bound + splice, overwrite = delete + reinsert at the same
+/// rank, remove-miss = no-op). Returns the number of removes that found
+/// their key.
+///
+/// Engines that implement the deferred batch surface
+/// ([`RankedSequence::batch_insert_at`] and friends) execute one
+/// merge-rebalance per touched window; for everything else the provided
+/// defaults degrade to the per-op loop.
+pub fn apply_keyed_batch<S, K, V>(seq: &mut S, ops: Vec<BatchOp<K, V>>) -> usize
+where
+    S: RankedSequence<Item = (K, V)>,
+    K: Ord + Clone,
+    V: Clone,
+{
+    if ops.is_empty() {
+        return 0;
+    }
+    // Sort a permutation of the op indices by key (stable, so equal keys
+    // keep arrival order) and collapse it into the distinct ascending keys.
+    let mut order: Vec<u32> = (0..ops.len() as u32).collect();
+    order.sort_by(|&a, &b| ops[a as usize].key().cmp(ops[b as usize].key()));
+    let mut key_idx: Vec<u32> = vec![0; ops.len()];
+    // Locate phase: one shared left-to-right descent over the distinct keys.
+    let mut ranks: Vec<usize> = Vec::with_capacity(ops.len());
+    let mut present: Vec<bool> = Vec::with_capacity(ops.len());
+    {
+        let mut finger = SeekFinger::new();
+        let mut prev: Option<&K> = None;
+        for &oi in &order {
+            let key = ops[oi as usize].key();
+            if prev != Some(key) {
+                let (rank, probe) = seq.lower_bound_seek_by(&mut finger, |pair| pair.0.cmp(key));
+                ranks.push(rank);
+                present.push(matches!(probe, Some((k, _)) if k == key));
+                prev = Some(key);
+            }
+            key_idx[oi as usize] = (ranks.len() - 1) as u32;
+        }
+    }
+    // Replay phase, in arrival order. The rank a key's operation applies at
+    // mid-batch is its located rank plus the net number of earlier batch
+    // inserts (minus deletes) of strictly smaller keys.
+    let mut deltas = SignedFenwick::new(ranks.len());
+    let mut removed = 0usize;
+    seq.batch_begin();
+    for (i, op) in ops.into_iter().enumerate() {
+        let j = key_idx[i] as usize;
+        let rank = (ranks[j] as i64 + deltas.prefix(j)) as usize;
+        match op {
+            BatchOp::Put(k, v) => {
+                if present[j] {
+                    // Overwrite: delete + reinsert at the same rank, exactly
+                    // as the keyed adapters do per-op.
+                    seq.batch_delete_at(rank);
+                    seq.batch_insert_at(rank, (k, v));
+                } else {
+                    seq.batch_insert_at(rank, (k, v));
+                    deltas.add(j, 1);
+                    present[j] = true;
+                }
+            }
+            BatchOp::Remove(_) => {
+                if present[j] {
+                    seq.batch_delete_at(rank);
+                    deltas.add(j, -1);
+                    present[j] = false;
+                    removed += 1;
+                }
+                // A remove of an absent key is a pure miss: the per-op path
+                // draws no coins and changes nothing, so neither do we.
+            }
+        }
+    }
+    seq.batch_commit();
+    removed
+}
+
+/// Looks up every key of `keys` against a key-sorted [`RankedSequence`] of
+/// pairs, returning cloned values in input order: the probes are sorted and
+/// served by one resumable [`SeekFinger`], and the original order is
+/// restored through the index permutation. `on_probe` fires once per key
+/// (the keyed adapters hook their query counters in).
+pub fn get_many_keyed<S, K, V>(seq: &S, keys: &[K], mut on_probe: impl FnMut()) -> Vec<Option<V>>
+where
+    S: RankedSequence<Item = (K, V)>,
+    K: Ord + Clone,
+    V: Clone,
+{
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    let mut out: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
+    let mut finger = SeekFinger::new();
+    for &i in &order {
+        let key = &keys[i as usize];
+        on_probe();
+        let (_, probe) = seq.lower_bound_seek_by(&mut finger, |pair| pair.0.cmp(key));
+        out[i as usize] = match probe {
+            Some((k, v)) if k == key => Some(v.clone()),
+            _ => None,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::RankError;
+
+    /// Trivial Vec-backed pair sequence (defaults = per-op application).
+    struct PairSeq(Vec<(u64, u64)>);
+
+    impl RankedSequence for PairSeq {
+        type Item = (u64, u64);
+
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        fn insert_at(&mut self, rank: usize, item: (u64, u64)) -> Result<(), RankError> {
+            if rank > self.0.len() {
+                return Err(RankError {
+                    rank,
+                    len: self.0.len(),
+                });
+            }
+            self.0.insert(rank, item);
+            Ok(())
+        }
+
+        fn delete_at(&mut self, rank: usize) -> Result<(u64, u64), RankError> {
+            if rank >= self.0.len() {
+                return Err(RankError {
+                    rank,
+                    len: self.0.len(),
+                });
+            }
+            Ok(self.0.remove(rank))
+        }
+
+        fn get_ref(&self, rank: usize) -> Option<&(u64, u64)> {
+            self.0.get(rank)
+        }
+
+        fn range_iter(
+            &self,
+            i: usize,
+            j: usize,
+        ) -> Result<impl Iterator<Item = &(u64, u64)>, RankError> {
+            if i > j {
+                return Ok(self.0[0..0].iter());
+            }
+            if j >= self.0.len() {
+                return Err(RankError {
+                    rank: j,
+                    len: self.0.len(),
+                });
+            }
+            Ok(self.0[i..=j].iter())
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_op_loop() {
+        let ops: Vec<BatchOp<u64, u64>> = vec![
+            BatchOp::Put(5, 50),
+            BatchOp::Put(1, 10),
+            BatchOp::Put(5, 55),
+            BatchOp::Remove(9),
+            BatchOp::Put(9, 90),
+            BatchOp::Remove(1),
+            BatchOp::Put(3, 30),
+            BatchOp::Remove(3),
+            BatchOp::Put(3, 33),
+        ];
+        let mut seq = PairSeq(vec![(2, 20), (9, 99)]);
+        let removed = apply_keyed_batch(&mut seq, ops);
+        assert_eq!(removed, 3);
+        assert_eq!(seq.0, vec![(2, 20), (3, 33), (5, 55), (9, 90)]);
+    }
+
+    #[test]
+    fn signed_fenwick_prefix_sums() {
+        let mut f = SignedFenwick::new(5);
+        f.add(0, 1);
+        f.add(3, -2);
+        f.add(3, 1);
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.prefix(1), 1);
+        assert_eq!(f.prefix(3), 1);
+        assert_eq!(f.prefix(4), 0);
+        assert_eq!(f.prefix(5), 0);
+        f.reset(2);
+        assert_eq!(f.prefix(2), 0);
+    }
+}

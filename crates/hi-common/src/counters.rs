@@ -34,6 +34,9 @@ pub struct OpCounters {
     pub deletes: u64,
     /// Number of point or range queries completed.
     pub queries: u64,
+    /// Number of window gather/refill round-trips performed by group-commit
+    /// batch applies (one per touched window, not one per element).
+    pub batch_gathers: u64,
 }
 
 impl OpCounters {
@@ -71,6 +74,7 @@ impl OpCounters {
         self.inserts += other.inserts;
         self.deletes += other.deletes;
         self.queries += other.queries;
+        self.batch_gathers += other.batch_gathers;
     }
 
     /// Returns the difference `self - earlier`, saturating at zero.
@@ -84,6 +88,7 @@ impl OpCounters {
             inserts: self.inserts.saturating_sub(earlier.inserts),
             deletes: self.deletes.saturating_sub(earlier.deletes),
             queries: self.queries.saturating_sub(earlier.queries),
+            batch_gathers: self.batch_gathers.saturating_sub(earlier.batch_gathers),
         }
     }
 }
@@ -92,7 +97,7 @@ impl fmt::Display for OpCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "moves={} rebuilds={} rebuild_slots={} resizes={} cmps={} ins={} del={} qry={}",
+            "moves={} rebuilds={} rebuild_slots={} resizes={} cmps={} ins={} del={} qry={} gathers={}",
             self.element_moves,
             self.rebuilds,
             self.rebuild_slots,
@@ -100,7 +105,8 @@ impl fmt::Display for OpCounters {
             self.comparisons,
             self.inserts,
             self.deletes,
-            self.queries
+            self.queries,
+            self.batch_gathers
         )
     }
 }
@@ -184,6 +190,14 @@ impl SharedCounters {
             .lock()
             .expect("counter ledger lock poisoned")
             .deletes += 1;
+    }
+
+    /// Records one batch-commit window gather/refill round-trip.
+    pub fn add_batch_gather(&self) {
+        self.inner
+            .lock()
+            .expect("counter ledger lock poisoned")
+            .batch_gathers += 1;
     }
 
     /// Records a completed query.

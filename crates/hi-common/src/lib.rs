@@ -26,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bitmap;
 pub mod capacity;
 pub mod counters;
@@ -35,6 +36,7 @@ pub mod scratch;
 pub mod stats;
 pub mod traits;
 
+pub use batch::{apply_keyed_batch, BatchOp, SeekFinger};
 pub use bitmap::Bitmap;
 pub use capacity::HiCapacity;
 pub use counters::{OpCounters, SharedCounters};

@@ -153,6 +153,52 @@ pub trait RankedSequence {
         (rank, self.get_ref(rank))
     }
 
+    /// [`Self::lower_bound_ref_by`] with a resumable
+    /// [`SeekFinger`](crate::batch::SeekFinger): callers probing an
+    /// *ascending* run of bounds pass the same finger so the search can
+    /// resume from the previous probe's leaf instead of restarting at the
+    /// root. The finger is only meaningful between mutations.
+    ///
+    /// The provided default ignores the finger; positional engines (the
+    /// PMAs) override it with a left-to-right leaf walk.
+    fn lower_bound_seek_by<F>(
+        &self,
+        finger: &mut crate::batch::SeekFinger,
+        f: F,
+    ) -> (usize, Option<&Self::Item>)
+    where
+        F: Fn(&Self::Item) -> std::cmp::Ordering,
+    {
+        let _ = finger;
+        self.lower_bound_ref_by(f)
+    }
+
+    /// Opens a deferred batch of rank splices (see the [`crate::batch`]
+    /// module). The provided defaults apply every splice immediately, so the
+    /// batch surface behaves bit-identically to the per-op loop for any
+    /// implementation; engines with a group-commit path override all four
+    /// methods and defer the data movement to [`Self::batch_commit`].
+    fn batch_begin(&mut self) {}
+
+    /// Replays one insert of a deferred batch at the rank it applies at
+    /// mid-batch. Coins (for randomized engines) are drawn exactly as
+    /// [`Self::insert_at`] would draw them.
+    fn batch_insert_at(&mut self, rank: usize, item: Self::Item) {
+        self.insert_at(rank, item)
+            .expect("batch insert rank out of range");
+    }
+
+    /// Replays one delete of a deferred batch. The removed element is
+    /// dropped (batch callers never consume it).
+    fn batch_delete_at(&mut self, rank: usize) {
+        self.delete_at(rank)
+            .expect("batch delete rank out of range");
+    }
+
+    /// Closes a deferred batch: executes one merge-rebalance per touched
+    /// window and restores every invariant of the sequence.
+    fn batch_commit(&mut self) {}
+
     /// Returns a clone of the `rank`-th element.
     fn get(&self, rank: usize) -> Option<Self::Item> {
         self.get_ref(rank).cloned()
@@ -342,10 +388,58 @@ pub trait Dictionary {
 
     /// Inserts every pair of `pairs`, in order (later duplicates overwrite
     /// earlier ones, exactly as repeated [`Self::insert`] calls would).
+    /// Routed through [`Self::apply_batch`] in bounded chunks, so engines
+    /// with a group-commit batch path amortize descents and rebalances
+    /// across each run while an arbitrarily large (or lazy) input keeps
+    /// constant peak memory. Chunk boundaries are invisible in the result:
+    /// `apply_batch` is bit-identical to the per-op loop, so any chunking
+    /// of the same stream composes to the same state.
     fn extend(&mut self, pairs: impl IntoIterator<Item = KeyValue<Self::Key, Self::Value>>) {
-        for (k, v) in pairs {
-            self.insert(k, v);
+        const EXTEND_CHUNK: usize = 1 << 16;
+        let mut iter = pairs.into_iter();
+        loop {
+            let chunk: Vec<crate::batch::BatchOp<Self::Key, Self::Value>> = iter
+                .by_ref()
+                .take(EXTEND_CHUNK)
+                .map(|(k, v)| crate::batch::BatchOp::Put(k, v))
+                .collect();
+            if chunk.is_empty() {
+                return;
+            }
+            self.apply_batch(chunk);
         }
+    }
+
+    /// Applies a batch of keyed operations in arrival order, returning the
+    /// number of removes that found their key. Semantically (and, for the
+    /// history-independent engines, *bit-for-bit*) identical to the per-op
+    /// loop — later duplicates win, an overwrite replays as the engine's
+    /// usual replace, a remove-miss is a no-op — but implementations
+    /// override it to pay one descent per operation and one rebalance per
+    /// touched window instead of per element.
+    fn apply_batch(&mut self, ops: Vec<crate::batch::BatchOp<Self::Key, Self::Value>>) -> usize {
+        let mut removed = 0;
+        for op in ops {
+            match op {
+                crate::batch::BatchOp::Put(k, v) => {
+                    self.insert(k, v);
+                }
+                crate::batch::BatchOp::Remove(k) => {
+                    if self.remove(&k).is_some() {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Looks up every key of `keys`, returning the values in input order.
+    /// Implementations sort the probes internally and reuse a descent finger
+    /// across consecutive keys, restoring the original order through an
+    /// index permutation; the provided default is a plain per-key loop.
+    fn get_many(&self, keys: &[Self::Key]) -> Vec<Option<Self::Value>> {
+        keys.iter().map(|k| self.get(k)).collect()
     }
 
     /// Replaces the entire contents with `pairs`, drawing fresh coins from
@@ -559,6 +653,14 @@ where
     fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
         let pairs = normalize_pairs(pairs.into_iter().collect());
         self.seq.bulk_load(pairs, seed);
+    }
+
+    fn apply_batch(&mut self, ops: Vec<crate::batch::BatchOp<K, V>>) -> usize {
+        crate::batch::apply_keyed_batch(&mut self.seq, ops)
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        crate::batch::get_many_keyed(&self.seq, keys, || self.counters.add_query())
     }
 }
 

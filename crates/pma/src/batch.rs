@@ -1,0 +1,641 @@
+//! Deferred-splice bookkeeping shared by both PMAs' group-commit engines.
+//!
+//! A batch replay updates every *decision* structure (rank tree / segment
+//! counts, coin stream, capacity rule) one operation at a time — so layouts
+//! stay bit-identical to per-op application — but records the element
+//! splices instead of executing them. [`BatchState`] holds those records and
+//! turns them, at commit, into **one gather/refill per maximal dirty run of
+//! groups**:
+//!
+//! * every operation remembers the global rank it applied at and the group
+//!   (leaf / segment) its splice targets; rebalanced windows are recorded
+//!   as dirty *ranges* (O(1) per rebalance, however wide the window);
+//! * dirty ranges merge into maximal runs, and element movement is always
+//!   confined to a run (windows are contiguous and fully dirty);
+//! * the arrival-order records are translated to positions within their
+//!   run — `pos = rank − (elements before the run at batch start) − (net
+//!   earlier batch inserts in runs to the left)` — and applied to an
+//!   implicit-treap [`Rope`] over the run's tokens, so a run of `L`
+//!   elements absorbs `m` splices in `O(L + m log(L + m))` regardless of
+//!   where they land (a `Vec::insert` per splice would be `O(m·L)`);
+//! * each run's current elements are then drained once and re-emitted in
+//!   the rope's order, and the engine refills the run's groups from the
+//!   merged result.
+//!
+//! Because a structure's groups, concatenated left to right, always equal
+//! the logical sequence in rank order, refilling each dirty run with its
+//! final slice reproduces exactly the state per-op application would have
+//! reached.
+
+use hi_common::batch::SignedFenwick;
+
+/// What a replayed operation does at its recorded position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpliceKind {
+    /// Insert the pending item with the given index.
+    Insert(u32),
+    /// Remove (and drop) the element at the position.
+    Delete,
+}
+
+/// One replayed operation, in arrival order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpRecord {
+    /// Global rank the operation applied at (mid-batch).
+    pub rank: u64,
+    /// Group (leaf / segment) the splice targets — for a window rebalance,
+    /// the window's first group. Only its *run* identity matters.
+    pub group: u32,
+    /// Insert (with pending-item index) or delete.
+    pub kind: SpliceKind,
+}
+
+/// A maximal run of dirty groups `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Run {
+    pub start: u32,
+    pub end: u32,
+}
+
+// ---------------------------------------------------------------------
+// Implicit-treap rope over run tokens
+// ---------------------------------------------------------------------
+
+const NONE: u32 = u32::MAX;
+
+/// An implicit treap (rope) over *spans* of a run's initial elements plus
+/// single pending items, supporting insert/delete at an element position in
+/// expected `O(log m)` and an in-order traversal. Node count is `O(m)` for
+/// `m` splices — independent of the run's length (a run starts as one span
+/// `[0, L)`; splices split spans). The arena is reused across runs and
+/// batches, so steady-state use allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct Rope {
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Subtree size in *elements* (spans count their width).
+    size: Vec<u32>,
+    pri: Vec<u32>,
+    /// Span start for initial nodes; pending-item index for pending nodes.
+    payload: Vec<u32>,
+    /// Span width for initial nodes; `NONE` marks a pending node (width 1).
+    width: Vec<u32>,
+    root: u32,
+    rng: u64,
+    /// Reusable traversal stack.
+    stack: Vec<u32>,
+}
+
+impl Rope {
+    /// Rebuilds the rope over `initial` in-order elements: one span node.
+    fn reset(&mut self, initial: usize) {
+        self.left.clear();
+        self.right.clear();
+        self.size.clear();
+        self.pri.clear();
+        self.payload.clear();
+        self.width.clear();
+        if initial == 0 {
+            self.root = NONE;
+            return;
+        }
+        self.push_node(0, initial as u32, u32::MAX);
+        self.root = 0;
+    }
+
+    fn push_node(&mut self, payload: u32, width_or_none: u32, pri: u32) -> u32 {
+        let id = self.left.len() as u32;
+        self.left.push(NONE);
+        self.right.push(NONE);
+        self.size.push(if width_or_none == NONE {
+            1
+        } else {
+            width_or_none
+        });
+        self.pri.push(pri);
+        self.payload.push(payload);
+        self.width.push(width_or_none);
+        id
+    }
+
+    #[inline]
+    fn node_width(&self, t: u32) -> u32 {
+        let w = self.width[t as usize];
+        if w == NONE {
+            1
+        } else {
+            w
+        }
+    }
+
+    #[inline]
+    fn node_size(&self, t: u32) -> u32 {
+        if t == NONE {
+            0
+        } else {
+            self.size[t as usize]
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, t: u32) {
+        self.size[t as usize] = self.node_width(t)
+            + self.node_size(self.left[t as usize])
+            + self.node_size(self.right[t as usize]);
+    }
+
+    /// Draws a deterministic pseudo-random priority (internal-only: the
+    /// rope's shape never reaches the structure's layout).
+    #[inline]
+    fn draw_pri(&mut self) -> u32 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(97);
+        ((self.rng >> 33) as u32) & (u32::MAX >> 2)
+    }
+
+    /// Splits `t` into (first `k` elements, rest) — splitting a span node in
+    /// two when `k` falls inside it. The carved-off right piece draws a
+    /// fresh priority and is merged over the old right subtree, so the
+    /// treap's expected balance survives arbitrary span fragmentation.
+    fn split(&mut self, t: u32, k: u32) -> (u32, u32) {
+        if t == NONE {
+            return (NONE, NONE);
+        }
+        let ls = self.node_size(self.left[t as usize]);
+        let w = self.node_width(t);
+        if k <= ls {
+            let (a, b) = self.split(self.left[t as usize], k);
+            self.left[t as usize] = b;
+            self.pull(t);
+            return (a, t);
+        }
+        if k >= ls + w {
+            let (a, b) = self.split(self.right[t as usize], k - ls - w);
+            self.right[t as usize] = a;
+            self.pull(t);
+            return (t, b);
+        }
+        // k lands inside this node's span: truncate the node to the left
+        // piece and re-merge the right piece (fresh node) with the old
+        // right subtree.
+        debug_assert_ne!(self.width[t as usize], NONE, "pending nodes have width 1");
+        let offset = k - ls;
+        let start = self.payload[t as usize];
+        let width = self.width[t as usize];
+        let old_right = self.right[t as usize];
+        self.width[t as usize] = offset;
+        self.right[t as usize] = NONE;
+        self.pull(t);
+        let pri = self.draw_pri();
+        let new = self.push_node(start + offset, width - offset, pri);
+        let b = self.merge(new, old_right);
+        (t, b)
+    }
+
+    /// Merges two ropes (`a` entirely before `b`).
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        if self.pri[a as usize] >= self.pri[b as usize] {
+            let m = self.merge(self.right[a as usize], b);
+            self.right[a as usize] = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.left[b as usize]);
+            self.left[b as usize] = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Inserts a pending token carrying `payload` at element position `pos`.
+    fn insert(&mut self, pos: usize, payload: u32) {
+        let pri = self.draw_pri();
+        let node = self.push_node(payload, NONE, pri);
+        let (a, b) = self.split(self.root, pos as u32);
+        let ab = self.merge(a, node);
+        self.root = self.merge(ab, b);
+    }
+
+    /// Deletes the element at position `pos` (dropping a pending token or
+    /// shrinking a span).
+    fn delete(&mut self, pos: usize) {
+        let (a, bc) = self.split(self.root, pos as u32);
+        let (_b, c) = self.split(bc, 1);
+        self.root = self.merge(a, c);
+    }
+
+    /// Number of elements.
+    fn len(&self) -> usize {
+        self.node_size(self.root) as usize
+    }
+
+    /// In-order traversal: calls `f(true, span_start, span_len)` for spans
+    /// of initial elements and `f(false, pending_idx, 1)` for pending
+    /// tokens.
+    fn for_each_in_order(&mut self, mut f: impl FnMut(bool, u32, u32)) {
+        self.stack.clear();
+        let mut cur = self.root;
+        loop {
+            while cur != NONE {
+                self.stack.push(cur);
+                cur = self.left[cur as usize];
+            }
+            let Some(t) = self.stack.pop() else { break };
+            let w = self.width[t as usize];
+            if w == NONE {
+                f(false, self.payload[t as usize], 1);
+            } else {
+                f(true, self.payload[t as usize], w);
+            }
+            cur = self.right[t as usize];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch state
+// ---------------------------------------------------------------------
+
+/// Deferred-splice state for one batch. All vectors keep their capacity
+/// across batches (the owning structure holds the state for its lifetime),
+/// so steady-state batches allocate nothing once warmed up. No bookkeeping
+/// is proportional to the structure's group count — only to the batch and
+/// the touched windows.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchState<T> {
+    /// Whether a batch is currently open.
+    pub active: bool,
+    /// Items awaiting insertion, taken at commit.
+    pub pending: Vec<Option<T>>,
+    /// One record per replayed op, in arrival order.
+    pub records: Vec<OpRecord>,
+    /// Dirty group ranges `[start, end)`, in recording order (unsorted,
+    /// possibly overlapping — O(1) per rebalance).
+    dirty_ranges: Vec<(u32, u32)>,
+    /// Commit scratch: maximal dirty runs, initial elements before each
+    /// run, per-run splice lists.
+    runs: Vec<Run>,
+    init_before: Vec<u64>,
+    run_delta: Vec<i64>,
+    record_runs: Vec<u32>,
+    deltas: SignedFenwick,
+    /// Splices scattered by run (counting sort, stable): positions are
+    /// within the run at the op's application time.
+    splices: Vec<(u64, SpliceKind)>,
+    run_offsets: Vec<u32>,
+    cursors: Vec<u32>,
+    rope: Rope,
+    /// Reusable gather buffer for run resolution.
+    pub run_buf: Vec<T>,
+    /// Reusable output buffer for run resolution.
+    pub out_buf: Vec<T>,
+}
+
+impl<T> Default for BatchState<T> {
+    fn default() -> Self {
+        Self {
+            active: false,
+            pending: Vec::new(),
+            records: Vec::new(),
+            dirty_ranges: Vec::new(),
+            runs: Vec::new(),
+            init_before: Vec::new(),
+            run_delta: Vec::new(),
+            record_runs: Vec::new(),
+            deltas: SignedFenwick::default(),
+            splices: Vec::new(),
+            run_offsets: Vec::new(),
+            cursors: Vec::new(),
+            rope: Rope::default(),
+            run_buf: Vec::new(),
+            out_buf: Vec::new(),
+        }
+    }
+}
+
+impl<T> BatchState<T> {
+    /// Opens a batch. Clears all records; keeps capacities.
+    pub fn begin(&mut self) {
+        assert!(!self.active, "batch already open");
+        self.active = true;
+        self.reset_records();
+    }
+
+    /// Drops every record (used after a materializing full rebuild resets
+    /// the layout mid-batch).
+    pub fn reset_records(&mut self) {
+        self.pending.clear();
+        self.records.clear();
+        self.dirty_ranges.clear();
+    }
+
+    /// Returns `true` when nothing was deferred (commit is a no-op).
+    pub fn is_clean(&self) -> bool {
+        self.records.is_empty() && self.dirty_ranges.is_empty()
+    }
+
+    /// Marks one group dirty.
+    #[inline]
+    pub fn mark_dirty(&mut self, group: usize) {
+        self.dirty_ranges.push((group as u32, group as u32 + 1));
+    }
+
+    /// Marks a window of groups dirty — O(1), however wide the window.
+    pub fn mark_dirty_window(&mut self, first: usize, count: usize) {
+        self.dirty_ranges
+            .push((first as u32, (first + count) as u32));
+    }
+
+    /// Records a deferred insert.
+    pub fn record_insert(&mut self, rank: usize, group: usize, item: T) {
+        let idx = self.pending.len() as u32;
+        self.pending.push(Some(item));
+        self.records.push(OpRecord {
+            rank: rank as u64,
+            group: group as u32,
+            kind: SpliceKind::Insert(idx),
+        });
+    }
+
+    /// Records a deferred delete.
+    pub fn record_delete(&mut self, rank: usize, group: usize) {
+        self.records.push(OpRecord {
+            rank: rank as u64,
+            group: group as u32,
+            kind: SpliceKind::Delete,
+        });
+    }
+
+    /// Resolves the batch into per-run splice lists. `final_prefix(g)` must
+    /// report the number of elements in groups `[0, g)` *after* the replay
+    /// (the engine's count structures qualify — the rank tree / segment
+    /// Fenwick are replayed op by op). Returns the number of runs.
+    ///
+    /// Work is `O(W log W + m log m)` for `W` dirty ranges and `m` records —
+    /// independent of the structure's total group count.
+    pub fn plan_commit(&mut self, mut final_prefix: impl FnMut(usize) -> u64) -> usize {
+        // 1. Merge the dirty ranges into maximal runs.
+        self.dirty_ranges.sort_unstable();
+        self.runs.clear();
+        for &(start, end) in &self.dirty_ranges {
+            match self.runs.last_mut() {
+                Some(last) if start <= last.end => last.end = last.end.max(end),
+                _ => self.runs.push(Run { start, end }),
+            }
+        }
+        let run_count = self.runs.len();
+        // 2. Per-record run index (binary search over the sorted runs) and
+        //    per-run net element delta.
+        self.record_runs.clear();
+        self.run_delta.clear();
+        self.run_delta.resize(run_count, 0);
+        self.run_offsets.clear();
+        self.run_offsets.resize(run_count + 1, 0);
+        for rec in &self.records {
+            let r = self
+                .runs
+                .partition_point(|run| run.start <= rec.group)
+                .checked_sub(1)
+                .expect("op recorded before the first run");
+            debug_assert!(rec.group < self.runs[r].end, "op outside every run");
+            self.record_runs.push(r as u32);
+            self.run_offsets[r + 1] += 1;
+            match rec.kind {
+                SpliceKind::Insert(_) => self.run_delta[r] += 1,
+                SpliceKind::Delete => self.run_delta[r] -= 1,
+            }
+        }
+        for r in 0..run_count {
+            self.run_offsets[r + 1] += self.run_offsets[r];
+        }
+        // 3. Initial (batch-begin) element prefix before each run: the
+        //    final prefix minus the net deltas of every earlier run.
+        self.init_before.clear();
+        let mut delta_before = 0i64;
+        for r in 0..run_count {
+            let fp = final_prefix(self.runs[r].start as usize) as i64;
+            self.init_before.push((fp - delta_before) as u64);
+            delta_before += self.run_delta[r];
+        }
+        // 4. Arrival-order pass: translate each record's global rank into a
+        //    position within its run and scatter the splices by run,
+        //    preserving arrival order (stable counting sort). `deltas`
+        //    tracks, per run, the net inserts applied so far, so earlier
+        //    runs' splices shift later runs' ranks correctly.
+        self.deltas.reset(run_count);
+        self.cursors.clear();
+        self.cursors
+            .extend_from_slice(&self.run_offsets[..run_count]);
+        self.splices.clear();
+        self.splices
+            .resize(self.records.len(), (0, SpliceKind::Delete));
+        for (rec, &run) in self.records.iter().zip(&self.record_runs) {
+            let run = run as usize;
+            let pos = rec.rank as i64 - self.init_before[run] as i64 - self.deltas.prefix(run);
+            debug_assert!(pos >= 0, "splice position underflow");
+            self.splices[self.cursors[run] as usize] = (pos as u64, rec.kind);
+            self.cursors[run] += 1;
+            match rec.kind {
+                SpliceKind::Insert(_) => self.deltas.add(run, 1),
+                SpliceKind::Delete => self.deltas.add(run, -1),
+            }
+        }
+        run_count
+    }
+
+    /// The planned runs, in ascending group order.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// The run at `idx` (copied out so the caller can keep borrowing the
+    /// state mutably).
+    pub fn run(&self, idx: usize) -> Run {
+        self.runs[idx]
+    }
+
+    /// Applies run `idx`'s splices (in arrival order) to `buf`, which must
+    /// hold the run's initial elements in rank order, leaving the merged
+    /// result in `buf`. The splices drive an implicit-treap rope, so cost
+    /// is `O(L + m log(L + m))` — deleted initial elements are dropped,
+    /// pending items are moved in.
+    pub fn apply_run_splices(&mut self, idx: usize, buf: &mut Vec<T>) {
+        let (lo, hi) = (
+            self.run_offsets[idx] as usize,
+            self.run_offsets[idx + 1] as usize,
+        );
+        if lo == hi {
+            return;
+        }
+        if hi - lo == 1 {
+            // Single splice (the common case for scattered batches): one
+            // in-place Vec splice beats building a rope and re-emitting the
+            // whole run.
+            let (pos, kind) = self.splices[lo];
+            match kind {
+                SpliceKind::Insert(p) => buf.insert(
+                    pos as usize,
+                    self.pending[p as usize]
+                        .take()
+                        .expect("pending item spliced twice"),
+                ),
+                SpliceKind::Delete => {
+                    drop(buf.remove(pos as usize));
+                }
+            }
+            return;
+        }
+        self.rope.reset(buf.len());
+        for s in lo..hi {
+            let (pos, kind) = self.splices[s];
+            match kind {
+                SpliceKind::Insert(p) => self.rope.insert(pos as usize, p),
+                SpliceKind::Delete => self.rope.delete(pos as usize),
+            }
+        }
+        // Resolve the rope's span order into elements: spans appear in
+        // increasing start order, so a single drain pass bulk-moves
+        // survivors and drops deletions.
+        let mut out = std::mem::take(&mut self.out_buf);
+        out.clear();
+        out.reserve(self.rope.len());
+        {
+            let mut drain = buf.drain(..);
+            let mut next_initial = 0u32;
+            let pending = &mut self.pending;
+            self.rope.for_each_in_order(|is_initial, v, w| {
+                if is_initial {
+                    debug_assert!(v >= next_initial, "initial spans out of order");
+                    while next_initial < v {
+                        drop(drain.next());
+                        next_initial += 1;
+                    }
+                    out.extend(drain.by_ref().take(w as usize));
+                    next_initial += w;
+                } else {
+                    out.push(
+                        pending[v as usize]
+                            .take()
+                            .expect("pending item spliced twice"),
+                    );
+                }
+            });
+            // Remaining initial elements were deleted; `drain` drops them.
+        }
+        std::mem::swap(buf, &mut out);
+        self.out_buf = out;
+    }
+
+    /// Closes the batch (after a commit or a flush consumed the records).
+    pub fn finish(&mut self) {
+        self.active = false;
+        self.reset_records();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rope_reproduces_vec_splices() {
+        // Differential test: random insert/delete-at-position streams
+        // against a plain Vec reference.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) % m.max(1)
+        };
+        for initial in [0usize, 1, 7, 64, 500] {
+            let mut rope = Rope::default();
+            rope.reset(initial);
+            // Reference: tokens as (is_initial, value).
+            let mut model: Vec<(bool, u32)> = (0..initial as u32).map(|i| (true, i)).collect();
+            for op in 0..400u32 {
+                if model.is_empty() || next(3) != 0 {
+                    let pos = next(model.len() as u64 + 1) as usize;
+                    rope.insert(pos, op);
+                    model.insert(pos, (false, op));
+                } else {
+                    let pos = next(model.len() as u64) as usize;
+                    rope.delete(pos);
+                    model.remove(pos);
+                }
+                assert_eq!(rope.len(), model.len());
+            }
+            let mut got = Vec::new();
+            rope.for_each_in_order(|a, b, w| {
+                if a {
+                    for i in 0..w {
+                        got.push((true, b + i));
+                    }
+                } else {
+                    got.push((false, b));
+                }
+            });
+            assert_eq!(got, model, "initial = {initial}");
+        }
+    }
+
+    /// Reference: apply the same splices to a flat model vector.
+    #[test]
+    fn runs_and_positions_reproduce_flat_splices() {
+        // Groups of 2 elements each; groups 1, 2 and 5 get dirty.
+        let groups: Vec<Vec<u64>> = vec![
+            vec![0, 1],
+            vec![2, 3],
+            vec![4, 5],
+            vec![6, 7],
+            vec![8, 9],
+            vec![10, 11],
+        ];
+        let mut model: Vec<u64> = groups.iter().flatten().copied().collect();
+        let mut st: BatchState<u64> = BatchState::default();
+        st.begin();
+        // Insert 100 at rank 3 (group 1), delete rank 5 (now element 4 in
+        // group 2), insert 200 at rank 10 (group 5).
+        st.mark_dirty(1);
+        st.record_insert(3, 1, 100);
+        model.insert(3, 100);
+        st.mark_dirty(2);
+        st.record_delete(5, 2);
+        model.remove(5);
+        st.mark_dirty(5);
+        st.record_insert(10, 5, 200);
+        model.insert(10, 200);
+
+        // Final prefix before group g, per the model's final state: groups
+        // 0..g hold the final slices.
+        let final_counts = [2u64, 3, 1, 2, 2, 3];
+        let runs = st.plan_commit(|g| final_counts[..g].iter().sum());
+        assert_eq!(runs, 2, "groups 1-2 coalesce, group 5 stands alone");
+        // Run 0: groups 1..3.
+        let r0 = st.run(0);
+        assert_eq!((r0.start, r0.end), (1, 3));
+        let mut buf: Vec<u64> = groups[1..3].iter().flatten().copied().collect();
+        st.apply_run_splices(0, &mut buf);
+        assert_eq!(buf, vec![2, 100, 3, 5]);
+        // Run 1: group 5.
+        let r1 = st.run(1);
+        assert_eq!((r1.start, r1.end), (5, 6));
+        let mut buf: Vec<u64> = groups[5].clone();
+        st.apply_run_splices(1, &mut buf);
+        assert_eq!(buf, vec![200, 10, 11]);
+        // The concatenation [g0][run0][g3][g4][run1] equals the model.
+        let mut rebuilt: Vec<u64> = groups[0].clone();
+        rebuilt.extend([2, 100, 3, 5]);
+        rebuilt.extend(groups[3].iter().copied());
+        rebuilt.extend(groups[4].iter().copied());
+        rebuilt.extend([200, 10, 11]);
+        assert_eq!(rebuilt, model);
+        st.finish();
+        assert!(st.is_clean());
+    }
+}

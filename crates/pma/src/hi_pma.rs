@@ -47,6 +47,7 @@
 //! coins drawn, and therefore the WHI guarantee are unchanged (the
 //! representation function of Lemma 9 is computed, not sampled).
 
+use hi_common::batch::SeekFinger;
 use hi_common::capacity::{CapacityEvent, HiCapacity};
 use hi_common::counters::SharedCounters;
 use hi_common::rng::{DetRng, RngSource};
@@ -57,6 +58,7 @@ use rand::Rng;
 use veb_tree::navigation::{children, leaf_index};
 use veb_tree::VebTree;
 
+use crate::batch::BatchState;
 use crate::geometry::Geometry;
 use crate::spread::spread_position;
 use crate::store::{ScanIter, SlotStore};
@@ -125,6 +127,14 @@ pub struct HiPma<T: Clone> {
     /// Reusable gather buffer for the rebuild paths; capacity persists
     /// across rebalances so steady-state rebuilds allocate nothing.
     scratch: Scratch<T>,
+    /// Deferred-splice state for the group-commit batch path (see
+    /// [`HiPma::batch_begin`]). Empty and inert outside a batch.
+    batch: BatchState<T>,
+    /// Roots of the range subtrees whose balances were re-planned during
+    /// the current batch replay: `(range, depth, first leaf)`. Their value
+    /// (balance copy) subtrees are recomputed once, at commit, from the
+    /// final element arrangement.
+    batch_roots: Vec<(u32, u32, u32)>,
 }
 
 impl<T: Clone> HiPma<T> {
@@ -183,6 +193,8 @@ impl<T: Clone> HiPma<T> {
             array_region,
             elem_size,
             scratch: Scratch::new(),
+            batch: BatchState::default(),
+            batch_roots: Vec::new(),
         }
     }
 
@@ -964,6 +976,32 @@ impl<T: Clone> HiPma<T> {
         if self.is_empty() {
             return (0, None);
         }
+        let (leaf, rank_offset) = self.lower_bound_leaf_by(&f);
+        self.tracer.read(
+            self.array_region
+                .addr(self.geometry.leaf_start(leaf) as u64),
+            self.array_region.span(self.geometry.leaf_slots as u64),
+        );
+        let group = self.store.group(leaf);
+        // The dense leaf is sorted under `f`; binary-search it instead of
+        // the previous linear scan.
+        let pos = group.partition_point(|e| f(e) == std::cmp::Ordering::Less);
+        let rank = rank_offset + pos;
+        if pos < group.len() {
+            (rank, Some(&group[pos]))
+        } else {
+            // The bound lies beyond this leaf; resolve the element (if any)
+            // by rank.
+            (rank, self.get_rank_ref(rank))
+        }
+    }
+
+    /// The leaf a keyed descent lands in and the rank of its first element
+    /// (the non-terminal part of [`HiPma::lower_bound_ref_by`]).
+    fn lower_bound_leaf_by<F>(&self, f: &F) -> (usize, usize)
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
         let mut range = 0usize;
         let mut depth = 0u32;
         let mut slot_start = 0usize;
@@ -985,24 +1023,450 @@ impl<T: Clone> HiPma<T> {
             }
             depth += 1;
         }
+        (self.geometry.leaf_of_slot(slot_start), rank_offset)
+    }
+
+    /// How many leaves a seek finger walks before giving up and paying one
+    /// value-tree descent instead: close probes (sorted batches, dense
+    /// probe sets) ride the walk, sparse probes cost `O(log N)` like a
+    /// plain search — never `O(distance)`.
+    pub const SEEK_WALK_LIMIT: usize = 32;
+
+    /// [`HiPma::lower_bound_ref_by`] with a resumable [`SeekFinger`]:
+    /// ascending probe runs resume from the previous probe's leaf and walk
+    /// dense leaves left to right (a group-length read and one comparison
+    /// per skipped leaf); probes farther than [`Self::SEEK_WALK_LIMIT`]
+    /// leaves (and the first probe) pay one value-tree descent to re-seed
+    /// the finger.
+    pub fn lower_bound_seek_by<F>(&self, finger: &mut SeekFinger, f: F) -> (usize, Option<&T>)
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
+        if self.is_empty() {
+            finger.valid = false;
+            return (0, None);
+        }
+        let (mut leaf, mut base, mut descended) = if finger.valid {
+            (finger.group, finger.base_rank, false)
+        } else {
+            let (l, b) = self.lower_bound_leaf_by(&f);
+            (l, b, true)
+        };
+        let leaf_count = self.geometry.leaf_count();
+        let mut walked = 0usize;
+        loop {
+            if leaf >= leaf_count {
+                finger.valid = false;
+                debug_assert_eq!(base, self.len());
+                return (self.len(), None);
+            }
+            let group = self.store.group(leaf);
+            match group.last() {
+                Some(last) if f(last) != std::cmp::Ordering::Less => break,
+                _ => {
+                    base += group.len();
+                    leaf += 1;
+                    walked += 1;
+                    if walked >= Self::SEEK_WALK_LIMIT && !descended {
+                        // The target is far: one descent lands within a
+                        // couple of leaves of it (the descent never
+                        // overshoots, so only move forward).
+                        let (l, b) = self.lower_bound_leaf_by(&f);
+                        if l > leaf {
+                            leaf = l;
+                            base = b;
+                        }
+                        descended = true;
+                    }
+                }
+            }
+        }
         self.tracer.read(
-            self.array_region.addr(slot_start as u64),
+            self.array_region
+                .addr(self.geometry.leaf_start(leaf) as u64),
             self.array_region.span(self.geometry.leaf_slots as u64),
         );
-        let leaf = self.geometry.leaf_of_slot(slot_start);
         let group = self.store.group(leaf);
-        // The dense leaf is sorted under `f`; binary-search it instead of
-        // the previous linear scan.
         let pos = group.partition_point(|e| f(e) == std::cmp::Ordering::Less);
-        let rank = rank_offset + pos;
-        if pos < group.len() {
-            (rank, Some(&group[pos]))
-        } else {
-            // The bound lies beyond this leaf; resolve the element (if any)
-            // by rank.
-            (rank, self.get_rank_ref(rank))
+        finger.group = leaf;
+        finger.base_rank = base;
+        finger.valid = true;
+        (base + pos, Some(&group[pos]))
+    }
+
+    // ------------------------------------------------------------------
+    // Group-commit batch updates
+    // ------------------------------------------------------------------
+    //
+    // The batch path replays every *decision* one operation at a time —
+    // capacity events, reservoir lotteries and balance draws consume the
+    // coin stream exactly as the per-op path would, and the rank tree is
+    // updated along every descent — but records the element splices instead
+    // of executing them. `batch_commit` then touches each maximal dirty run
+    // of leaves once: one gather, one splice pass over the contiguous
+    // buffer, one refill per leaf, and one recomputation of the re-planned
+    // ranges' balance copies from the final arrangement (their identity is
+    // exactly the element at the left child's final count, which is what
+    // sequential application leaves there). The resulting occupancy bitmap,
+    // rank tree, value tree and RNG position are bit-identical to applying
+    // the operations one at a time.
+
+    /// Opens a deferred batch. Pair with [`HiPma::batch_commit`]; between
+    /// the two, only [`HiPma::batch_insert`] / [`HiPma::batch_delete`] may
+    /// touch the structure.
+    pub fn batch_begin(&mut self) {
+        self.batch.begin();
+        self.batch_roots.clear();
+    }
+
+    /// Replays one insert of an open batch at `rank` (the rank it applies
+    /// at mid-batch), deferring the element movement. Draws exactly the
+    /// coins [`HiPma::insert`] would draw.
+    pub fn batch_insert(&mut self, rank: usize, item: T) {
+        debug_assert!(self.batch.active, "batch_insert outside a batch");
+        debug_assert!(rank <= self.len());
+        self.counters.add_insert();
+        let event = self.capacity.on_insert(&mut self.rng);
+        if let CapacityEvent::Rebuild { .. } = event {
+            // Same coins and same layout as the sequential path: gather the
+            // full current sequence (pending splices included), splice the
+            // new element, rebuild everything.
+            let mut buf = self.flush_batch_sequence();
+            buf.insert(rank, item);
+            self.counters.add_resize();
+            self.rebuild_everything(buf);
+            self.batch.reset_records();
+            return;
+        }
+        let mut range = 0usize;
+        let mut depth = 0u32;
+        let mut slot_start = 0usize;
+        let mut rel_rank = rank;
+        let mut len_before = *self.rank_tree.get(0) as usize;
+        loop {
+            if depth == self.geometry.height {
+                self.rank_tree.set(range, (len_before + 1) as u64);
+                let leaf = self.geometry.leaf_of_slot(slot_start);
+                debug_assert!(len_before < self.geometry.leaf_slots, "leaf overflow");
+                self.counters.add_moves(len_before as u64 + 1);
+                self.batch.mark_dirty(leaf);
+                self.batch.record_insert(rank, leaf, item);
+                return;
+            }
+            let (left, _right) = children(range);
+            let l1 = *self.rank_tree.get(left) as usize;
+            let m = self.geometry.candidate_size(depth);
+            let decision = self.decide_insert(rel_rank, l1, len_before, m);
+            self.rank_tree.set(range, (len_before + 1) as u64);
+            match decision {
+                Decision::Rebuild { forced } => {
+                    let slot_count = self.geometry.slots_at_depth(depth);
+                    self.counters.add_rebuild(slot_count as u64);
+                    self.plan_counts(range, depth, len_before + 1, forced);
+                    let first_leaf = self.geometry.leaf_of_slot(slot_start);
+                    let window = slot_count / self.geometry.leaf_slots;
+                    self.batch.mark_dirty_window(first_leaf, window);
+                    self.batch_roots
+                        .push((range as u32, depth, first_leaf as u32));
+                    self.batch.record_insert(rank, first_leaf, item);
+                    return;
+                }
+                Decision::Descend => {
+                    let half = self.geometry.slots_at_depth(depth) / 2;
+                    if rel_rank <= l1 {
+                        range = left;
+                        len_before = l1;
+                    } else {
+                        range = 2 * range + 2;
+                        slot_start += half;
+                        rel_rank -= l1;
+                        len_before -= l1;
+                    }
+                    depth += 1;
+                }
+            }
         }
     }
+
+    /// Replays one delete of an open batch at `rank`, deferring the element
+    /// movement. Draws exactly the coins [`HiPma::delete`] would draw; the
+    /// removed element is dropped at commit.
+    pub fn batch_delete(&mut self, rank: usize) {
+        debug_assert!(self.batch.active, "batch_delete outside a batch");
+        debug_assert!(rank < self.len());
+        self.counters.add_delete();
+        let event = self.capacity.on_delete(&mut self.rng);
+        if let CapacityEvent::Rebuild { .. } = event {
+            let mut buf = self.flush_batch_sequence();
+            drop(buf.remove(rank));
+            self.counters.add_resize();
+            if self.capacity.is_empty() {
+                self.scratch.restore(buf);
+                self.reset_empty();
+            } else {
+                self.rebuild_everything(buf);
+            }
+            self.batch.reset_records();
+            return;
+        }
+        let mut range = 0usize;
+        let mut depth = 0u32;
+        let mut slot_start = 0usize;
+        let mut rel_rank = rank;
+        let mut len_before = *self.rank_tree.get(0) as usize;
+        loop {
+            if depth == self.geometry.height {
+                self.rank_tree.set(range, (len_before - 1) as u64);
+                let leaf = self.geometry.leaf_of_slot(slot_start);
+                self.counters.add_moves(len_before as u64 - 1);
+                self.batch.mark_dirty(leaf);
+                self.batch.record_delete(rank, leaf);
+                return;
+            }
+            let (left, _right) = children(range);
+            let l1 = *self.rank_tree.get(left) as usize;
+            let m = self.geometry.candidate_size(depth);
+            let decision = self.decide_delete(rel_rank, l1, len_before, m);
+            self.rank_tree.set(range, (len_before - 1) as u64);
+            match decision {
+                Decision::Rebuild { forced } => {
+                    let slot_count = self.geometry.slots_at_depth(depth);
+                    self.counters.add_rebuild(slot_count as u64);
+                    self.plan_counts(range, depth, len_before - 1, forced);
+                    let first_leaf = self.geometry.leaf_of_slot(slot_start);
+                    let window = slot_count / self.geometry.leaf_slots;
+                    self.batch.mark_dirty_window(first_leaf, window);
+                    self.batch_roots
+                        .push((range as u32, depth, first_leaf as u32));
+                    self.batch.record_delete(rank, first_leaf);
+                    return;
+                }
+                Decision::Descend => {
+                    let half = self.geometry.slots_at_depth(depth) / 2;
+                    if rel_rank < l1 {
+                        range = left;
+                        len_before = l1;
+                    } else {
+                        range = 2 * range + 2;
+                        slot_start += half;
+                        rel_rank -= l1;
+                        len_before -= l1;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Closes an open batch: one merge-rebalance per maximal dirty run of
+    /// leaves, then a single recomputation of the re-planned balance copies.
+    pub fn batch_commit(&mut self) {
+        if !self.batch.active {
+            return;
+        }
+        if self.batch.is_clean() {
+            self.batch_roots.clear();
+            self.batch.finish();
+            return;
+        }
+        {
+            let Self {
+                ref mut batch,
+                ref rank_tree,
+                ref geometry,
+                ..
+            } = *self;
+            batch.plan_commit(|leaf| prefix_before_leaf(rank_tree, geometry, leaf));
+        }
+        // Value-subtree roots are recomputed once per *maximal* re-planned
+        // subtree: tree ranges either nest or are disjoint, so after
+        // sorting by first leaf (outermost window first at ties) a sweep
+        // drops every root covered by the previous kept one. Nested roots
+        // would only recompute identical values — skipping them turns the
+        // sum of rebuilt windows into their union.
+        self.batch_roots.sort_unstable_by_key(|&(_, d, fl)| (fl, d));
+        {
+            let height = self.geometry.height;
+            let mut covered_end = 0u32;
+            self.batch_roots.retain(|&(_, d, fl)| {
+                if fl < covered_end {
+                    debug_assert!(fl + (1u32 << (height - d)) <= covered_end);
+                    false
+                } else {
+                    covered_end = fl + (1u32 << (height - d));
+                    true
+                }
+            });
+        }
+        let levels = self.geometry.levels();
+        let leaf_slots = self.geometry.leaf_slots;
+        let mut root_cursor = 0usize;
+        for run_idx in 0..self.batch.runs().len() {
+            let run = self.batch.run(run_idx);
+            let (g0, g1) = (run.start as usize, run.end as usize);
+            self.tracer.read(
+                self.array_region.addr((g0 * leaf_slots) as u64),
+                self.array_region.span(((g1 - g0) * leaf_slots) as u64),
+            );
+            let mut buf = std::mem::take(&mut self.batch.run_buf);
+            buf.clear();
+            self.store.drain_window_into(g0, g1 - g0, &mut buf);
+            self.batch.apply_run_splices(run_idx, &mut buf);
+            self.counters.add_batch_gather();
+            // Recompute the balance copies of every range re-planned inside
+            // this run, from the *final* arrangement: a range's balance is
+            // the element at its left child's count — the invariant descents
+            // preserve — so one pass over the merged buffer restores exactly
+            // the values sequential application would have left.
+            let mut offset = 0usize;
+            let mut leaf = g0;
+            while root_cursor < self.batch_roots.len() {
+                let (range, depth, first_leaf) = self.batch_roots[root_cursor];
+                if first_leaf as usize >= g1 {
+                    break;
+                }
+                while leaf < first_leaf as usize {
+                    offset += *self.rank_tree.peek(leaf_index(levels, leaf)) as usize;
+                    leaf += 1;
+                }
+                let len = *self.rank_tree.peek(range as usize) as usize;
+                self.set_values_from(range as usize, depth, &buf[offset..offset + len]);
+                root_cursor += 1;
+            }
+            // Refill each leaf of the run with its final count — the dense
+            // concatenation of leaves always equals the sequence in rank
+            // order, so slicing the merged run by final counts reproduces
+            // the per-op layout bit for bit.
+            let mut iter = buf.drain(..);
+            for lf in g0..g1 {
+                let count = *self.rank_tree.peek(leaf_index(levels, lf)) as usize;
+                self.store.fill_window(lf, 1, &mut iter, count);
+            }
+            debug_assert!(iter.next().is_none(), "batch commit left elements unplaced");
+            drop(iter);
+            self.tracer.write(
+                self.array_region.addr((g0 * leaf_slots) as u64),
+                self.array_region.span(((g1 - g0) * leaf_slots) as u64),
+            );
+            self.batch.run_buf = buf;
+        }
+        debug_assert_eq!(root_cursor, self.batch_roots.len());
+        self.batch_roots.clear();
+        self.batch.finish();
+    }
+
+    /// Phase-1-only rebuild used by the batch replay: draws each range's
+    /// balance coins and writes the rank tree in exactly [`HiPma::plan_range`]'s
+    /// order, but touches no elements (the balance *copies* are recomputed at
+    /// commit, and the leaves are refilled then).
+    fn plan_counts(&mut self, range: usize, depth: u32, len: usize, forced_balance: Option<usize>) {
+        self.rank_tree.set(range, len as u64);
+        if depth == self.geometry.height {
+            self.counters.add_moves(len as u64);
+            return;
+        }
+        let m = self.geometry.candidate_size(depth);
+        let (w, m_eff) = Geometry::candidate_window(len, m);
+        let balance = if len == 0 {
+            0
+        } else {
+            match forced_balance {
+                Some(b) => {
+                    debug_assert!(b >= w && b < w + m_eff, "forced balance outside window");
+                    b
+                }
+                None => w + self.rng.gen_range(0..m_eff.max(1)),
+            }
+        };
+        let (left, _right) = children(range);
+        self.plan_counts(left, depth + 1, balance, None);
+        self.plan_counts(2 * range + 2, depth + 1, len - balance, None);
+    }
+
+    /// Writes the balance copies of the subtree rooted at `range` from the
+    /// final elements of that range (`elements.len()` must equal the range's
+    /// rank-tree count). `len == 0` ranges get `None`, exactly as
+    /// [`HiPma::plan_range`] leaves them.
+    fn set_values_from(&mut self, range: usize, depth: u32, elements: &[T]) {
+        debug_assert_eq!(*self.rank_tree.peek(range) as usize, elements.len());
+        if depth == self.geometry.height {
+            return;
+        }
+        let (left, right) = children(range);
+        let l1 = *self.rank_tree.peek(left) as usize;
+        self.value_tree.set(range, elements.get(l1).cloned());
+        self.set_values_from(left, depth + 1, &elements[..l1]);
+        self.set_values_from(right, depth + 1, &elements[l1..]);
+    }
+
+    /// Materializes the full current sequence (pending splices applied) into
+    /// a scratch buffer, leaving every leaf empty — the batch equivalent of
+    /// [`HiPma::gather_all`], used when a capacity event forces a whole-
+    /// structure rebuild mid-batch.
+    fn flush_batch_sequence(&mut self) -> Vec<T> {
+        let mut out = self.scratch.take();
+        let leaf_count = self.geometry.leaf_count();
+        self.tracer
+            .read(self.array_region.base, self.array_region.byte_len());
+        if self.batch.is_clean() {
+            self.store.drain_window_into(0, leaf_count, &mut out);
+            self.batch_roots.clear();
+            return out;
+        }
+        {
+            let Self {
+                ref mut batch,
+                ref rank_tree,
+                ref geometry,
+                ..
+            } = *self;
+            batch.plan_commit(|leaf| prefix_before_leaf(rank_tree, geometry, leaf));
+        }
+        let mut run_idx = 0usize;
+        let mut g = 0usize;
+        while g < leaf_count {
+            if run_idx < self.batch.runs().len() && self.batch.run(run_idx).start as usize == g {
+                let run = self.batch.run(run_idx);
+                let mut buf = std::mem::take(&mut self.batch.run_buf);
+                buf.clear();
+                self.store
+                    .drain_window_into(g, (run.end - run.start) as usize, &mut buf);
+                self.batch.apply_run_splices(run_idx, &mut buf);
+                self.counters.add_batch_gather();
+                out.append(&mut buf);
+                self.batch.run_buf = buf;
+                run_idx += 1;
+                g = run.end as usize;
+            } else {
+                self.store.drain_window_into(g, 1, &mut out);
+                g += 1;
+            }
+        }
+        debug_assert_eq!(run_idx, self.batch.runs().len());
+        self.batch_roots.clear();
+        out
+    }
+}
+
+/// Number of elements in leaves `[0, leaf)`, read from the rank tree in one
+/// root-to-leaf descent (used by the batch commit to place runs without
+/// scanning every group).
+fn prefix_before_leaf(rank_tree: &VebTree<u64>, geometry: &Geometry, leaf: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut range = 0usize;
+    let mut rel = leaf;
+    for depth in 0..geometry.height {
+        let (left, right) = children(range);
+        let half = 1usize << (geometry.height - depth - 1);
+        if rel >= half {
+            acc += *rank_tree.peek(left);
+            rel -= half;
+            range = right;
+        } else {
+            range = left;
+        }
+    }
+    acc
 }
 
 impl<T: Clone> Occupancy for HiPma<T> {
@@ -1053,6 +1517,29 @@ impl<T: Clone> RankedSequence for HiPma<T> {
         F: Fn(&T) -> std::cmp::Ordering,
     {
         HiPma::lower_bound_ref_by(self, f)
+    }
+
+    fn lower_bound_seek_by<F>(&self, finger: &mut SeekFinger, f: F) -> (usize, Option<&T>)
+    where
+        F: Fn(&T) -> std::cmp::Ordering,
+    {
+        HiPma::lower_bound_seek_by(self, finger, f)
+    }
+
+    fn batch_begin(&mut self) {
+        HiPma::batch_begin(self)
+    }
+
+    fn batch_insert_at(&mut self, rank: usize, item: T) {
+        HiPma::batch_insert(self, rank, item)
+    }
+
+    fn batch_delete_at(&mut self, rank: usize) {
+        HiPma::batch_delete(self, rank)
+    }
+
+    fn batch_commit(&mut self) {
+        HiPma::batch_commit(self)
     }
 
     fn range_iter(&self, i: usize, j: usize) -> Result<impl Iterator<Item = &T>, RankError> {
@@ -1531,6 +2018,118 @@ mod tests {
         assert_eq!(pma.slot_count(), pma.total_slots());
         // The packed words cover every slot and nothing beyond.
         assert_eq!(pma.occupancy_words().len(), pma.total_slots().div_ceil(64));
+    }
+
+    #[test]
+    fn batch_replay_is_bit_identical_to_per_op_application() {
+        // The core group-commit guarantee: replaying a rank-op stream
+        // through batch_begin/batch_insert/batch_delete/batch_commit draws
+        // the same coins and leaves the same bits as applying it per-op —
+        // occupancy bitmap, N̂, rank tree and value tree (probed via keyed
+        // searches) all included. Exercised across sizes that cross the
+        // small-geometry boundary and force mid-batch capacity rebuilds.
+        for (n_warm, batch_len, seed) in [(0usize, 40usize, 1u64), (500, 300, 2), (3_000, 900, 3)] {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = |m: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) % m.max(1)
+            };
+            // Shared warm-up trace, then a shared batch trace.
+            let warm: Vec<(bool, u64)> = (0..n_warm).map(|i| (true, next(i as u64 + 1))).collect();
+            let ops: Vec<(bool, u64)> = (0..batch_len)
+                .map(|_| (next(3) != 0, next(u64::MAX)))
+                .collect();
+
+            let build_base = |seed: u64| {
+                let mut p: HiPma<u64> = HiPma::new(seed);
+                for (i, &(_, r)) in warm.iter().enumerate() {
+                    p.insert((r % (p.len() as u64 + 1)) as usize, i as u64)
+                        .unwrap();
+                }
+                p
+            };
+            let mut per_op = build_base(seed);
+            let mut batched = build_base(seed);
+
+            // Apply the same op stream per-op and batched.
+            for (i, &(is_insert, r)) in ops.iter().enumerate() {
+                if is_insert || per_op.is_empty() {
+                    let rank = (r % (per_op.len() as u64 + 1)) as usize;
+                    per_op.insert(rank, 1_000_000 + i as u64).unwrap();
+                } else {
+                    let rank = (r % per_op.len() as u64) as usize;
+                    per_op.delete(rank).unwrap();
+                }
+            }
+            batched.batch_begin();
+            for (i, &(is_insert, r)) in ops.iter().enumerate() {
+                if is_insert || batched.is_empty() {
+                    let rank = (r % (batched.len() as u64 + 1)) as usize;
+                    batched.batch_insert(rank, 1_000_000 + i as u64);
+                } else {
+                    let rank = (r % batched.len() as u64) as usize;
+                    batched.batch_delete(rank);
+                }
+            }
+            batched.batch_commit();
+
+            assert_eq!(per_op.to_vec(), batched.to_vec(), "n_warm={n_warm}");
+            assert_eq!(per_op.n_hat(), batched.n_hat(), "n_warm={n_warm}");
+            assert_eq!(
+                per_op.occupancy(),
+                batched.occupancy(),
+                "n_warm={n_warm}: occupancy must be bit-identical"
+            );
+            batched.check_invariants();
+            // Value trees agree: keyed searches land identically, and the
+            // structures stay coin-synchronized for further per-op updates.
+            if !per_op.is_empty() {
+                for probe in [0u64, 5, 1_000_123, u64::MAX] {
+                    assert_eq!(
+                        per_op.lower_bound_by(|x| x.cmp(&probe)),
+                        batched.lower_bound_by(|x| x.cmp(&probe)),
+                        "n_warm={n_warm}: keyed search diverged"
+                    );
+                }
+            }
+            for i in 0..200u64 {
+                let rank = (i * 7919) % (per_op.len() as u64 + 1);
+                per_op.insert(rank as usize, i).unwrap();
+                batched.insert(rank as usize, i).unwrap();
+            }
+            assert_eq!(
+                per_op.occupancy(),
+                batched.occupancy(),
+                "n_warm={n_warm}: post-batch coin streams diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn seek_finger_matches_plain_lower_bound() {
+        let mut pma: HiPma<u64> = HiPma::new(99);
+        let keys: Vec<u64> = (0..4_000u64).map(|k| k * 3).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            pma.insert(i, k).unwrap();
+        }
+        let mut finger = SeekFinger::new();
+        for probe in (0..12_500u64).step_by(7) {
+            let (rank, elem) = pma.lower_bound_seek_by(&mut finger, |x| x.cmp(&probe));
+            let expected = pma.lower_bound_by(|x| x.cmp(&probe));
+            assert_eq!(rank, expected, "probe {probe}");
+            assert_eq!(elem, pma.get_rank_ref(rank), "probe {probe}");
+        }
+        // Past-the-end probes park the finger at the end.
+        let (rank, elem) = pma.lower_bound_seek_by(&mut finger, |x| x.cmp(&u64::MAX));
+        assert_eq!((rank, elem), (keys.len(), None));
+        let empty: HiPma<u64> = HiPma::new(1);
+        let mut finger = SeekFinger::new();
+        assert_eq!(
+            empty.lower_bound_seek_by(&mut finger, |x: &u64| x.cmp(&5)),
+            (0, None)
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::hash::Hash;
 use std::ops::RangeBounds;
 use std::thread;
 
+use hi_common::batch::BatchOp;
 use hi_common::counters::OpCounters;
 use hi_common::traits::{cloned_bounds, Dictionary, KeyValue};
 use io_sim::IoStats;
@@ -158,6 +159,20 @@ where
         }
         parts
     }
+
+    /// Groups batch operations by destination shard, preserving relative
+    /// order (each shard observes exactly its subsequence of the stream).
+    fn partition_ops(
+        &self,
+        ops: impl IntoIterator<Item = BatchOp<D::Key, D::Value>>,
+    ) -> Vec<Vec<BatchOp<D::Key, D::Value>>> {
+        let mut parts: Vec<Vec<BatchOp<D::Key, D::Value>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for op in ops {
+            parts[self.router.route(op.key())].push(op);
+        }
+        parts
+    }
 }
 
 impl<D> ShardedDict<D>
@@ -174,28 +189,13 @@ where
     /// the stream into batches — per-shard subsequences are invariant under
     /// batch partitioning.
     pub fn multi_put(&mut self, pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>) {
-        let parts = self.partition_pairs(pairs);
-        let total: usize = parts.iter().map(Vec::len).sum();
-        if total < self.parallel_threshold.max(1) || self.shards.len() == 1 {
-            for (shard, part) in self.shards.iter_mut().zip(parts) {
-                shard.extend(part);
-            }
-        } else {
-            thread::scope(|s| {
-                for (shard, part) in self.shards.iter_mut().zip(parts) {
-                    if !part.is_empty() {
-                        s.spawn(move || shard.extend(part));
-                    }
-                }
-            });
-        }
+        self.multi_apply(pairs.into_iter().map(|(k, v)| BatchOp::Put(k, v)));
     }
 
     /// Batched, order-preserving parallel form of [`Dictionary::extend`].
     ///
-    /// This inherent method shadows the trait's element-at-a-time default
-    /// when called on a concrete `ShardedDict`; both produce identical
-    /// shard states.
+    /// This inherent method shadows the trait's default when called on a
+    /// concrete `ShardedDict`; both produce identical shard states.
     pub fn extend(&mut self, pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>) {
         self.multi_put(pairs);
     }
@@ -203,16 +203,28 @@ where
     /// Removes every key in `keys`, batched per shard on scoped worker
     /// threads. Returns how many were present.
     pub fn multi_remove(&mut self, keys: impl IntoIterator<Item = D::Key>) -> usize {
-        let mut parts: Vec<Vec<D::Key>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for k in keys {
-            parts[self.router.route(&k)].push(k);
-        }
+        self.multi_apply(keys.into_iter().map(BatchOp::Remove))
+    }
+
+    /// Applies a mixed batch of keyed operations: groups the stream per
+    /// shard preserving relative order, and routes each shard's subsequence
+    /// through its engine's group-commit [`Dictionary::apply_batch`] — one
+    /// descent per operation and one merge-rebalance per touched window,
+    /// executed on scoped worker threads for large batches. Returns how
+    /// many removes found their key.
+    pub fn multi_apply(
+        &mut self,
+        ops: impl IntoIterator<Item = BatchOp<D::Key, D::Value>>,
+    ) -> usize {
+        // Partition while consuming the stream: only the per-shard
+        // subsequences are ever buffered.
+        let parts = self.partition_ops(ops);
         let total: usize = parts.iter().map(Vec::len).sum();
         if total < self.parallel_threshold.max(1) || self.shards.len() == 1 {
             self.shards
                 .iter_mut()
                 .zip(parts)
-                .map(|(shard, part)| part.iter().filter(|k| shard.remove(k).is_some()).count())
+                .map(|(shard, part)| shard.apply_batch(part))
                 .sum()
         } else {
             thread::scope(|s| {
@@ -221,9 +233,7 @@ where
                     .iter_mut()
                     .zip(parts)
                     .filter(|(_, part)| !part.is_empty())
-                    .map(|(shard, part)| {
-                        s.spawn(move || part.iter().filter(|k| shard.remove(k).is_some()).count())
-                    })
+                    .map(|(shard, part)| s.spawn(move || shard.apply_batch(part)))
                     .collect();
                 handles
                     .into_iter()
@@ -234,9 +244,13 @@ where
     }
 
     /// Looks up every key of `keys`, batched per shard on scoped worker
-    /// threads, returning the values in input order. Read-only: shards are
-    /// shared (`&self`), so callers can run `multi_get` from many threads
-    /// concurrently.
+    /// threads, returning the values in input order. Each shard receives
+    /// its probes as one [`Dictionary::get_many`] call, which sorts them and
+    /// reuses a descent finger across consecutive keys instead of
+    /// restarting at the root per probe; the original order is restored by
+    /// scattering through the recorded index permutation. Read-only: shards
+    /// are shared (`&self`), so callers can run `multi_get` from many
+    /// threads concurrently.
     pub fn multi_get(&self, keys: &[D::Key]) -> Vec<Option<D::Value>>
     where
         D: Sync,
@@ -246,10 +260,17 @@ where
             parts[self.router.route(k)].push(i);
         }
         let mut out: Vec<Option<D::Value>> = (0..keys.len()).map(|_| None).collect();
+        let probe_keys =
+            |part: &[usize]| -> Vec<D::Key> { part.iter().map(|&i| keys[i].clone()).collect() };
+        let probe_keys = &probe_keys;
         if keys.len() < self.parallel_threshold.max(1) || self.shards.len() == 1 {
             for (shard, part) in self.shards.iter().zip(&parts) {
-                for &i in part {
-                    out[i] = shard.get(&keys[i]);
+                if part.is_empty() {
+                    continue;
+                }
+                let values = shard.get_many(&probe_keys(part));
+                for (&i, v) in part.iter().zip(values) {
+                    out[i] = v;
                 }
             }
         } else {
@@ -259,18 +280,18 @@ where
                     .iter()
                     .zip(&parts)
                     .filter(|(_, part)| !part.is_empty())
-                    .map(|(shard, part)| {
-                        s.spawn(move || {
-                            part.iter()
-                                .map(|&i| (i, shard.get(&keys[i])))
-                                .collect::<Vec<_>>()
-                        })
-                    })
+                    .map(|(shard, part)| s.spawn(move || shard.get_many(&probe_keys(part))))
                     .collect();
                 // Scatter each worker's results straight into `out` — no
                 // intermediate flattened buffer.
-                for handle in handles {
-                    for (i, v) in handle.join().expect("shard worker panicked") {
+                for (handle, part) in handles
+                    .into_iter()
+                    .zip(parts.iter().filter(|p| !p.is_empty()))
+                {
+                    for (&i, v) in part
+                        .iter()
+                        .zip(handle.join().expect("shard worker panicked"))
+                    {
                         out[i] = v;
                     }
                 }
@@ -367,6 +388,37 @@ where
         for (i, (shard, part)) in self.shards.iter_mut().zip(parts).enumerate() {
             shard.bulk_load(part, derive_seed(seed, i));
         }
+    }
+
+    /// Routes each shard's subsequence of the batch through its engine's
+    /// group-commit batch path (the inline form;
+    /// [`ShardedDict::multi_apply`] is the thread-parallel twin and
+    /// produces bit-identical shards).
+    fn apply_batch(&mut self, ops: Vec<BatchOp<D::Key, D::Value>>) -> usize {
+        let parts = self.partition_ops(ops);
+        self.shards
+            .iter_mut()
+            .zip(parts)
+            .map(|(shard, part)| shard.apply_batch(part))
+            .sum()
+    }
+
+    fn get_many(&self, keys: &[D::Key]) -> Vec<Option<D::Value>> {
+        let mut parts: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            parts[self.router.route(k)].push(i);
+        }
+        let mut out: Vec<Option<D::Value>> = (0..keys.len()).map(|_| None).collect();
+        for (shard, part) in self.shards.iter().zip(&parts) {
+            if part.is_empty() {
+                continue;
+            }
+            let probe: Vec<D::Key> = part.iter().map(|&i| keys[i].clone()).collect();
+            for (&i, v) in part.iter().zip(shard.get_many(&probe)) {
+                out[i] = v;
+            }
+        }
+        out
     }
 }
 

@@ -311,6 +311,47 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
         }
     }
 
+    /// Re-validates a position hint against the current structure: returns
+    /// the location of `key` when the hinted array still *brackets* it
+    /// (its first key ≤ `key` < the next array's first key), `None`
+    /// otherwise. Array first keys are globally sorted and unique, so a
+    /// bracketing array is exactly what [`ExternalSkipList::locate`] would
+    /// find — the check is complete, which makes stale hints safe: they
+    /// simply miss and fall back to a full search.
+    fn locate_verified(&self, key: &K, hint: Position) -> Option<Position> {
+        let node = self.nodes.get(hint.node)?;
+        let array = node.arrays.get(hint.array)?;
+        if array.entries[0].key > *key {
+            return None;
+        }
+        let next_first: Option<&K> = if hint.array + 1 < node.arrays.len() {
+            Some(&node.arrays[hint.array + 1].entries[0].key)
+        } else if hint.node + 1 < self.nodes.len() {
+            Some(self.nodes[hint.node + 1].first_key())
+        } else {
+            None
+        };
+        if let Some(nf) = next_first {
+            if *key >= *nf {
+                return None;
+            }
+        }
+        match array.entries.binary_search_by(|e| e.key.cmp(key)) {
+            Ok(entry) => Some(Position {
+                node: hint.node,
+                array: hint.array,
+                entry,
+                found: true,
+            }),
+            Err(entry) => Some(Position {
+                node: hint.node,
+                array: hint.array,
+                entry,
+                found: false,
+            }),
+        }
+    }
+
     /// Cost of reading the leaf array at `pos`.
     fn leaf_read_cost(&self, pos: Position) -> u64 {
         let pad = self.nodes[pos.node].arrays[pos.array].pad.padded();
@@ -358,10 +399,29 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
     /// Inserts a key–value pair, returning the previous value if the key was
     /// present.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let pos = self.locate(&key);
+        self.insert_located(key, value, pos, false)
+    }
+
+    /// Insert body working from a precomputed location. `hinted` marks a
+    /// verified-finger hit (batched callers), which skips the multi-level
+    /// search cost; everything else — coin draws, splits, padding redraws —
+    /// is identical to the per-op path.
+    fn insert_located(
+        &mut self,
+        key: K,
+        value: V,
+        pos: Option<Position>,
+        hinted: bool,
+    ) -> Option<V> {
         self.counters.add_insert();
-        let mut ios = self.upper_search_cost(&key);
+        let mut ios = if hinted {
+            0
+        } else {
+            self.upper_search_cost(&key)
+        };
         // Empty structure: create the first node.
-        let Some(pos) = self.locate(&key) else {
+        let Some(pos) = pos else {
             let level = self.params.draw_level(&mut self.rng);
             let pad = LeafPad::draw(1, self.params.min_pad, &mut self.rng);
             self.levels_insert(&key, level);
@@ -492,9 +552,20 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
 
     /// Removes a key, returning its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
+        let pos = self.locate(key);
+        self.remove_located(key, pos, false)
+    }
+
+    /// Remove body working from a precomputed location (see
+    /// [`ExternalSkipList::insert_located`]).
+    fn remove_located(&mut self, key: &K, pos: Option<Position>, hinted: bool) -> Option<V> {
         self.counters.add_delete();
-        let mut ios = self.upper_search_cost(key);
-        let Some(pos) = self.locate(key) else {
+        let mut ios = if hinted {
+            0
+        } else {
+            self.upper_search_cost(key)
+        };
+        let Some(pos) = pos else {
             self.finish_op(ios);
             return None;
         };
@@ -775,6 +846,72 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
         }
     }
 
+    /// Applies a batch of keyed operations in arrival order, threading a
+    /// verified leaf finger through consecutive operations: when the next
+    /// key still falls in the previous operation's leaf array (sequential
+    /// runs, Zipf hot sets), the multi-level search is skipped entirely.
+    /// Coins (promotion levels, padding redraws) are drawn exactly as the
+    /// per-op loop draws them, so the resulting structure is bit-identical.
+    /// Returns the number of removes that found their key.
+    pub fn apply_batch(&mut self, ops: Vec<hi_common::batch::BatchOp<K, V>>) -> usize {
+        let mut removed = 0usize;
+        let mut hint: Option<Position> = None;
+        for op in ops {
+            let key = op.key();
+            let (pos, hinted) = match hint.and_then(|h| self.locate_verified(key, h)) {
+                Some(p) => (Some(p), true),
+                None => (self.locate(key), false),
+            };
+            hint = pos;
+            match op {
+                hi_common::batch::BatchOp::Put(k, v) => {
+                    self.insert_located(k, v, pos, hinted);
+                }
+                hi_common::batch::BatchOp::Remove(k) => {
+                    if self.remove_located(&k, pos, hinted).is_some() {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Sorted-probe lookups with a verified leaf finger, results restored
+    /// to input order via an index permutation.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+        let mut out: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
+        let mut hint: Option<Position> = None;
+        for &i in &order {
+            let key = &keys[i as usize];
+            self.counters.add_query();
+            let (pos, hinted) = match hint.and_then(|h| self.locate_verified(key, h)) {
+                Some(p) => (Some(p), true),
+                None => (self.locate(key), false),
+            };
+            hint = pos;
+            if let Some(pos) = pos {
+                let mut ios = if hinted {
+                    0
+                } else {
+                    self.upper_search_cost(key)
+                };
+                ios += self.leaf_read_cost(pos);
+                self.finish_op(ios);
+                if pos.found {
+                    out[i as usize] = Some(
+                        self.nodes[pos.node].arrays[pos.array].entries[pos.entry]
+                            .value
+                            .clone(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// Collects the whole dictionary in ascending key order.
     pub fn to_sorted_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len);
@@ -962,6 +1099,14 @@ impl<K: Ord + Clone, V: Clone> Dictionary for ExternalSkipList<K, V> {
 
     fn predecessor(&self, key: &K) -> Option<(K, V)> {
         ExternalSkipList::predecessor(self, key)
+    }
+
+    fn apply_batch(&mut self, ops: Vec<hi_common::batch::BatchOp<K, V>>) -> usize {
+        ExternalSkipList::apply_batch(self, ops)
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        ExternalSkipList::get_many(self, keys)
     }
 
     fn to_sorted_vec(&self) -> Vec<(K, V)> {
@@ -1310,5 +1455,66 @@ mod tests {
         ));
         exercise(&mut ExternalSkipList::<u64, u64>::folklore_b(16, 4));
         exercise(&mut ExternalSkipList::<u64, u64>::in_memory(5));
+    }
+
+    #[test]
+    fn apply_batch_is_bit_identical_to_per_op_application() {
+        use hi_common::batch::BatchOp;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // The batch path threads a verified finger through the same
+        // insert/remove bodies, so the coin stream (promotion levels, pad
+        // redraws) and therefore the whole leaf layout must be identical.
+        for (b, e) in [(16usize, 0.5f64), (4, 0.25)] {
+            let mut rng = StdRng::seed_from_u64(0x5EED ^ b as u64);
+            let mut per_op = ExternalSkipList::<u64, u64>::history_independent(b, e, 77);
+            let mut batched = ExternalSkipList::<u64, u64>::history_independent(b, e, 77);
+            for round in 0..5 {
+                let ops: Vec<BatchOp<u64, u64>> = (0..600)
+                    .map(|i| {
+                        let key = match round % 3 {
+                            0 => (round * 10_000 + i * 2) as u64,
+                            1 => rng.gen_range(0..4_000u64),
+                            _ => rng.gen_range(0..48u64),
+                        };
+                        if rng.gen_bool(0.3) {
+                            BatchOp::Remove(key)
+                        } else {
+                            BatchOp::Put(key, rng.gen())
+                        }
+                    })
+                    .collect();
+                let mut expected_removed = 0usize;
+                for op in &ops {
+                    match op {
+                        BatchOp::Put(k, v) => {
+                            per_op.insert(*k, *v);
+                        }
+                        BatchOp::Remove(k) => {
+                            if per_op.remove(k).is_some() {
+                                expected_removed += 1;
+                            }
+                        }
+                    }
+                }
+                assert_eq!(
+                    batched.apply_batch(ops),
+                    expected_removed,
+                    "B={b} round {round}"
+                );
+                assert_eq!(per_op.to_sorted_vec(), batched.to_sorted_vec());
+                assert_eq!(per_op.height(), batched.height(), "B={b} round {round}");
+                assert_eq!(
+                    per_op.leaf_array_lengths(),
+                    batched.leaf_array_lengths(),
+                    "B={b} round {round}: leaf layout diverged"
+                );
+                assert_eq!(per_op.space_records(), batched.space_records());
+                batched.check_invariants();
+            }
+            let probes: Vec<u64> = (0..300).map(|_| rng.gen_range(0..4_100u64)).collect();
+            let expected: Vec<Option<u64>> = probes.iter().map(|k| batched.get(k)).collect();
+            assert_eq!(batched.get_many(&probes), expected);
+        }
     }
 }

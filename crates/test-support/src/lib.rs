@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+use hi_common::batch::BatchOp;
 use hi_common::traits::{Dictionary, RankedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -510,6 +511,138 @@ where
     );
 }
 
+/// Tunable generator for batched differential runs (see
+/// [`run_batch_differential`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProfile {
+    /// Number of batches to apply.
+    pub batches: usize,
+    /// Operations per batch.
+    pub batch_len: usize,
+    /// Keys are drawn uniformly from `0..key_space`. Small key spaces force
+    /// duplicate keys *within* one batch (last write wins) and remove-hits.
+    pub key_space: u64,
+    /// Probability (out of 100) that an operation is a remove.
+    pub remove_pct: u32,
+}
+
+impl BatchProfile {
+    /// Heavy-duplicate mixed batches in a tiny key space: the regime where
+    /// last-write-wins, put-then-remove and remove-then-put all occur
+    /// inside a single batch.
+    pub fn churn() -> Self {
+        Self {
+            batches: 8,
+            batch_len: 300,
+            key_space: 48,
+            remove_pct: 40,
+        }
+    }
+
+    /// Insert-dominated growth over a large key space (mostly distinct
+    /// keys, occasional removes).
+    pub fn grow() -> Self {
+        Self {
+            batches: 6,
+            batch_len: 500,
+            key_space: 100_000,
+            remove_pct: 10,
+        }
+    }
+
+    /// Sequential-run batches (ascending key blocks) with interleaved
+    /// removals of the previous block — the bulk-ingest shape.
+    pub fn sequential() -> Self {
+        Self {
+            batches: 6,
+            batch_len: 400,
+            key_space: 0, // marker: keys are generated sequentially
+            remove_pct: 25,
+        }
+    }
+}
+
+/// Drives `dict` through seeded mixed batches (duplicate keys included)
+/// via [`Dictionary::apply_batch`], while a `BTreeMap` oracle applies the
+/// same operations one at a time — checking the returned remove-hit count,
+/// the full contents after every batch, and a [`Dictionary::get_many`]
+/// probe sweep against per-key oracle lookups.
+///
+/// # Panics
+///
+/// Panics on the first divergence from the oracle.
+pub fn run_batch_differential<D>(dict: &mut D, seed: u64, profile: BatchProfile)
+where
+    D: Dictionary<Key = u64, Value = u64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for batch_no in 0..profile.batches {
+        let ops: Vec<BatchOp<u64, u64>> = (0..profile.batch_len)
+            .map(|i| {
+                let key = if profile.key_space == 0 {
+                    // Sequential blocks; removes target the previous block.
+                    let block = batch_no as u64;
+                    if rng.gen_range(0..100) < profile.remove_pct && block > 0 {
+                        (block - 1) * profile.batch_len as u64 + i as u64
+                    } else {
+                        block * profile.batch_len as u64 + i as u64
+                    }
+                } else {
+                    rng.gen_range(0..profile.key_space)
+                };
+                if rng.gen_range(0..100) < profile.remove_pct {
+                    BatchOp::Remove(key)
+                } else {
+                    BatchOp::Put(key, rng.gen())
+                }
+            })
+            .collect();
+        let mut expected_removed = 0usize;
+        for op in &ops {
+            match op {
+                BatchOp::Put(k, v) => {
+                    oracle.insert(*k, *v);
+                }
+                BatchOp::Remove(k) => {
+                    if oracle.remove(k).is_some() {
+                        expected_removed += 1;
+                    }
+                }
+            }
+        }
+        let removed = dict.apply_batch(ops);
+        assert_eq!(
+            removed, expected_removed,
+            "seed {seed} batch #{batch_no}: remove-hit count"
+        );
+        assert_eq!(
+            dict.len(),
+            oracle.len(),
+            "seed {seed} batch #{batch_no}: len"
+        );
+        assert_eq!(
+            dict.to_sorted_vec(),
+            oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+            "seed {seed} batch #{batch_no}: contents after batch"
+        );
+    }
+    // Batched lookups (sorted finger probes inside) must agree with the
+    // oracle, in input order, hits and misses alike.
+    let space = if profile.key_space == 0 {
+        profile.batches as u64 * profile.batch_len as u64 + 10
+    } else {
+        profile.key_space + 10
+    };
+    let probes: Vec<u64> = (0..300).map(|_| rng.gen_range(0..space)).collect();
+    let expected: Vec<Option<u64>> = probes.iter().map(|k| oracle.get(k).copied()).collect();
+    assert_eq!(
+        dict.get_many(&probes),
+        expected,
+        "seed {seed}: get_many disagrees with per-key lookups"
+    );
+}
+
 /// Profile for a rank-addressed differential run (see
 /// [`run_seq_differential`]). Ops are drawn on the fly because valid ranks
 /// depend on the evolving length.
@@ -751,6 +884,21 @@ mod tests {
     #[test]
     fn edge_cases_pass_on_the_reference() {
         dictionary_edge_cases(|| MapDict(BTreeMap::new()));
+    }
+
+    #[test]
+    fn batch_runner_is_clean_on_the_reference() {
+        // The reference dictionary uses the trait's per-op apply_batch
+        // default, so this validates the runner's own bookkeeping (hit
+        // counts, duplicate-key folding, probe sweep).
+        for profile in [
+            BatchProfile::churn(),
+            BatchProfile::grow(),
+            BatchProfile::sequential(),
+        ] {
+            let mut dict = MapDict(BTreeMap::new());
+            run_batch_differential(&mut dict, 0xBA7C4, profile);
+        }
     }
 
     #[test]

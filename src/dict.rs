@@ -561,6 +561,18 @@ impl<K: Ord + Clone, V: Clone> Dictionary for DynDict<K, V> {
     fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (K, V)>, seed: u64) {
         dispatch_mut!(self, d => d.bulk_load(pairs, seed))
     }
+
+    /// Group-commit batch updates: one enum dispatch for the whole batch,
+    /// then the engine's own batch path (deferred merge-rebalances for the
+    /// PMA-backed engines, finger insertion for the B-tree and skip lists).
+    fn apply_batch(&mut self, ops: Vec<hi_common::batch::BatchOp<K, V>>) -> usize {
+        dispatch_mut!(self, d => d.apply_batch(ops))
+    }
+
+    /// Sorted-probe batched lookups with per-engine descent fingers.
+    fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
+        dispatch!(self, d => d.get_many(keys))
+    }
 }
 
 /// Entry-point namespace for the builder: `Dict::builder()…build()` reads

@@ -88,7 +88,7 @@ fn next_rank(state: &mut u64, modulus: u64) -> usize {
 
 #[test]
 fn steady_state_hi_pma_inserts_are_allocation_free() {
-    let _guard = TEST_LOCK.lock().unwrap();
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let n_warm = 40_000usize;
     let mut pma: HiPma<CountedClone> = HiPma::new(0xA110C);
     let mut state = 99u64;
@@ -157,7 +157,7 @@ fn steady_state_hi_pma_inserts_are_allocation_free() {
 
 #[test]
 fn steady_state_hi_pma_deletes_are_allocation_free() {
-    let _guard = TEST_LOCK.lock().unwrap();
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut pma: HiPma<u64> = HiPma::new(0xDE1);
     let mut state = 7u64;
     for i in 0..30_000u64 {
@@ -182,7 +182,7 @@ fn steady_state_hi_pma_deletes_are_allocation_free() {
 
 #[test]
 fn sharded_merged_scans_are_allocation_free_after_setup() {
-    let _guard = TEST_LOCK.lock().unwrap();
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // The k-way merge buffers shard iterators in inline arrays and the
     // cache-oblivious B-tree's lazy iterators are allocation-free, so a
     // merged global scan over a sharded service must cost zero heap
@@ -212,8 +212,126 @@ fn sharded_merged_scans_are_allocation_free_after_setup() {
 }
 
 #[test]
+fn batched_apply_gathers_once_per_window_not_once_per_element() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A warmed HI PMA applying a rank batch of `b` operations confined to
+    // `w` clusters must perform O(w) scratch-arena gather/refill round
+    // trips (one per maximal dirty run — counted by `batch_gathers`) and
+    // zero heap allocations: the replay only updates counts and coins, and
+    // the commit reuses the persistent run buffer and leaf capacities.
+    let mut pma: HiPma<u64> = HiPma::new(0xBA7C);
+    let mut state = 5u64;
+    for i in 0..60_000u64 {
+        let rank = next_rank(&mut state, pma.len() as u64 + 1);
+        pma.insert(rank, i).unwrap();
+    }
+    for _ in 0..6_000 {
+        let rank = next_rank(&mut state, pma.len() as u64);
+        pma.delete(rank).unwrap();
+    }
+    let b = 512usize;
+    let clusters = 8usize;
+    let mut run_batch = |pma: &mut HiPma<u64>| {
+        // b/2 insert+delete pairs, clustered into `clusters` narrow rank
+        // neighbourhoods, so dirty leaves coalesce into few runs.
+        pma.batch_begin();
+        for i in 0..b / 2 {
+            let len = pma.len() as u64;
+            let center = (len / clusters as u64) * ((i % clusters) as u64) + 50;
+            let rank = (center + next_rank(&mut state, 40) as u64).min(len);
+            pma.batch_insert(rank as usize, i as u64);
+            let len = pma.len() as u64;
+            let rank = (center + next_rank(&mut state, 40) as u64).min(len - 1);
+            pma.batch_delete(rank as usize);
+        }
+        pma.batch_commit();
+    };
+    // Warm the batch machinery (first batch sizes the reusable vectors),
+    // then measure until a batch completes without a capacity resize.
+    for _ in 0..6 {
+        run_batch(&mut pma);
+    }
+    let mut measured = false;
+    for attempt in 0..20 {
+        let before_counters = pma.counters().snapshot();
+        let before_allocs = allocations();
+        run_batch(&mut pma);
+        let alloc_delta = allocations() - before_allocs;
+        let delta = pma.counters().snapshot().since(&before_counters);
+        if delta.resizes > 0 {
+            continue; // O(1/n) of batches legitimately rebuild everything
+        }
+        assert_eq!(
+            alloc_delta, 0,
+            "attempt {attempt}: steady-state batch of {b} ops allocated {alloc_delta} times"
+        );
+        assert!(
+            delta.batch_gathers as usize <= 4 * clusters,
+            "attempt {attempt}: {} gather/refill round-trips for {clusters} clusters — \
+             commit must touch windows, not elements",
+            delta.batch_gathers
+        );
+        assert!(
+            (delta.batch_gathers as usize) < b / 8,
+            "attempt {attempt}: gathers scale with the batch, not the windows"
+        );
+        measured = true;
+        break;
+    }
+    assert!(measured, "no resize-free batch observed in 20 attempts");
+    pma.check_invariants();
+}
+
+#[test]
+fn keyed_batch_driver_allocations_are_per_batch_not_per_element() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The keyed driver (locate + Fenwick replay) allocates a handful of
+    // bookkeeping vectors per apply_batch call — independent of the batch
+    // length — and the engine underneath allocates nothing once warm.
+    let mut dict: DynDict<u64, u64> = Dict::builder().backend(Backend::HiPma).seed(7).build();
+    let mut state = 11u64;
+    for i in 0..50_000u64 {
+        dict.insert(next_rank(&mut state, u64::MAX) as u64, i);
+    }
+    use hi_common::batch::BatchOp;
+    let make_batch = |state: &mut u64, b: usize| -> Vec<BatchOp<u64, u64>> {
+        (0..b)
+            .map(|i| BatchOp::Put(next_rank(state, u64::MAX) as u64, i as u64))
+            .collect()
+    };
+    // Warm-up batches size every reusable buffer (driver vectors are
+    // per-call; engine scratch persists).
+    for _ in 0..3 {
+        let ops = make_batch(&mut state, 1_024);
+        dict.apply_batch(ops);
+    }
+    let mut per_batch = Vec::new();
+    for _ in 0..12 {
+        if per_batch.len() >= 4 {
+            break;
+        }
+        let ops = make_batch(&mut state, 1_024);
+        let counters_before = dict.counters().snapshot();
+        let before = allocations();
+        dict.apply_batch(ops);
+        let allocated = allocations() - before;
+        if dict.counters().snapshot().since(&counters_before).resizes > 0 {
+            continue; // a capacity rebuild legitimately reallocates, O(1/n)
+        }
+        per_batch.push(allocated);
+    }
+    assert!(per_batch.len() >= 4, "no resize-free batches observed");
+    let max = *per_batch.iter().max().unwrap();
+    assert!(
+        max <= 48,
+        "a 1024-op batch performed {max} allocations ({per_batch:?}); \
+         the driver's bookkeeping must be per-batch, not per-element"
+    );
+}
+
+#[test]
 fn skiplist_insert_allocations_are_bounded() {
-    let _guard = TEST_LOCK.lock().unwrap();
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // String keys so every spurious key clone would show up as an
     // allocation (the pre-engine insert cloned the key unconditionally).
     let mut list: ExternalSkipList<String, u64> =

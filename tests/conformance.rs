@@ -10,8 +10,8 @@
 
 use anti_persistence::prelude::*;
 use test_support::{
-    dictionary_edge_cases, run_bulk_load_differential, run_dict_differential, run_seq_differential,
-    standard_scripts, SeqProfile,
+    dictionary_edge_cases, run_batch_differential, run_bulk_load_differential,
+    run_dict_differential, run_seq_differential, standard_scripts, BatchProfile, SeqProfile,
 };
 
 #[test]
@@ -137,6 +137,50 @@ fn every_dyn_backend_bulk_loads_against_the_oracle() {
             1_000,
             0xACE,
         );
+    }
+}
+
+#[test]
+fn every_dyn_backend_survives_mixed_batches_against_the_oracle() {
+    // Group-commit batches (apply_batch / extend / get_many) with duplicate
+    // keys inside one batch, put-then-remove episodes and remove misses —
+    // the oracle applies the same stream per-op, so any divergence between
+    // the batched and the element-at-a-time semantics fails here.
+    for backend in Backend::ALL {
+        for (i, profile) in [
+            BatchProfile::churn(),
+            BatchProfile::grow(),
+            BatchProfile::sequential(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut dict: DynDict<u64, u64> = Dict::builder()
+                .backend(backend)
+                .seed(5_000 + i as u64)
+                .block_elems(16)
+                .fanout(16)
+                .build();
+            run_batch_differential(&mut dict, 0xACDC + i as u64, profile);
+            dict.check_invariants();
+        }
+    }
+}
+
+#[test]
+fn sharded_service_survives_mixed_batches_against_the_oracle() {
+    // The same battery through the sharded facade (router + per-shard
+    // group commit + k-way merged audits).
+    for shards in [1usize, 3] {
+        let mut service: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(77)
+            .shards(shards)
+            .build_sharded();
+        run_batch_differential(&mut service, 0xF00D, BatchProfile::churn());
+        for s in service.shards() {
+            s.check_invariants();
+        }
     }
 }
 

@@ -220,6 +220,143 @@ fn classic_pma_layout_is_bit_identical_to_the_reference_engine() {
 }
 
 // ---------------------------------------------------------------------
+// Group-commit determinism: apply_batch must be *bit-identical* to per-op
+// application — the batch replay draws the same coins in the same order and
+// defers only the data movement, so the occupancy bitmap of every
+// slot-array backend must not depend on how the stream was chunked into
+// batches.
+// ---------------------------------------------------------------------
+
+/// A mixed keyed op stream: `(is_put, key, value)`.
+fn keyed_stream(ops: usize, mode: &str, salt: u64) -> Vec<(bool, u64, u64)> {
+    let mut state = salt | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    (0..ops as u64)
+        .map(|i| {
+            let r = next();
+            let key = match mode {
+                "sequential" => i / 2, // revisits keys: overwrites + removes hit
+                "zipf" => {
+                    let u = (r % (1 << 20)) as f64 / (1u64 << 20) as f64;
+                    ((u * u) * 4_000.0) as u64
+                }
+                _ => r % 30_000,
+            };
+            (next() % 4 != 0, key, i)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_apply_is_bit_identical_across_batch_sizes() {
+    use hi_common::batch::BatchOp;
+    for backend in [Backend::HiPma, Backend::ClassicPma, Backend::CobBTree] {
+        for mode in ["uniform", "sequential", "zipf"] {
+            let stream = keyed_stream(6_000, mode, 0xBEE5);
+            // Reference: element-at-a-time application.
+            let mut per_op: DynDict<u64, u64> = Dict::builder().backend(backend).seed(42).build();
+            for &(is_put, k, v) in &stream {
+                if is_put {
+                    per_op.insert(k, v);
+                } else {
+                    per_op.remove(&k);
+                }
+            }
+            let reference = per_op.occupancy().expect("slot-array backend");
+            for chunk in [1usize, 16, 256, 4_096] {
+                let mut batched: DynDict<u64, u64> =
+                    Dict::builder().backend(backend).seed(42).build();
+                for part in stream.chunks(chunk) {
+                    let ops: Vec<BatchOp<u64, u64>> = part
+                        .iter()
+                        .map(|&(is_put, k, v)| {
+                            if is_put {
+                                BatchOp::Put(k, v)
+                            } else {
+                                BatchOp::Remove(k)
+                            }
+                        })
+                        .collect();
+                    batched.apply_batch(ops);
+                }
+                assert_eq!(
+                    per_op.to_sorted_vec(),
+                    batched.to_sorted_vec(),
+                    "{backend}/{mode} chunk {chunk}: contents"
+                );
+                assert_eq!(
+                    reference,
+                    batched.occupancy().expect("slot-array backend"),
+                    "{backend}/{mode} chunk {chunk}: occupancy must be bit-identical"
+                );
+                batched.check_invariants();
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_mixed_batches_are_bit_identical_across_splits() {
+    use hi_common::batch::BatchOp;
+    // Mixed put/remove streams through multi_apply, at several shard
+    // counts and several chunkings (inline and threaded): every split must
+    // leave bit-identical per-shard layouts — the batched twin of
+    // `sharded_layouts_are_bit_identical_across_work_splits`.
+    let stream = keyed_stream(5_000, "uniform", 0x51AB);
+    for shards in [2usize, 4, 8] {
+        let mut per_op: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(0xD15C)
+            .shards(shards)
+            .build_sharded();
+        for &(is_put, k, v) in &stream {
+            if is_put {
+                per_op.insert(k, v);
+            } else {
+                per_op.remove(&k);
+            }
+        }
+        let reference = shard_layouts(&per_op);
+        for (chunk, threshold) in [(97usize, 0usize), (1_024, usize::MAX), (5_000, 0)] {
+            let mut batched: ShardedDict<DynDict<u64, u64>> = Dict::builder()
+                .backend(Backend::HiPma)
+                .seed(0xD15C)
+                .shards(shards)
+                .build_sharded();
+            batched.set_parallel_threshold(threshold);
+            for part in stream.chunks(chunk) {
+                let ops: Vec<BatchOp<u64, u64>> = part
+                    .iter()
+                    .map(|&(is_put, k, v)| {
+                        if is_put {
+                            BatchOp::Put(k, v)
+                        } else {
+                            BatchOp::Remove(k)
+                        }
+                    })
+                    .collect();
+                batched.multi_apply(ops);
+            }
+            assert_eq!(
+                per_op.to_sorted_vec(),
+                batched.to_sorted_vec(),
+                "S={shards} chunk {chunk}: contents"
+            );
+            assert_eq!(
+                reference,
+                shard_layouts(&batched),
+                "S={shards} chunk {chunk}: per-shard layouts must be bit-identical"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // bulk_load determinism: the layout after a bulk load must be a pure
 // function of (contents, bulk seed) — independent of the order the pairs
 // arrive in, of the structure's construction seed, and of anything it held
