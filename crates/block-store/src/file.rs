@@ -1,0 +1,333 @@
+//! Block-granular file I/O: aligned staging buffers, a crash-injection
+//! fuse, and transfer accounting that can feed the simulated DAM ledger.
+
+use io_sim::Tracer;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Alignment of the reusable scratch buffers: one page, matching what the
+/// kernel page cache works in. All block images are staged through buffers
+/// with this alignment before they touch the file.
+pub const PAGE_ALIGN: usize = 4096;
+
+/// A reusable byte buffer whose payload starts on a [`PAGE_ALIGN`] boundary.
+///
+/// Grows monotonically and never shrinks, so once a buffer has seen its
+/// high-water length, later uses are allocation-free — the property
+/// `tests/alloc_regression.rs` pins for steady-state flushes.
+#[derive(Debug, Default)]
+pub struct AlignedBuf {
+    raw: Vec<u8>,
+}
+
+impl AlignedBuf {
+    /// An empty buffer (no allocation until first use).
+    pub fn new() -> Self {
+        Self { raw: Vec::new() }
+    }
+
+    /// Grows the backing storage so [`Self::get_mut`] calls up to `len`
+    /// bytes are allocation-free. No-op once capacity is reached.
+    pub fn reserve(&mut self, len: usize) {
+        let need = len + PAGE_ALIGN;
+        if self.raw.len() < need {
+            self.raw.resize(need, 0);
+        }
+    }
+
+    /// A page-aligned, mutable view of `len` bytes (contents unspecified;
+    /// callers overwrite). Grows the buffer if needed.
+    pub fn get_mut(&mut self, len: usize) -> &mut [u8] {
+        self.reserve(len);
+        let off = self.offset();
+        &mut self.raw[off..off + len]
+    }
+
+    /// The aligned view of the first `len` bytes, immutable.
+    pub fn get(&self, len: usize) -> &[u8] {
+        let off = self.offset();
+        &self.raw[off..off + len]
+    }
+
+    fn offset(&self) -> usize {
+        let addr = self.raw.as_ptr() as usize;
+        (PAGE_ALIGN - addr % PAGE_ALIGN) % PAGE_ALIGN
+    }
+}
+
+/// A write budget shared with a [`BlockFile`]: after `n` more block writes,
+/// every subsequent write fails with an injected I/O error, simulating a
+/// crash torn at a block boundary. Clones share the budget, so one fuse can
+/// arm a store's data and journal files together and the kill point lands
+/// wherever the flush protocol happens to be after `n` physical writes.
+#[derive(Debug, Clone, Default)]
+pub struct WriteFuse {
+    budget: Option<Arc<AtomicU64>>,
+}
+
+impl WriteFuse {
+    /// A fuse that never trips (the default).
+    pub fn unlimited() -> Self {
+        Self { budget: None }
+    }
+
+    /// A fuse that allows exactly `n` more block writes.
+    pub fn after(n: u64) -> Self {
+        Self {
+            budget: Some(Arc::new(AtomicU64::new(n))),
+        }
+    }
+
+    /// Remaining budget (`None` for an unlimited fuse).
+    pub fn remaining(&self) -> Option<u64> {
+        self.budget.as_ref().map(|b| b.load(Ordering::SeqCst))
+    }
+
+    /// Consumes one unit of budget; `false` means the fuse has tripped.
+    fn tick(&self) -> bool {
+        match &self.budget {
+            None => true,
+            Some(b) => b
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok(),
+        }
+    }
+}
+
+/// Physical transfer counters for one [`BlockFile`] — the ground truth the
+/// DAM-vs-wall-clock bench compares the simulated model against.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FileStats {
+    /// Blocks read from the file.
+    pub blocks_read: u64,
+    /// Blocks written to the file.
+    pub blocks_written: u64,
+    /// `fsync` calls issued.
+    pub syncs: u64,
+}
+
+/// Block-granular access to one file: every read and write moves whole
+/// blocks of a fixed size, the write path ticks a [`WriteFuse`] per block
+/// (so injected crashes tear at block boundaries), and transfers are counted
+/// in a [`FileStats`] ledger and optionally charged to an [`io_sim`]
+/// [`Tracer`].
+#[derive(Debug)]
+pub struct BlockFile {
+    file: File,
+    path: PathBuf,
+    block_size: usize,
+    fuse: WriteFuse,
+    tracer: Tracer,
+    stats: FileStats,
+    poisoned: bool,
+}
+
+impl BlockFile {
+    /// Opens (creating if absent, never truncating) `path` for block I/O at
+    /// the given granularity.
+    pub fn open(path: impl AsRef<Path>, block_size: usize) -> io::Result<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            block_size,
+            fuse: WriteFuse::unlimited(),
+            tracer: Tracer::disabled(),
+            stats: FileStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The block (write-granularity) size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Physical transfer counters so far.
+    pub fn stats(&self) -> FileStats {
+        self.stats
+    }
+
+    /// Arms (or disarms) the crash-injection fuse.
+    pub fn set_fuse(&mut self, fuse: WriteFuse) {
+        self.fuse = fuse;
+    }
+
+    /// Routes per-block transfer charges into a simulated-DAM ledger.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// `true` once an injected crash has fired; all further writes fail.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> io::Result<u64> {
+        self.file.metadata().map(|m| m.len())
+    }
+
+    /// `true` when the file is empty.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Sets the file length (grow zero-fills, shrink truncates).
+    pub fn set_len(&mut self, bytes: u64) -> io::Result<()> {
+        self.check_poisoned()?;
+        self.file.set_len(bytes)
+    }
+
+    /// Writes `data` (a multiple of the block size) starting at block
+    /// `first_block`, one block at a time. Each block ticks the fuse; a
+    /// tripped fuse aborts mid-stream with the already-written prefix on
+    /// disk — a crash torn at a block boundary.
+    pub fn write_blocks(&mut self, first_block: u64, data: &[u8]) -> io::Result<()> {
+        self.check_poisoned()?;
+        assert_eq!(
+            data.len() % self.block_size,
+            0,
+            "write must be block-aligned"
+        );
+        for (block, chunk) in (first_block..).zip(data.chunks(self.block_size)) {
+            if !self.fuse.tick() {
+                self.poisoned = true;
+                return Err(io::Error::other("injected crash: write fuse tripped"));
+            }
+            self.file
+                .seek(SeekFrom::Start(block * self.block_size as u64))?;
+            self.file.write_all(chunk)?;
+            self.stats.blocks_written += 1;
+            self.tracer.charge(0, 1);
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes (a multiple of the block size) starting at
+    /// block `first_block`.
+    pub fn read_blocks(&mut self, first_block: u64, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len() % self.block_size, 0, "read must be block-aligned");
+        self.file
+            .seek(SeekFrom::Start(first_block * self.block_size as u64))?;
+        self.file.read_exact(buf)?;
+        let blocks = (buf.len() / self.block_size) as u64;
+        self.stats.blocks_read += blocks;
+        self.tracer.charge(blocks, 0);
+        Ok(())
+    }
+
+    /// Flushes file contents and metadata to the device.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        self.file.sync_all()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.poisoned {
+            Err(io::Error::other("block file poisoned by injected crash"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_is_page_aligned_and_reusable() {
+        let mut b = AlignedBuf::new();
+        let ptr = {
+            let s = b.get_mut(1000);
+            s.fill(7);
+            s.as_ptr() as usize
+        };
+        assert_eq!(ptr % PAGE_ALIGN, 0);
+        // Re-borrowing at or below the high-water mark must not reallocate.
+        let ptr2 = b.get_mut(1000).as_ptr() as usize;
+        assert_eq!(ptr, ptr2);
+        assert_eq!(b.get(1000)[999], 7);
+    }
+
+    #[test]
+    fn write_read_roundtrip_counts_blocks() {
+        let path = crate::temp_path("file-roundtrip");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        let data: Vec<u8> = (0..192u16).map(|i| i as u8).collect();
+        f.write_blocks(2, &data).unwrap();
+        let mut back = vec![0u8; 192];
+        f.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(f.stats().blocks_written, 3);
+        assert_eq!(f.stats().blocks_read, 3);
+        assert_eq!(f.len().unwrap(), 5 * 64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fuse_tears_writes_at_block_boundaries() {
+        let path = crate::temp_path("file-fuse");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.set_fuse(WriteFuse::after(2));
+        let data = vec![0xAB; 4 * 64];
+        let err = f.write_blocks(0, &data).unwrap_err();
+        assert!(err.to_string().contains("injected crash"));
+        assert!(f.is_poisoned());
+        assert_eq!(f.stats().blocks_written, 2);
+        // Exactly the two allowed blocks landed.
+        assert_eq!(f.len().unwrap(), 2 * 64);
+        // Every later write fails fast.
+        assert!(f.write_blocks(0, &data[..64]).is_err());
+        assert!(f.sync().is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fuse_clones_share_one_budget() {
+        let fuse = WriteFuse::after(3);
+        let other = fuse.clone();
+        assert!(fuse.tick());
+        assert!(other.tick());
+        assert!(fuse.tick());
+        assert!(!other.tick());
+        assert_eq!(fuse.remaining(), Some(0));
+    }
+
+    #[test]
+    fn tracer_sees_physical_transfers() {
+        let path = crate::temp_path("file-tracer");
+        let mut f = BlockFile::open(&path, 128).unwrap();
+        f.set_tracer(Tracer::enabled(io_sim::IoConfig::new(128, 8)));
+        f.write_blocks(0, &vec![1u8; 256]).unwrap();
+        let mut buf = vec![0u8; 128];
+        f.read_blocks(1, &mut buf).unwrap();
+        let tracer_stats = {
+            // The tracer the file charges is the one we installed.
+            let t = Tracer::enabled(io_sim::IoConfig::new(128, 8));
+            f.set_tracer(t.clone());
+            f.write_blocks(0, &[2u8; 128]).unwrap();
+            t.stats()
+        };
+        assert_eq!(tracer_stats.writes, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

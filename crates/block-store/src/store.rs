@@ -1,0 +1,1113 @@
+//! The checkpointed on-disk image and its journaled, atomic commit protocol.
+//!
+//! ## File format (all integers little-endian `u64`)
+//!
+//! ```text
+//! data file:      block 0                header: magic, version, block size,
+//!                                        record size, total slots, len, seed,
+//!                                        reserved (zero), layout fingerprint,
+//!                                        checksum
+//!                 blocks 1..1+BM         occupancy bitmap words (zero padded)
+//!                 blocks 1+BM..D         slot region: slot s at byte
+//!                                        s*record_size; occupied slots hold
+//!                                        the encoded record, vacant slots
+//!                                        are zeros
+//! journal file:   block 0                journal header: magic, block size,
+//!                 (`<path>.journal`)     generation, dirty count, target data
+//!                                        length, payload checksum, checksum
+//!                 blocks 1..1+I          dirty block ids (zero padded)
+//!                 blocks 1+I..1+I+count  dirty block images
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! 1. Regenerate every data block of the new image in a page-aligned scratch
+//!    buffer, hashing each; blocks whose hash differs from the committed
+//!    image are appended (id + image) to the journal staging buffers.
+//! 2. Write the journal payload, sync, then write the journal header and
+//!    sync again — the single-block header write is the commit point.
+//! 3. Write the dirty blocks into the data file in place (resizing it first
+//!    if the geometry changed) and sync.
+//! 4. Zero the journal header, truncate the journal to zero length, sync.
+//!
+//! A crash before step 2 completes leaves the data file untouched (the old
+//! image survives); a crash after it leaves a valid journal that
+//! [`BlockStore::open`] replays idempotently. Either way the quiescent file
+//! is exactly one committed image — never a blend, and never a byte of a
+//! record that is not in the image.
+
+use crate::file::{AlignedBuf, BlockFile, FileStats, WriteFuse};
+use crate::record::Record;
+use io_sim::Tracer;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: u64 = u64::from_le_bytes(*b"APBSTOR1");
+const JMAGIC: u64 = u64::from_le_bytes(*b"APBSJRN1");
+const VERSION: u64 = 1;
+const HEADER_FIELDS: usize = 10;
+const JHEADER_FIELDS: usize = 7;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The layout fingerprint stored in the header: an FNV-1a hash of the
+/// occupancy bitmap words plus the slot count. This is the quantity the
+/// determinism and crash batteries pin — for a canonicalized image it is a
+/// pure function of *(contents, seed)*.
+pub fn layout_fingerprint(words: &[u64], total_slots: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        h = fnv1a(h, &w.to_le_bytes());
+    }
+    fnv1a(h, &total_slots.to_le_bytes())
+}
+
+fn put_u64(buf: &mut [u8], field: usize, v: u64) {
+    buf[field * 8..field * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], field: usize) -> u64 {
+    u64::from_le_bytes(buf[field * 8..field * 8 + 8].try_into().expect("8 bytes"))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Tuning of a [`BlockStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Write granularity in bytes — every physical transfer moves exactly
+    /// this many bytes. Must be a multiple of 8 and at least 128.
+    pub block_size: usize,
+    /// Whether to `fsync` between commit phases. Disabling keeps the
+    /// *injected*-crash guarantees (the fuse respects write order) but not
+    /// real power-loss durability; tests disable it for speed.
+    pub sync: bool,
+}
+
+impl StoreOptions {
+    /// Durable options with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            block_size,
+            sync: true,
+        }
+    }
+
+    /// Disables `fsync` between commit phases.
+    pub fn no_sync(mut self) -> Self {
+        self.sync = false;
+        self
+    }
+
+    fn validate(&self) -> io::Result<()> {
+        if self.block_size < 128 || !self.block_size.is_multiple_of(8) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "block size must be a multiple of 8 and at least 128, got {}",
+                    self.block_size
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+/// The committed image's metadata, as stored in the header block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Encoded size of one record in bytes.
+    pub record_size: u64,
+    /// Slots in the backing array (occupied plus vacant).
+    pub total_slots: u64,
+    /// Occupied slots (records stored).
+    pub len: u64,
+    /// The layout seed: the committed image is `f(contents, seed)` when the
+    /// flushed layout was canonicalized with it.
+    pub seed: u64,
+    /// Commit counter, starting at 1 for this process's first commit. Never
+    /// persisted (the header field is reserved-zero): a flush count on disk
+    /// would itself be operation history. Resets to 0 on every open.
+    pub generation: u64,
+    /// [`layout_fingerprint`] of the committed bitmap.
+    pub fingerprint: u64,
+}
+
+/// Physical transfer counters of both backing files.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// The data (image) file.
+    pub data: FileStats,
+    /// The journal sidecar file.
+    pub journal: FileStats,
+}
+
+impl StoreStats {
+    /// Total blocks written across both files.
+    pub fn blocks_written(&self) -> u64 {
+        self.data.blocks_written + self.journal.blocks_written
+    }
+
+    /// Total blocks read across both files.
+    pub fn blocks_read(&self) -> u64 {
+        self.data.blocks_read + self.journal.blocks_read
+    }
+}
+
+/// Derived block layout of one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Geometry {
+    block_size: u64,
+    record_size: u64,
+    total_slots: u64,
+    bitmap_blocks: u64,
+    slot_blocks: u64,
+}
+
+impl Geometry {
+    fn new(block_size: u64, record_size: u64, total_slots: u64) -> Self {
+        let bitmap_bytes = total_slots.div_ceil(64) * 8;
+        let slot_bytes = total_slots * record_size;
+        Self {
+            block_size,
+            record_size,
+            total_slots,
+            bitmap_blocks: bitmap_bytes.div_ceil(block_size),
+            slot_blocks: slot_bytes.div_ceil(block_size),
+        }
+    }
+
+    fn bitmap_words(&self) -> u64 {
+        self.total_slots.div_ceil(64)
+    }
+
+    fn data_blocks(&self) -> u64 {
+        1 + self.bitmap_blocks + self.slot_blocks
+    }
+
+    fn file_len(&self) -> u64 {
+        self.data_blocks() * self.block_size
+    }
+}
+
+/// Streams the slot region block by block: the k-th set bit of the bitmap
+/// receives the k-th record of the iterator, vacant slots stay zero, and
+/// records straddling a block boundary are carried into the next block
+/// through a fixed stack buffer — no allocation per block.
+struct SlotStream<'a, T: Record, I: Iterator<Item = T>> {
+    words: &'a [u64],
+    total_slots: u64,
+    record_size: usize,
+    records: I,
+    next_slot: u64,
+    consumed: u64,
+    pos: u64,
+    carry: [u8; 64],
+    carry_len: usize,
+}
+
+impl<'a, T: Record, I: Iterator<Item = T>> SlotStream<'a, T, I> {
+    fn new(words: &'a [u64], total_slots: u64, records: I) -> Self {
+        Self {
+            words,
+            total_slots,
+            record_size: T::SIZE,
+            records,
+            next_slot: 0,
+            consumed: 0,
+            pos: 0,
+            carry: [0u8; 64],
+            carry_len: 0,
+        }
+    }
+
+    fn bit(&self, slot: u64) -> bool {
+        self.words[(slot / 64) as usize] >> (slot % 64) & 1 != 0
+    }
+
+    /// Fills the next block of the slot region into `out` (zeroed by the
+    /// caller, length = block size).
+    fn fill_block(&mut self, out: &mut [u8]) -> io::Result<()> {
+        let end = self.pos + out.len() as u64;
+        if self.carry_len > 0 {
+            out[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
+            self.carry_len = 0;
+        }
+        let rs = self.record_size as u64;
+        while self.next_slot < self.total_slots {
+            let start = self.next_slot * rs;
+            if start >= end {
+                break;
+            }
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            if !self.bit(slot) {
+                continue;
+            }
+            let rec = self
+                .records
+                .next()
+                .ok_or_else(|| invalid("record iterator ended before the bitmap's set bits"))?;
+            self.consumed += 1;
+            let mut tmp = [0u8; 64];
+            rec.encode(&mut tmp[..self.record_size]);
+            let off = (start - self.pos) as usize;
+            let n = self.record_size.min(out.len() - off);
+            out[off..off + n].copy_from_slice(&tmp[..n]);
+            if n < self.record_size {
+                self.carry[..self.record_size - n].copy_from_slice(&tmp[n..self.record_size]);
+                self.carry_len = self.record_size - n;
+            }
+        }
+        self.pos = end;
+        Ok(())
+    }
+
+    fn finish(mut self, expected: u64) -> io::Result<()> {
+        if self.consumed != expected {
+            return Err(invalid("bitmap popcount and record count disagree"));
+        }
+        if self.records.next().is_some() {
+            return Err(invalid("record iterator outlived the bitmap's set bits"));
+        }
+        Ok(())
+    }
+}
+
+fn fill_bitmap_block(out: &mut [u8], words: &[u64], block_in_region: u64) {
+    let first_word = (block_in_region as usize * out.len()) / 8;
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let w = words.get(first_word + i).copied().unwrap_or(0);
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
+    out.fill(0);
+    put_u64(out, 0, MAGIC);
+    put_u64(out, 1, VERSION);
+    put_u64(out, 2, block_size);
+    put_u64(out, 3, meta.record_size);
+    put_u64(out, 4, meta.total_slots);
+    put_u64(out, 5, meta.len);
+    put_u64(out, 6, meta.seed);
+    // Field 7 is reserved and always zero: the commit counter stays in RAM
+    // only, because a flush count on the platter would itself be operation
+    // history — the image must be a function of (contents, seed) alone.
+    put_u64(out, 7, 0);
+    put_u64(out, 8, meta.fingerprint);
+    let sum = fnv1a(FNV_OFFSET, &out[..(HEADER_FIELDS - 1) * 8]);
+    put_u64(out, HEADER_FIELDS - 1, sum);
+}
+
+fn decode_header(buf: &[u8], expect_block_size: u64) -> io::Result<StoreMeta> {
+    if get_u64(buf, 0) != MAGIC || get_u64(buf, 1) != VERSION {
+        return Err(invalid("bad store header magic/version"));
+    }
+    let sum = fnv1a(FNV_OFFSET, &buf[..(HEADER_FIELDS - 1) * 8]);
+    if get_u64(buf, HEADER_FIELDS - 1) != sum {
+        return Err(invalid("store header checksum mismatch"));
+    }
+    if get_u64(buf, 2) != expect_block_size {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "store was written with block size {}, opened with {}",
+                get_u64(buf, 2),
+                expect_block_size
+            ),
+        ));
+    }
+    if get_u64(buf, 7) != 0 {
+        return Err(invalid("store header reserved field must be zero"));
+    }
+    Ok(StoreMeta {
+        record_size: get_u64(buf, 3),
+        total_slots: get_u64(buf, 4),
+        len: get_u64(buf, 5),
+        seed: get_u64(buf, 6),
+        generation: 0,
+        fingerprint: get_u64(buf, 8),
+    })
+}
+
+/// The journal sidecar's path for a data file: `<path>.journal`.
+pub(crate) fn journal_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// A file-backed image of a slot-array structure with atomic, journaled
+/// commits. See the module docs for the format and protocol.
+#[derive(Debug)]
+pub struct BlockStore {
+    data: BlockFile,
+    journal: BlockFile,
+    opts: StoreOptions,
+    meta: Option<StoreMeta>,
+    geo: Option<Geometry>,
+    /// Per-block FNV hash of the committed image (index = block id); empty
+    /// until a commit or a [`Self::load`] populates it, in which case the
+    /// next commit rewrites every block.
+    block_hashes: Vec<u64>,
+    scratch_hashes: Vec<u64>,
+    ids: Vec<u64>,
+    block_buf: AlignedBuf,
+    ids_buf: AlignedBuf,
+    payload: AlignedBuf,
+    poisoned: bool,
+}
+
+impl BlockStore {
+    /// Opens (creating if absent) the store at `path`, replaying a pending
+    /// journal first if a previous process crashed mid-commit.
+    pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Self> {
+        opts.validate()?;
+        let path = path.as_ref();
+        let data = BlockFile::open(path, opts.block_size)?;
+        let journal = BlockFile::open(journal_path_for(path), opts.block_size)?;
+        let mut store = Self {
+            data,
+            journal,
+            opts,
+            meta: None,
+            geo: None,
+            block_hashes: Vec::new(),
+            scratch_hashes: Vec::new(),
+            ids: Vec::new(),
+            block_buf: AlignedBuf::new(),
+            ids_buf: AlignedBuf::new(),
+            payload: AlignedBuf::new(),
+            poisoned: false,
+        };
+        store.recover()?;
+        store.read_meta()?;
+        Ok(store)
+    }
+
+    /// The committed image's metadata, or `None` before the first commit.
+    pub fn meta(&self) -> Option<StoreMeta> {
+        self.meta
+    }
+
+    /// `true` once an image has been committed.
+    pub fn is_initialized(&self) -> bool {
+        self.meta.is_some()
+    }
+
+    /// The data file's path.
+    pub fn path(&self) -> &Path {
+        self.data.path()
+    }
+
+    /// The journal sidecar's path.
+    pub fn journal_path(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// The store's options.
+    pub fn options(&self) -> StoreOptions {
+        self.opts
+    }
+
+    /// Physical transfer counters of both files.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            data: self.data.stats(),
+            journal: self.journal.stats(),
+        }
+    }
+
+    /// Arms the crash-injection fuse on both files (one shared budget).
+    pub fn set_fuse(&mut self, fuse: WriteFuse) {
+        self.data.set_fuse(fuse.clone());
+        self.journal.set_fuse(fuse);
+    }
+
+    /// Routes both files' physical transfers into a simulated-DAM ledger.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.data.set_tracer(tracer.clone());
+        self.journal.set_tracer(tracer);
+    }
+
+    /// `true` once an injected crash or I/O error has fired mid-commit; the
+    /// store must be reopened (which replays or discards the journal).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Commits a new image atomically: the slot array described by the
+    /// occupancy bitmap `words` (one bit per slot, `total_slots` bits) and
+    /// `records` (one per set bit, in slot order), plus the metadata that
+    /// makes the image self-describing. Only blocks that differ from the
+    /// committed image are written (via the journal). Returns the committed
+    /// generation; a contents-and-metadata no-op writes nothing.
+    ///
+    /// Steady-state commits are allocation-free: all staging buffers are
+    /// reused and were sized by the first (full) commit.
+    pub fn commit<T: Record>(
+        &mut self,
+        words: &[u64],
+        total_slots: u64,
+        len: u64,
+        records: impl IntoIterator<Item = T>,
+        seed: u64,
+    ) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other("store poisoned by earlier failed commit"));
+        }
+        let result = self.commit_inner(words, total_slots, len, records.into_iter(), seed);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn commit_inner<T: Record>(
+        &mut self,
+        words: &[u64],
+        total_slots: u64,
+        len: u64,
+        records: impl Iterator<Item = T>,
+        seed: u64,
+    ) -> io::Result<u64> {
+        let bs = self.opts.block_size;
+        let b = bs as u64;
+        assert!(T::SIZE > 0 && T::SIZE <= T::MAX_SIZE, "record size invalid");
+        assert!(T::SIZE <= bs, "record must fit in one block");
+        let geo = Geometry::new(b, T::SIZE as u64, total_slots);
+        assert_eq!(
+            words.len() as u64,
+            geo.bitmap_words(),
+            "occupancy words must cover exactly total_slots bits"
+        );
+        let popcount: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+        if popcount != len {
+            return Err(invalid("bitmap popcount and len disagree"));
+        }
+
+        let data_blocks = geo.data_blocks() as usize;
+        let full = self.geo != Some(geo) || self.block_hashes.len() != data_blocks;
+
+        self.ids.clear();
+        self.ids.reserve(data_blocks);
+        self.scratch_hashes.clear();
+        self.scratch_hashes.resize(data_blocks, 0);
+        self.block_buf.reserve(bs);
+        self.payload.reserve(data_blocks * bs);
+        self.ids_buf
+            .reserve(((data_blocks as u64 * 8).div_ceil(b) * b) as usize);
+
+        // Phase 1: regenerate the image (skipping the header for now), hash
+        // each block, stage the dirty ones for the journal.
+        let mut payload_len = 0usize;
+        let mut stream = SlotStream::new(words, total_slots, records);
+        for block in 1..data_blocks as u64 {
+            let buf = self.block_buf.get_mut(bs);
+            buf.fill(0);
+            if block <= geo.bitmap_blocks {
+                fill_bitmap_block(buf, words, block - 1);
+            } else {
+                stream.fill_block(buf)?;
+            }
+            let hash = fnv1a(FNV_OFFSET, buf);
+            self.scratch_hashes[block as usize] = hash;
+            if full || self.block_hashes[block as usize] != hash {
+                self.ids.push(block);
+                self.payload.get_mut(payload_len + bs)[payload_len..].copy_from_slice(buf);
+                payload_len += bs;
+            }
+        }
+        stream.finish(len)?;
+
+        let fingerprint = layout_fingerprint(words, total_slots);
+        let prev = self.meta;
+        let unchanged = StoreMeta {
+            record_size: T::SIZE as u64,
+            total_slots,
+            len,
+            seed,
+            generation: prev.map_or(0, |m| m.generation),
+            fingerprint,
+        };
+        if self.ids.is_empty() && prev == Some(unchanged) {
+            return Ok(unchanged.generation);
+        }
+        let meta = StoreMeta {
+            generation: unchanged.generation + 1,
+            ..unchanged
+        };
+        {
+            let buf = self.block_buf.get_mut(bs);
+            encode_header(buf, b, &meta);
+            let hash = fnv1a(FNV_OFFSET, buf);
+            self.scratch_hashes[0] = hash;
+            self.ids.push(0);
+            self.payload.get_mut(payload_len + bs)[payload_len..].copy_from_slice(buf);
+            payload_len += bs;
+        }
+
+        // Phase 2: journal payload, sync, journal header, sync (the commit
+        // point is the single-block header write).
+        let count = self.ids.len() as u64;
+        let ids_blocks = (count * 8).div_ceil(b);
+        let ids_area_len = (ids_blocks * b) as usize;
+        {
+            let area = self.ids_buf.get_mut(ids_area_len);
+            area.fill(0);
+            for (i, id) in self.ids.iter().enumerate() {
+                area[i * 8..i * 8 + 8].copy_from_slice(&id.to_le_bytes());
+            }
+        }
+        let payload_sum = fnv1a(
+            fnv1a(FNV_OFFSET, self.ids_buf.get(ids_area_len)),
+            self.payload.get(payload_len),
+        );
+        self.journal
+            .write_blocks(1, self.ids_buf.get(ids_area_len))?;
+        self.journal
+            .write_blocks(1 + ids_blocks, self.payload.get(payload_len))?;
+        if self.opts.sync {
+            self.journal.sync()?;
+        }
+        {
+            let buf = self.block_buf.get_mut(bs);
+            buf.fill(0);
+            put_u64(buf, 0, JMAGIC);
+            put_u64(buf, 1, b);
+            put_u64(buf, 2, meta.generation);
+            put_u64(buf, 3, count);
+            put_u64(buf, 4, geo.file_len());
+            put_u64(buf, 5, payload_sum);
+            let sum = fnv1a(FNV_OFFSET, &buf[..(JHEADER_FIELDS - 1) * 8]);
+            put_u64(buf, JHEADER_FIELDS - 1, sum);
+        }
+        let jheader = self.block_buf.get(bs);
+        self.journal.write_blocks(0, jheader)?;
+        if self.opts.sync {
+            self.journal.sync()?;
+        }
+
+        // Phase 3: apply in place.
+        self.data.set_len(geo.file_len())?;
+        for (i, &id) in self.ids.iter().enumerate() {
+            let chunk = &self.payload.get(payload_len)[i * bs..(i + 1) * bs];
+            self.data.write_blocks(id, chunk)?;
+        }
+        if self.opts.sync {
+            self.data.sync()?;
+        }
+
+        // Phase 4: retire the journal.
+        self.clear_journal()?;
+
+        std::mem::swap(&mut self.block_hashes, &mut self.scratch_hashes);
+        // Pre-size the swapped-out vector now, while we are still on the
+        // "first commit may allocate" path: the next commit's resize then
+        // finds capacity and steady-state flushes stay allocation-free.
+        self.scratch_hashes.resize(data_blocks, 0);
+        self.geo = Some(geo);
+        self.meta = Some(meta);
+        Ok(meta.generation)
+    }
+
+    /// Reads the committed image back: the bitmap words and the records in
+    /// slot (= rank) order. Validates the header checksum, the fingerprint,
+    /// the popcount, and that every vacant byte of the image is zero (the
+    /// anti-persistence invariant). Also primes the incremental-commit block
+    /// hashes, so a commit following a load only writes changed blocks.
+    pub fn load<T: Record>(&mut self) -> io::Result<(StoreMeta, Vec<u64>, Vec<T>)> {
+        let meta = self
+            .meta
+            .ok_or_else(|| invalid("store holds no committed image"))?;
+        if meta.record_size != T::SIZE as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "store holds {}-byte records, asked to decode {}-byte ones",
+                    meta.record_size,
+                    T::SIZE
+                ),
+            ));
+        }
+        let bs = self.opts.block_size;
+        let b = bs as u64;
+        let geo = Geometry::new(b, meta.record_size, meta.total_slots);
+        let mut hashes = vec![0u64; geo.data_blocks() as usize];
+
+        let header = self.block_buf.get_mut(bs);
+        self.data.read_blocks(0, header)?;
+        hashes[0] = fnv1a(FNV_OFFSET, header);
+
+        let mut bitmap_bytes = vec![0u8; (geo.bitmap_blocks * b) as usize];
+        self.data.read_blocks(1, &mut bitmap_bytes)?;
+        for (i, chunk) in bitmap_bytes.chunks(bs).enumerate() {
+            hashes[1 + i] = fnv1a(FNV_OFFSET, chunk);
+        }
+        let words: Vec<u64> = (0..geo.bitmap_words() as usize)
+            .map(|w| u64::from_le_bytes(bitmap_bytes[w * 8..w * 8 + 8].try_into().expect("word")))
+            .collect();
+        if bitmap_bytes[geo.bitmap_words() as usize * 8..]
+            .iter()
+            .any(|&x| x != 0)
+        {
+            return Err(invalid("bitmap padding not zeroed"));
+        }
+        if meta.total_slots % 64 != 0
+            && words
+                .last()
+                .is_some_and(|w| w >> (meta.total_slots % 64) != 0)
+        {
+            return Err(invalid("bitmap bits beyond total_slots not zeroed"));
+        }
+        let popcount: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+        if popcount != meta.len {
+            return Err(invalid("bitmap popcount and header len disagree"));
+        }
+        if layout_fingerprint(&words, meta.total_slots) != meta.fingerprint {
+            return Err(invalid("layout fingerprint mismatch"));
+        }
+
+        let mut slot_bytes = vec![0u8; (geo.slot_blocks * b) as usize];
+        self.data
+            .read_blocks(1 + geo.bitmap_blocks, &mut slot_bytes)?;
+        for (i, chunk) in slot_bytes.chunks(bs).enumerate() {
+            hashes[1 + geo.bitmap_blocks as usize + i] = fnv1a(FNV_OFFSET, chunk);
+        }
+        let rs = meta.record_size as usize;
+        let mut records = Vec::with_capacity(meta.len as usize);
+        for slot in 0..meta.total_slots {
+            let bytes = &slot_bytes[(slot * meta.record_size) as usize..][..rs];
+            if words[(slot / 64) as usize] >> (slot % 64) & 1 != 0 {
+                records.push(T::decode(bytes));
+            } else if bytes.iter().any(|&x| x != 0) {
+                return Err(invalid("vacant slot holds nonzero bytes"));
+            }
+        }
+        if slot_bytes[(meta.total_slots * meta.record_size) as usize..]
+            .iter()
+            .any(|&x| x != 0)
+        {
+            return Err(invalid("slot-region padding not zeroed"));
+        }
+
+        self.block_hashes = hashes;
+        self.geo = Some(geo);
+        Ok((meta, words, records))
+    }
+
+    /// The raw bytes of the data file and the journal file, for audits that
+    /// scan persistent storage for traces of deleted records.
+    pub fn raw_bytes(&self) -> io::Result<(Vec<u8>, Vec<u8>)> {
+        Ok((
+            std::fs::read(self.data.path())?,
+            std::fs::read(self.journal.path())?,
+        ))
+    }
+
+    fn read_meta(&mut self) -> io::Result<()> {
+        let bs = self.opts.block_size;
+        let len = self.data.len()?;
+        if len == 0 {
+            self.meta = None;
+            return Ok(());
+        }
+        if len < bs as u64 {
+            return Err(invalid("data file shorter than one block"));
+        }
+        let buf = self.block_buf.get_mut(bs);
+        self.data.read_blocks(0, buf)?;
+        let meta = decode_header(buf, bs as u64)?;
+        let geo = Geometry::new(bs as u64, meta.record_size, meta.total_slots);
+        if len != geo.file_len() {
+            return Err(invalid("data file length disagrees with header geometry"));
+        }
+        self.meta = Some(meta);
+        Ok(())
+    }
+
+    /// Replays a valid pending journal (crash after the commit point) or
+    /// discards a torn one (crash before it).
+    fn recover(&mut self) -> io::Result<()> {
+        let bs = self.opts.block_size;
+        let b = bs as u64;
+        let jlen = self.journal.len()?;
+        if jlen < b {
+            if jlen != 0 {
+                self.journal.set_len(0)?;
+            }
+            return Ok(());
+        }
+        let (valid_header, count, target_len, payload_sum) = {
+            let header = self.block_buf.get_mut(bs);
+            self.journal.read_blocks(0, header)?;
+            let sum = fnv1a(FNV_OFFSET, &header[..(JHEADER_FIELDS - 1) * 8]);
+            let ok = get_u64(header, 0) == JMAGIC
+                && get_u64(header, 1) == b
+                && get_u64(header, JHEADER_FIELDS - 1) == sum;
+            (
+                ok,
+                get_u64(header, 3),
+                get_u64(header, 4),
+                get_u64(header, 5),
+            )
+        };
+        if !valid_header {
+            return self.clear_journal();
+        }
+        let ids_blocks = (count * 8).div_ceil(b);
+        if jlen < (1 + ids_blocks + count) * b {
+            return self.clear_journal();
+        }
+        let mut ids_area = vec![0u8; (ids_blocks * b) as usize];
+        self.journal.read_blocks(1, &mut ids_area)?;
+        let mut payload = vec![0u8; (count * b) as usize];
+        self.journal.read_blocks(1 + ids_blocks, &mut payload)?;
+        if fnv1a(fnv1a(FNV_OFFSET, &ids_area), &payload) != payload_sum {
+            return self.clear_journal();
+        }
+        self.data.set_len(target_len)?;
+        for i in 0..count as usize {
+            let id = u64::from_le_bytes(ids_area[i * 8..i * 8 + 8].try_into().expect("id"));
+            self.data.write_blocks(id, &payload[i * bs..(i + 1) * bs])?;
+        }
+        if self.opts.sync {
+            self.data.sync()?;
+        }
+        self.clear_journal()
+    }
+
+    fn clear_journal(&mut self) -> io::Result<()> {
+        let bs = self.opts.block_size;
+        if self.journal.len()? >= bs as u64 {
+            let buf = self.block_buf.get_mut(bs);
+            buf.fill(0);
+            let zeros = self.block_buf.get(bs);
+            self.journal.write_blocks(0, zeros)?;
+        }
+        self.journal.set_len(0)?;
+        if self.opts.sync {
+            self.journal.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp_path;
+
+    const B: usize = 128;
+
+    fn opts() -> StoreOptions {
+        StoreOptions::new(B).no_sync()
+    }
+
+    /// A bitmap with the given slots set, packed into words.
+    fn words_for(total_slots: u64, set: &[u64]) -> Vec<u64> {
+        let mut words = vec![0u64; total_slots.div_ceil(64) as usize];
+        for &s in set {
+            assert!(s < total_slots);
+            words[(s / 64) as usize] |= 1 << (s % 64);
+        }
+        words
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(journal_path_for(path));
+    }
+
+    #[test]
+    fn fresh_store_is_uninitialized() {
+        let path = temp_path("store-fresh");
+        let store = BlockStore::open(&path, opts()).unwrap();
+        assert!(!store.is_initialized());
+        assert!(store.meta().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn commit_load_roundtrip() {
+        let path = temp_path("store-roundtrip");
+        let slots: Vec<u64> = vec![3, 7, 64, 65, 200];
+        let words = words_for(256, &slots);
+        let records: Vec<u64> = vec![30, 70, 640, 650, 2000];
+        {
+            let mut store = BlockStore::open(&path, opts()).unwrap();
+            let generation = store
+                .commit(&words, 256, 5, records.iter().copied(), 0xC0FFEE)
+                .unwrap();
+            assert_eq!(generation, 1);
+        }
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let (meta, back_words, back_records) = store.load::<u64>().unwrap();
+        assert_eq!(meta.seed, 0xC0FFEE);
+        assert_eq!(meta.len, 5);
+        assert_eq!(meta.total_slots, 256);
+        assert_eq!(back_words, words);
+        assert_eq!(back_records, records);
+        assert_eq!(meta.fingerprint, layout_fingerprint(&words, 256));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn records_straddle_block_boundaries() {
+        // 16-byte records with a 128-byte block: 8 per block, and an
+        // occupancy pattern that exercises carry across every boundary.
+        let path = temp_path("store-straddle");
+        let total = 100u64;
+        let set: Vec<u64> = (0..total).filter(|s| s % 3 != 1).collect();
+        let words = words_for(total, &set);
+        let records: Vec<(u64, u64)> = set.iter().map(|&s| (s, s * s + 1)).collect();
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store
+            .commit(&words, total, set.len() as u64, records.iter().copied(), 9)
+            .unwrap();
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let (_, _, back) = store.load::<(u64, u64)>().unwrap();
+        assert_eq!(back, records);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn incremental_commit_writes_only_changed_blocks() {
+        let path = temp_path("store-incremental");
+        let total = 2048u64;
+        let set: Vec<u64> = (0..total).step_by(2).collect();
+        let words = words_for(total, &set);
+        let records: Vec<u64> = set.iter().map(|&s| s + 1).collect();
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store
+            .commit(&words, total, set.len() as u64, records.iter().copied(), 1)
+            .unwrap();
+        let full_writes = store.stats().blocks_written();
+
+        // Change one record's value: one slot block plus the header differ
+        // (two data writes), journaled as ids + two payload blocks + the
+        // journal header, plus the zero block that retires the journal —
+        // seven block writes instead of a full image.
+        let mut records2 = records.clone();
+        records2[10] = 999_999;
+        store
+            .commit(&words, total, set.len() as u64, records2.iter().copied(), 1)
+            .unwrap();
+        let delta = store.stats().blocks_written() - full_writes;
+        assert!(
+            delta <= 7,
+            "one-record change should touch a handful of blocks, wrote {delta}"
+        );
+        let gen = store.meta().unwrap().generation;
+        assert_eq!(gen, 2);
+
+        // Identical contents: a no-op, zero writes, same generation.
+        store
+            .commit(&words, total, set.len() as u64, records2.iter().copied(), 1)
+            .unwrap();
+        assert_eq!(store.stats().blocks_written() - full_writes, delta);
+        assert_eq!(store.meta().unwrap().generation, 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn load_primes_incremental_hashes() {
+        let path = temp_path("store-load-primes");
+        let total = 1024u64;
+        let set: Vec<u64> = (0..total).step_by(3).collect();
+        let words = words_for(total, &set);
+        let records: Vec<u64> = set.iter().map(|&s| s * 7).collect();
+        {
+            let mut store = BlockStore::open(&path, opts()).unwrap();
+            store
+                .commit(&words, total, set.len() as u64, records.iter().copied(), 5)
+                .unwrap();
+        }
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store.load::<u64>().unwrap();
+        let before = store.stats().blocks_written();
+        store
+            .commit(&words, total, set.len() as u64, records.iter().copied(), 5)
+            .unwrap();
+        assert_eq!(
+            store.stats().blocks_written(),
+            before,
+            "re-committing the loaded image must be a no-op"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_before_commit_point_rolls_back() {
+        let path = temp_path("store-rollback");
+        let total = 512u64;
+        let set1: Vec<u64> = (0..total).step_by(4).collect();
+        let words1 = words_for(total, &set1);
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store
+            .commit(&words1, total, set1.len() as u64, set1.iter().copied(), 2)
+            .unwrap();
+
+        // Kill after one journal block: the header never lands, so the
+        // journal is torn and the old image must survive.
+        store.set_fuse(WriteFuse::after(1));
+        let set2: Vec<u64> = (0..total).step_by(2).collect();
+        let words2 = words_for(total, &set2);
+        let recs2: Vec<u64> = set2.iter().map(|&s| s + 1).collect();
+        let err = store
+            .commit(&words2, total, set2.len() as u64, recs2.iter().copied(), 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected crash"));
+        assert!(store.is_poisoned());
+        drop(store);
+
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let (_meta, words, recs) = store.load::<u64>().unwrap();
+        assert_eq!(words, words1);
+        assert_eq!(recs, set1);
+        assert_eq!(store.journal.len().unwrap(), 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_after_commit_point_replays_forward() {
+        let path = temp_path("store-replay");
+        let total = 512u64;
+        let set1: Vec<u64> = (0..total).step_by(4).collect();
+        let words1 = words_for(total, &set1);
+        let recs1: Vec<u64> = set1.to_vec();
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store
+            .commit(&words1, total, set1.len() as u64, recs1.iter().copied(), 2)
+            .unwrap();
+        // The second commit dirties every block again (occupancy doubles),
+        // so its journal is the same size as the first commit's. Allow the
+        // whole journal plus one data block, then kill: the commit point
+        // has passed, so recovery must complete the flush.
+        let journal_writes_for_full = store.stats().journal.blocks_written;
+        store.set_fuse(WriteFuse::after(journal_writes_for_full + 1));
+        let set2: Vec<u64> = (0..total).step_by(2).collect();
+        let words2 = words_for(total, &set2);
+        let recs2: Vec<u64> = set2.iter().map(|&s| s + 1).collect();
+        store
+            .commit(&words2, total, set2.len() as u64, recs2.iter().copied(), 2)
+            .unwrap_err();
+        drop(store);
+
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let (_meta, words, recs) = store.load::<u64>().unwrap();
+        assert_eq!(words, words2);
+        assert_eq!(recs, recs2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn committed_image_carries_no_commit_counter() {
+        // Committing A, then B, then A again must leave the file
+        // byte-identical to the first commit of A: if any counter of past
+        // flushes reached the platter, the images would differ.
+        let total = 256u64;
+        let set_a: Vec<u64> = (0..total).step_by(4).collect();
+        let set_b: Vec<u64> = (0..total).step_by(2).collect();
+        let commit = |store: &mut BlockStore, set: &[u64]| {
+            let words = words_for(total, set);
+            store
+                .commit(&words, total, set.len() as u64, set.iter().copied(), 9)
+                .unwrap();
+        };
+
+        let path = temp_path("store-nogen");
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        commit(&mut store, &set_a);
+        let (first, _) = store.raw_bytes().unwrap();
+        commit(&mut store, &set_b);
+        commit(&mut store, &set_a);
+        let (third, _) = store.raw_bytes().unwrap();
+        assert_eq!(first, third, "image must be a pure function of contents");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn geometry_shrink_truncates_the_file() {
+        let path = temp_path("store-shrink");
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let total1 = 4096u64;
+        let set1: Vec<u64> = (0..total1).collect();
+        store
+            .commit(
+                &words_for(total1, &set1),
+                total1,
+                total1,
+                set1.iter().copied(),
+                3,
+            )
+            .unwrap();
+        let len_before = store.data.len().unwrap();
+        let total2 = 64u64;
+        let set2: Vec<u64> = (0..total2).collect();
+        store
+            .commit(
+                &words_for(total2, &set2),
+                total2,
+                total2,
+                set2.iter().copied(),
+                3,
+            )
+            .unwrap();
+        let len_after = store.data.len().unwrap();
+        assert!(len_after < len_before);
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let (_, _, recs) = store.load::<u64>().unwrap();
+        assert_eq!(recs, set2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn load_rejects_wrong_record_size() {
+        let path = temp_path("store-recsize");
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let words = words_for(64, &[0]);
+        store.commit(&words, 64, 1, [7u64], 0).unwrap();
+        assert!(store.load::<(u64, u64)>().is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn mismatched_len_is_rejected() {
+        let path = temp_path("store-badlen");
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let words = words_for(64, &[0, 1]);
+        assert!(store.commit(&words, 64, 1, [7u64].into_iter(), 0).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn journal_is_empty_at_rest() {
+        let path = temp_path("store-jempty");
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let words = words_for(128, &[1, 2, 3]);
+        store.commit(&words, 128, 3, [1u64, 2, 3], 0).unwrap();
+        assert_eq!(store.journal.len().unwrap(), 0);
+        let (_, journal_bytes) = store.raw_bytes().unwrap();
+        assert!(journal_bytes.is_empty());
+        cleanup(&path);
+    }
+}

@@ -39,5 +39,5 @@ pub mod tracer;
 pub use hi_alloc::{Allocation, HiAllocator};
 pub use layout::Region;
 pub use lru::LruCache;
-pub use model::{IoConfig, IoModel, IoStats};
+pub use model::{IoConfig, IoConfigError, IoModel, IoStats};
 pub use tracer::Tracer;

@@ -9,6 +9,36 @@
 
 use crate::lru::LruCache;
 use std::collections::HashSet;
+use std::fmt;
+
+/// A degenerate [`IoConfig`] rejected by [`IoConfig::validate`].
+///
+/// The fields are `pub`, so a struct literal can bypass the `assert` in
+/// [`IoConfig::new`]; consumers that accept configs from outside (the
+/// dictionary builder, CLI parsers) call [`IoConfig::validate`] to turn the
+/// degenerate cases into a proper error instead of a panic deep inside the
+/// model (`block_size == 0` divides by zero in block arithmetic,
+/// `memory_blocks == 0` models a machine with no memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoConfigError {
+    /// `block_size == 0`: no transfer unit.
+    ZeroBlockSize,
+    /// `memory_blocks == 0`: no internal memory to cache blocks in.
+    ZeroMemoryBlocks,
+}
+
+impl fmt::Display for IoConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoConfigError::ZeroBlockSize => write!(f, "IoConfig.block_size must be positive"),
+            IoConfigError::ZeroMemoryBlocks => {
+                write!(f, "IoConfig.memory_blocks must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoConfigError {}
 
 /// Configuration of the simulated memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +58,17 @@ impl IoConfig {
             block_size,
             memory_blocks,
         }
+    }
+
+    /// Rejects degenerate configurations (see [`IoConfigError`]).
+    pub fn validate(&self) -> Result<(), IoConfigError> {
+        if self.block_size == 0 {
+            return Err(IoConfigError::ZeroBlockSize);
+        }
+        if self.memory_blocks == 0 {
+            return Err(IoConfigError::ZeroMemoryBlocks);
+        }
+        Ok(())
     }
 
     /// Internal-memory size `M` in bytes.
@@ -152,10 +193,16 @@ impl IoModel {
     fn access(&mut self, addr: u64, len: u64, write: bool) {
         self.stats.accesses += 1;
         if len == 0 {
+            // A zero-length access moves no bytes: zero transfers, and
+            // nothing becomes dirty or cached.
             return;
         }
         let first = self.block_of(addr);
-        let last = self.block_of(addr + len - 1);
+        // `addr + len - 1` is the last byte touched; saturate instead of
+        // wrapping when a caller's range runs past the end of the address
+        // space, which would otherwise charge for block 0 and panic the
+        // `first..=last` iteration in debug builds.
+        let last = self.block_of(addr.saturating_add(len - 1));
         for block in first..=last {
             let hit = self.cache.touch(block);
             if !hit {
@@ -226,6 +273,77 @@ mod tests {
         m.read(10, 0);
         assert_eq!(m.stats().reads, 0);
         assert_eq!(m.stats().accesses, 1);
+    }
+
+    #[test]
+    fn zero_length_write_charges_zero_transfers() {
+        // A zero-length write must not fetch, dirty, or cache anything:
+        // flush() afterwards has no write-backs to charge.
+        let mut m = model(64, 4);
+        m.write(100, 0);
+        assert_eq!(m.stats().reads, 0);
+        m.flush();
+        assert_eq!(m.stats().writes, 0);
+        // And it must not have warmed the cache for the block either.
+        m.read(100, 1);
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn boundary_straddling_write_charges_one_transfer_per_distinct_block() {
+        // An 8-byte write at offset 60 with B = 64 touches bytes 60..68,
+        // i.e. exactly blocks 0 and 1: two fetches, and two write-backs at
+        // flush — never one, never three.
+        let mut m = model(64, 16);
+        m.write(60, 8);
+        assert_eq!(m.stats().reads, 2);
+        m.flush();
+        assert_eq!(m.stats().writes, 2);
+        // A one-byte access ending exactly on a boundary stays one block.
+        let mut m = model(64, 16);
+        m.read(63, 1);
+        assert_eq!(m.stats().reads, 1);
+        m.read(64, 1);
+        assert_eq!(m.stats().reads, 2);
+    }
+
+    #[test]
+    fn access_at_the_end_of_the_address_space_saturates() {
+        // addr + len overflowing u64 must not wrap around to block 0 (which
+        // would iterate the whole address space); it clamps to the last
+        // block.
+        let mut m = model(64, 4);
+        m.read(u64::MAX - 1, 16);
+        assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().accesses, 1);
+    }
+
+    #[test]
+    fn since_saturates_when_baseline_postdates_a_reset() {
+        // Snapshot, then reset_stats(): the baseline now exceeds the live
+        // counters, and since() must return zeros, not underflow.
+        let mut m = model(64, 16);
+        m.read(0, 256);
+        let baseline = m.stats();
+        m.reset_stats();
+        m.read(0, 64);
+        let delta = m.stats().since(&baseline);
+        assert_eq!(delta, IoStats::default());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let zero_block = IoConfig {
+            block_size: 0,
+            memory_blocks: 8,
+        };
+        assert_eq!(zero_block.validate(), Err(IoConfigError::ZeroBlockSize));
+        let zero_memory = IoConfig {
+            block_size: 4096,
+            memory_blocks: 0,
+        };
+        assert_eq!(zero_memory.validate(), Err(IoConfigError::ZeroMemoryBlocks));
+        assert_eq!(IoConfig::new(4096, 8).validate(), Ok(()));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod classic;
 pub mod fenwick;
 pub mod geometry;
 pub mod hi_pma;
+pub mod persist;
 pub mod spread;
 pub mod store;
 

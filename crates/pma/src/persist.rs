@@ -1,0 +1,213 @@
+//! Persisting PMAs: mapping a slot array onto a [`block_store::BlockStore`]
+//! image and rebuilding it on open.
+//!
+//! Any sequence that exposes its occupancy bitmap ([`Occupancy`]) and its
+//! elements in rank order ([`RankedSequence`]) serializes with no extra
+//! framing: the image's k-th set bit holds the k-th element. Two flush
+//! flavors exist because the paper's at-rest guarantee and the repo's
+//! steady-state allocation guarantee pull in different directions:
+//!
+//! * [`flush_canonical`] first re-draws the layout from *(contents, seed)*
+//!   via [`RankedSequence::bulk_load`], so the committed image is the pure
+//!   function `f(contents, seed)` — nothing about the operation history
+//!   survives on disk. This is what the facade's `PersistentDict::flush`
+//!   does, and what makes [`open_hi_pma`]'s fingerprint verification sound.
+//! * [`flush_layout`] writes the current in-RAM layout as-is: allocation-free
+//!   in the steady state (the store reuses its page-aligned staging
+//!   buffers), weakly history independent at rest — the image is *a* sample
+//!   of the layout distribution, not the canonical one.
+//!
+//! Opening always rebuilds with `bulk_load(records, stored_seed)`, so a
+//! reopened structure is `f(contents, seed)` regardless of how the previous
+//! process built it.
+
+use block_store::{layout_fingerprint, BlockStore, Record, StoreMeta};
+use hi_common::counters::SharedCounters;
+use hi_common::rng::RngSource;
+use hi_common::traits::{Occupancy, RankedSequence};
+use io_sim::Tracer;
+use std::io;
+
+use crate::{ClassicPma, DensityBands, HiPma};
+
+/// Commits the sequence's current in-RAM layout. Steady-state calls are
+/// allocation-free; the image is weakly history independent (see module
+/// docs). Returns the committed generation.
+pub fn flush_layout<S, T>(seq: &S, seed: u64, store: &mut BlockStore) -> io::Result<u64>
+where
+    S: Occupancy + RankedSequence<Item = T>,
+    T: Record + Clone,
+{
+    store.commit(
+        seq.occupancy_words(),
+        seq.slot_count() as u64,
+        seq.len() as u64,
+        seq.iter().cloned(),
+        seed,
+    )
+}
+
+/// Re-draws the layout from *(contents, seed)* and commits it: the on-disk
+/// image becomes the pure function `f(contents, seed)`.
+pub fn flush_canonical<S, T>(seq: &mut S, seed: u64, store: &mut BlockStore) -> io::Result<u64>
+where
+    S: Occupancy + RankedSequence<Item = T>,
+    T: Record + Clone,
+{
+    let items: Vec<T> = seq.iter().cloned().collect();
+    seq.bulk_load(items, seed);
+    flush_layout(seq, seed, store)
+}
+
+/// Checks that a rebuilt layout reproduces the committed image's
+/// fingerprint — the recovery half of the `f(contents, seed)` contract.
+pub fn verify_layout<S: Occupancy>(seq: &S, meta: &StoreMeta) -> io::Result<()> {
+    let fp = layout_fingerprint(seq.occupancy_words(), seq.slot_count() as u64);
+    if fp == meta.fingerprint {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "rebuilt layout does not reproduce the committed fingerprint \
+             (was the image flushed non-canonically?)",
+        ))
+    }
+}
+
+/// Rebuilds a [`HiPma`] from a canonical committed image: loads the
+/// records, bulk-loads them with the stored seed, and verifies the rebuilt
+/// layout reproduces the committed fingerprint.
+pub fn open_hi_pma<T>(
+    store: &mut BlockStore,
+    counters: SharedCounters,
+    tracer: Tracer,
+    elem_size: u64,
+) -> io::Result<(HiPma<T>, StoreMeta)>
+where
+    T: Record + Clone,
+{
+    let (meta, _words, records) = store.load::<T>()?;
+    let mut pma = HiPma::with_parts(RngSource::from_seed(meta.seed), counters, tracer, elem_size);
+    pma.bulk_load(records, meta.seed);
+    verify_layout(&pma, &meta)?;
+    Ok((pma, meta))
+}
+
+/// Rebuilds a [`ClassicPma`] from a canonical committed image (the
+/// baseline's bulk load is deterministic in *(contents, seed)* too).
+pub fn open_classic_pma<T>(
+    store: &mut BlockStore,
+    counters: SharedCounters,
+    tracer: Tracer,
+    elem_size: u64,
+) -> io::Result<(ClassicPma<T>, StoreMeta)>
+where
+    T: Record + Clone,
+{
+    let (meta, _words, records) = store.load::<T>()?;
+    let mut pma = ClassicPma::with_parts(DensityBands::standard(), counters, tracer, elem_size);
+    pma.bulk_load(records, meta.seed);
+    verify_layout(&pma, &meta)?;
+    Ok((pma, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_store::{temp_path, StoreOptions};
+
+    fn cleanup(store: &BlockStore) {
+        let data = store.path().to_path_buf();
+        let journal = store.journal_path().to_path_buf();
+        let _ = std::fs::remove_file(data);
+        let _ = std::fs::remove_file(journal);
+    }
+
+    fn hi_pma(seed: u64) -> HiPma<u64> {
+        HiPma::with_parts(
+            RngSource::from_seed(seed),
+            SharedCounters::new(),
+            Tracer::disabled(),
+            8,
+        )
+    }
+
+    #[test]
+    fn hi_pma_canonical_roundtrip_reproduces_layout_exactly() {
+        let path = temp_path("persist-hi");
+        let mut store = BlockStore::open(&path, StoreOptions::new(512).no_sync()).unwrap();
+
+        // Build through an arbitrary (history-dependent) insertion order.
+        let mut pma = hi_pma(1);
+        for k in (0..2_000u64).rev() {
+            let rank = pma.lower_bound_by(|x| x.cmp(&k));
+            pma.insert_at(rank, k).unwrap();
+        }
+        flush_canonical(&mut pma, 0xA5EED, &mut store).unwrap();
+        let words_at_flush = pma.occupancy_words().to_vec();
+
+        let mut store = BlockStore::open(&path, StoreOptions::new(512).no_sync()).unwrap();
+        let (reopened, meta) =
+            open_hi_pma::<u64>(&mut store, SharedCounters::new(), Tracer::disabled(), 8).unwrap();
+        assert_eq!(meta.seed, 0xA5EED);
+        assert_eq!(reopened.len(), 2_000);
+        assert_eq!(
+            reopened.occupancy_words(),
+            &words_at_flush[..],
+            "reopen must reproduce the canonical layout bit for bit"
+        );
+        assert_eq!(
+            reopened.iter().copied().collect::<Vec<_>>(),
+            (0..2_000u64).collect::<Vec<_>>()
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn classic_pma_roundtrips_too() {
+        let path = temp_path("persist-classic");
+        let mut store = BlockStore::open(&path, StoreOptions::new(512).no_sync()).unwrap();
+        let mut pma: ClassicPma<(u64, u64)> = ClassicPma::with_parts(
+            DensityBands::standard(),
+            SharedCounters::new(),
+            Tracer::disabled(),
+            16,
+        );
+        for k in 0..500u64 {
+            let rank = pma.len();
+            pma.insert_at(rank, (k, k * k)).unwrap();
+        }
+        flush_canonical(&mut pma, 7, &mut store).unwrap();
+
+        let mut store = BlockStore::open(&path, StoreOptions::new(512).no_sync()).unwrap();
+        let (reopened, _) = open_classic_pma::<(u64, u64)>(
+            &mut store,
+            SharedCounters::new(),
+            Tracer::disabled(),
+            16,
+        )
+        .unwrap();
+        assert_eq!(reopened.len(), 500);
+        assert_eq!(reopened.get(499), Some((499, 499 * 499)));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn flush_layout_persists_the_live_image() {
+        // The non-canonical flavor: what is committed is the in-RAM layout
+        // as it stands, verified by reading the raw image back.
+        let path = temp_path("persist-raw");
+        let mut store = BlockStore::open(&path, StoreOptions::new(512).no_sync()).unwrap();
+        let mut pma = hi_pma(3);
+        for k in 0..300u64 {
+            let rank = pma.lower_bound_by(|x| x.cmp(&k));
+            pma.insert_at(rank, k).unwrap();
+        }
+        flush_layout(&pma, 99, &mut store).unwrap();
+        let (meta, words, records) = store.load::<u64>().unwrap();
+        assert_eq!(words, pma.occupancy_words());
+        assert_eq!(records, pma.iter().copied().collect::<Vec<_>>());
+        assert_eq!(meta.len, 300);
+        cleanup(&store);
+    }
+}

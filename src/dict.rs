@@ -39,9 +39,12 @@
 
 use std::fmt;
 use std::hash::Hash;
-use std::ops::RangeBounds;
+use std::io;
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::path::Path;
 use std::str::FromStr;
 
+use block_store::{layout_fingerprint, BlockStore, StoreOptions};
 use btree::BTree;
 use cob_btree::CobBTree;
 use hi_common::counters::{OpCounters, SharedCounters};
@@ -169,6 +172,80 @@ impl Default for DictConfig {
     }
 }
 
+/// A [`DictConfig`] value no engine can run on, reported by
+/// [`DictConfig::validate`] / [`DictBuilder::try_build`].
+///
+/// `IoConfig`'s fields are `pub` (struct literals bypass the constructor
+/// assert), so without this gate a degenerate config — `block_size == 0`,
+/// `memory_blocks == 0` — would panic deep inside the I/O model on the
+/// first traced access instead of failing at build time with a message
+/// naming the knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DictConfigError {
+    /// The embedded [`IoConfig`] is degenerate.
+    Io(io_sim::IoConfigError),
+    /// B-tree fanout below the minimum of 4.
+    FanoutTooSmall(usize),
+    /// Skip-list block size below the minimum of 2 elements.
+    BlockElemsTooSmall(usize),
+    /// HI skip-list `ε` outside the open interval `(0, 1)`.
+    EpsilonOutOfRange(f64),
+    /// PMA record size of zero bytes.
+    ZeroElemSize,
+    /// Shard count outside `1..=64`.
+    ShardsOutOfRange(usize),
+}
+
+impl fmt::Display for DictConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictConfigError::Io(e) => write!(f, "{e}"),
+            DictConfigError::FanoutTooSmall(v) => {
+                write!(f, "fanout must be at least 4, got {v}")
+            }
+            DictConfigError::BlockElemsTooSmall(v) => {
+                write!(f, "block_elems must be at least 2, got {v}")
+            }
+            DictConfigError::EpsilonOutOfRange(v) => {
+                write!(f, "epsilon must lie strictly between 0 and 1, got {v}")
+            }
+            DictConfigError::ZeroElemSize => write!(f, "elem_size must be positive"),
+            DictConfigError::ShardsOutOfRange(v) => {
+                write!(f, "shards must lie in 1..=64, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DictConfigError {}
+
+impl DictConfig {
+    /// Rejects configurations no engine can run on (see
+    /// [`DictConfigError`]). Called by [`DictBuilder::try_build`] and
+    /// friends, so panics never originate below the builder.
+    pub fn validate(&self) -> Result<(), DictConfigError> {
+        if let Some(io) = &self.io {
+            io.validate().map_err(DictConfigError::Io)?;
+        }
+        if self.fanout < 4 {
+            return Err(DictConfigError::FanoutTooSmall(self.fanout));
+        }
+        if self.block_elems < 2 {
+            return Err(DictConfigError::BlockElemsTooSmall(self.block_elems));
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(DictConfigError::EpsilonOutOfRange(self.epsilon));
+        }
+        if self.elem_size == 0 {
+            return Err(DictConfigError::ZeroElemSize);
+        }
+        if self.shards == 0 || self.shards > 64 {
+            return Err(DictConfigError::ShardsOutOfRange(self.shards));
+        }
+        Ok(())
+    }
+}
+
 /// Fluent constructor for any backend — the single entry point the README
 /// and the examples teach:
 ///
@@ -255,8 +332,19 @@ impl DictBuilder {
         &self.config
     }
 
-    /// Constructs the configured backend.
+    /// Constructs the configured backend, panicking on a degenerate config
+    /// (see [`Self::try_build`] for the fallible form).
     pub fn build<K: Ord + Clone, V: Clone>(self) -> DynDict<K, V> {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid dictionary config: {e}"))
+    }
+
+    /// Constructs the configured backend, rejecting degenerate configs
+    /// (`IoConfig` with a zero block size or zero memory blocks, zero
+    /// element sizes, out-of-range `ε`, …) with a [`DictConfigError`]
+    /// instead of panicking deep inside an engine or the I/O model.
+    pub fn try_build<K: Ord + Clone, V: Clone>(self) -> Result<DynDict<K, V>, DictConfigError> {
+        self.config.validate()?;
         let c = self.config;
         let counters = SharedCounters::new();
         let tracer = match c.io {
@@ -312,12 +400,12 @@ impl DictBuilder {
                 counters.clone(),
             )),
         };
-        DynDict {
+        Ok(DynDict {
             backend: c.backend,
             counters,
             tracer,
             inner,
-        }
+        })
     }
 
     /// Constructs a hash-partitioned service of [`Self::shards`] independent
@@ -351,12 +439,95 @@ impl DictBuilder {
         K: Ord + Clone + Hash,
         V: Clone,
     {
+        self.try_build_sharded()
+            .unwrap_or_else(|e| panic!("invalid dictionary config: {e}"))
+    }
+
+    /// Fallible form of [`Self::build_sharded`]: the config is validated
+    /// once up front, so no shard constructor can panic.
+    pub fn try_build_sharded<K, V>(self) -> Result<ShardedDict<DynDict<K, V>>, DictConfigError>
+    where
+        K: Ord + Clone + Hash,
+        V: Clone,
+    {
+        self.config.validate()?;
         let c = self.config;
         let router = ShardRouter::new(c.seed, c.shards);
-        ShardedDict::build_with(router, |_, shard_seed| {
+        Ok(ShardedDict::build_with(router, |_, shard_seed| {
             let mut shard_config = c.clone();
             shard_config.seed = shard_seed;
             DictBuilder::from_config(shard_config).build()
+        }))
+    }
+
+    /// Opens (or creates) a file-backed [`PersistentDict`] at `path` with
+    /// the configured backend — which must be one of the slot-array engines
+    /// ([`Backend::HiPma`] or [`Backend::ClassicPma`]); the node-based
+    /// engines have no canonical slot image to persist.
+    ///
+    /// On a fresh file the dictionary starts empty with the builder's seed.
+    /// On an existing file the stored records are bulk-loaded with the
+    /// *stored* seed (the builder's seed is ignored) and the rebuilt layout
+    /// is verified against the committed fingerprint, so a reopened
+    /// dictionary is the pure function `f(contents, seed)` regardless of
+    /// the history that produced the file.
+    ///
+    /// When the builder carries an [`IoConfig`], its `block_size` is used as
+    /// the store's real write granularity; otherwise 4096 bytes.
+    pub fn build_persistent(self, path: impl AsRef<Path>) -> io::Result<PersistentDict> {
+        let block_size = self.config.io.as_ref().map_or(4096, |io| io.block_size);
+        self.build_persistent_with(path, StoreOptions::new(block_size))
+    }
+
+    /// Like [`Self::build_persistent`] with explicit [`StoreOptions`] —
+    /// e.g. [`StoreOptions::no_sync`] for crash-injection tests, where the
+    /// process survives and write *ordering* is all that matters.
+    pub fn build_persistent_with(
+        self,
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> io::Result<PersistentDict> {
+        self.config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if !matches!(self.config.backend, Backend::HiPma | Backend::ClassicPma) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "backend {} has no slot-array image to persist; \
+                     use hi-pma or classic-pma",
+                    self.config.backend
+                ),
+            ));
+        }
+        let mut store = BlockStore::open(path, options)?;
+        let (dict, seed): (DynDict<u64, u64>, u64) = if store.is_initialized() {
+            let (meta, _words, records) = store.load::<(u64, u64)>()?;
+            let mut config = self.config.clone();
+            config.seed = meta.seed;
+            let mut dict: DynDict<u64, u64> = DictBuilder::from_config(config).build();
+            dict.bulk_load(records, meta.seed);
+            let rebuilt = dict
+                .occupancy_words()
+                .expect("slot-array backend exposes occupancy");
+            let fp = layout_fingerprint(rebuilt, dict.slot_count().unwrap() as u64);
+            if fp != meta.fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "rebuilt layout does not reproduce the committed fingerprint",
+                ));
+            }
+            (dict, meta.seed)
+        } else {
+            let seed = self.config.seed;
+            (self.build(), seed)
+        };
+        dict.counters().reset();
+        Ok(PersistentDict {
+            dict,
+            store,
+            seed,
+            scratch: Vec::new(),
         })
     }
 }
@@ -475,6 +646,17 @@ impl<K: Ord + Clone, V: Clone> DynDict<K, V> {
             Inner::BTree(_) | Inner::SkipList(_) => None,
         }
     }
+
+    /// Number of slots in the backing array, for the slot-array backends
+    /// (the domain of [`Self::occupancy_words`]); `None` otherwise.
+    pub fn slot_count(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::CobBTree(d) => Some(d.slot_count()),
+            Inner::HiPma(d) => Some(d.seq().slot_count()),
+            Inner::ClassicPma(d) => Some(d.seq().slot_count()),
+            Inner::BTree(_) | Inner::SkipList(_) => None,
+        }
+    }
 }
 
 /// Lets a [`ShardedDict`] of `DynDict` shards roll its per-shard tracers
@@ -572,6 +754,115 @@ impl<K: Ord + Clone, V: Clone> Dictionary for DynDict<K, V> {
     /// Sorted-probe batched lookups with per-engine descent fingers.
     fn get_many(&self, keys: &[K]) -> Vec<Option<V>> {
         dispatch!(self, d => d.get_many(keys))
+    }
+}
+
+/// A slot-array dictionary mapped onto a real file: the paper's
+/// anti-persistence guarantee made literal. Every [`Self::flush`]
+/// re-draws the layout from *(contents, seed)* and commits it through the
+/// [`BlockStore`]'s journaled two-phase protocol, so
+///
+/// * the bytes on disk after any flush are the pure function
+///   `f(contents, seed)` — no deleted key, no insertion order, nothing
+///   about the operation history survives on the platter;
+/// * a crash at any write leaves the file recoverable to either the
+///   previous or the new canonical image, never a torn mixture
+///   (`tests/block_store_crash.rs` kills the process at every write).
+///
+/// Built by [`DictBuilder::build_persistent`]; between flushes it is an
+/// ordinary in-RAM [`DynDict<u64, u64>`] (this type [`Deref`]s to it).
+///
+/// ```
+/// use anti_persistence::dict::{Backend, Dict};
+/// use anti_persistence::prelude::*;
+///
+/// let path = block_store::temp_path("doc-persistent");
+/// let mut dict = Dict::builder()
+///     .backend(Backend::HiPma)
+///     .seed(42)
+///     .build_persistent(&path)?;
+/// dict.insert(1, 100);
+/// dict.insert(2, 200);
+/// dict.flush()?;
+///
+/// // A different process (seed ignored: the stored one wins) sees the data.
+/// let reopened = Dict::builder().backend(Backend::HiPma).build_persistent(&path)?;
+/// assert_eq!(reopened.get(&2), Some(200));
+/// assert_eq!(reopened.seed(), 42);
+/// # std::fs::remove_file(reopened.store().path())?;
+/// # std::fs::remove_file(reopened.store().journal_path())?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct PersistentDict {
+    dict: DynDict<u64, u64>,
+    store: BlockStore,
+    seed: u64,
+    scratch: Vec<(u64, u64)>,
+}
+
+impl PersistentDict {
+    /// Canonicalizes the in-RAM layout to `f(contents, seed)` and commits
+    /// it to the file. Returns the committed generation.
+    ///
+    /// Steady-state flushes reuse this dictionary's scratch vector and the
+    /// store's page-aligned staging buffers, so once those have grown to
+    /// the working-set size a flush performs no heap allocation
+    /// (`tests/alloc_regression.rs` pins this).
+    pub fn flush(&mut self) -> io::Result<u64> {
+        self.scratch.clear();
+        self.scratch.extend(self.dict.iter().map(|(k, v)| (*k, *v)));
+        // Re-draw the canonical layout: after this the image is a pure
+        // function of (contents, seed), independent of operation history.
+        self.dict.bulk_load(self.scratch.iter().copied(), self.seed);
+        let words = self
+            .dict
+            .occupancy_words()
+            .expect("slot-array backend exposes occupancy");
+        let slots = self.dict.slot_count().expect("slot-array backend") as u64;
+        let len = self.dict.len() as u64;
+        self.store
+            .commit(words, slots, len, self.scratch.iter().copied(), self.seed)
+    }
+
+    /// The secret coins this dictionary's layouts are drawn with (for a
+    /// reopened file, the stored seed — not the builder's).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The in-RAM dictionary (also reachable through [`Deref`]).
+    pub fn dict(&self) -> &DynDict<u64, u64> {
+        &self.dict
+    }
+
+    /// Mutable access to the in-RAM dictionary.
+    pub fn dict_mut(&mut self) -> &mut DynDict<u64, u64> {
+        &mut self.dict
+    }
+
+    /// The backing block store (file paths, I/O statistics).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing store (crash-injection fuses, raw
+    /// image reads).
+    pub fn store_mut(&mut self) -> &mut BlockStore {
+        &mut self.store
+    }
+}
+
+impl Deref for PersistentDict {
+    type Target = DynDict<u64, u64>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.dict
+    }
+}
+
+impl DerefMut for PersistentDict {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.dict
     }
 }
 
@@ -748,6 +1039,136 @@ mod tests {
                 assert_eq!(bits.iter().filter(|&&b| b).count(), 200, "{backend}");
             }
         }
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_configs() {
+        let bad_io = IoConfig {
+            block_size: 0,
+            memory_blocks: 64,
+        };
+        let err = Dict::builder()
+            .io(bad_io)
+            .try_build::<u64, u64>()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, DictConfigError::Io(_)), "{err}");
+
+        assert!(matches!(
+            Dict::builder()
+                .fanout(2)
+                .try_build::<u64, u64>()
+                .map(|_| ()),
+            Err(DictConfigError::FanoutTooSmall(2))
+        ));
+        assert!(matches!(
+            Dict::builder()
+                .epsilon(1.0)
+                .try_build::<u64, u64>()
+                .map(|_| ()),
+            Err(DictConfigError::EpsilonOutOfRange(_))
+        ));
+        assert!(matches!(
+            Dict::builder()
+                .shards(0)
+                .try_build_sharded::<u64, u64>()
+                .map(|_| ()),
+            Err(DictConfigError::ShardsOutOfRange(0))
+        ));
+        // The happy path still works through the fallible doors.
+        assert!(Dict::builder().try_build::<u64, u64>().is_ok());
+    }
+
+    #[test]
+    fn persistent_dict_round_trips_and_reopens_canonically() {
+        let path = block_store::temp_path("dict-persist");
+        let mut dict = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(0xBEEF)
+            .build_persistent(&path)
+            .unwrap();
+        for k in (0..1_000u64).rev() {
+            dict.insert(k, k * 7);
+        }
+        for k in (0..1_000u64).step_by(3) {
+            dict.remove(&k);
+        }
+        let generation = dict.flush().unwrap();
+        assert_eq!(generation, 1);
+        let words_at_flush = dict.occupancy_words().unwrap().to_vec();
+
+        // Reopen with a *different* builder seed: the stored seed must win
+        // and the canonical layout must come back bit for bit.
+        let reopened = Dict::builder()
+            .backend(Backend::HiPma)
+            .seed(12345)
+            .build_persistent(&path)
+            .unwrap();
+        assert_eq!(reopened.seed(), 0xBEEF);
+        assert_eq!(reopened.len(), dict.len());
+        assert_eq!(reopened.occupancy_words().unwrap(), &words_at_flush[..]);
+        assert_eq!(reopened.get(&1), Some(7));
+        assert_eq!(reopened.get(&3), None);
+
+        std::fs::remove_file(reopened.store().path()).unwrap();
+        let _ = std::fs::remove_file(reopened.store().journal_path());
+    }
+
+    #[test]
+    fn persistent_dict_flush_image_is_history_independent() {
+        // Two different operation histories with the same final contents
+        // and seed must leave byte-identical files.
+        let final_contents: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 2, k)).collect();
+
+        let raw_of = |tag: &str, build: &dyn Fn(&mut PersistentDict)| {
+            let path = block_store::temp_path(tag);
+            let mut dict = Dict::builder()
+                .backend(Backend::HiPma)
+                .seed(77)
+                .build_persistent(&path)
+                .unwrap();
+            build(&mut dict);
+            dict.flush().unwrap();
+            let (data, journal) = dict.store().raw_bytes().unwrap();
+            std::fs::remove_file(dict.store().path()).unwrap();
+            let _ = std::fs::remove_file(dict.store().journal_path());
+            (data, journal)
+        };
+
+        let contents = final_contents.clone();
+        let (data_a, journal_a) = raw_of("hist-a", &move |d| {
+            for (k, v) in &contents {
+                d.insert(*k, *v);
+            }
+        });
+        let contents = final_contents.clone();
+        let (data_b, journal_b) = raw_of("hist-b", &move |d| {
+            // Insert extra keys, overwrite, delete, flush mid-way: a
+            // completely different history with the same endpoint.
+            for k in 0..2_000u64 {
+                d.insert(k, 999);
+            }
+            d.flush().unwrap();
+            for k in 0..2_000u64 {
+                d.remove(&k);
+            }
+            for (k, v) in contents.iter().rev() {
+                d.insert(*k, *v);
+            }
+        });
+        assert_eq!(data_a, data_b, "on-disk image must be f(contents, seed)");
+        assert_eq!(journal_a, journal_b, "journal must be empty at rest");
+    }
+
+    #[test]
+    fn build_persistent_rejects_node_based_backends() {
+        let path = block_store::temp_path("dict-reject");
+        let err = Dict::builder()
+            .backend(Backend::BTree)
+            .build_persistent(&path)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

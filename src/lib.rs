@@ -188,6 +188,7 @@
 
 pub mod dict;
 
+pub use block_store;
 pub use btree;
 pub use cob_btree;
 pub use hi_common;
@@ -200,14 +201,17 @@ pub use workloads;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::dict::{Backend, Dict, DictBuilder, DictConfig, DynDict};
+    pub use crate::dict::{
+        Backend, Dict, DictBuilder, DictConfig, DictConfigError, DynDict, PersistentDict,
+    };
+    pub use block_store::{layout_fingerprint, BlockStore, StoreMeta, StoreOptions, WriteFuse};
     pub use btree::BTree;
     pub use cob_btree::CobBTree;
     pub use hi_common::capacity::HiCapacity;
     pub use hi_common::counters::{OpCounters, SharedCounters};
     pub use hi_common::rng::RngSource;
     pub use hi_common::traits::{Dictionary, Occupancy, RankedDict, RankedSequence};
-    pub use io_sim::{IoConfig, IoModel, Tracer};
+    pub use io_sim::{IoConfig, IoConfigError, IoModel, Tracer};
     pub use pma::{ClassicPma, HiPma};
     pub use shard::{Instrumented, KWayMerge, ShardRouter, ShardedDict};
     pub use skiplist::{ExternalSkipList, SkipParams};

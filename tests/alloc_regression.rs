@@ -26,6 +26,8 @@ use std::sync::Mutex;
 
 use anti_persistence::dict::{Backend, Dict, DynDict};
 use anti_persistence::prelude::{Dictionary, ShardedDict};
+use block_store::{temp_path, BlockStore, StoreOptions};
+use pma::persist::flush_layout;
 use pma::HiPma;
 use skiplist::ExternalSkipList;
 
@@ -327,6 +329,49 @@ fn keyed_batch_driver_allocations_are_per_batch_not_per_element() {
         "a 1024-op batch performed {max} allocations ({per_batch:?}); \
          the driver's bookkeeping must be per-batch, not per-element"
     );
+}
+
+#[test]
+fn steady_state_block_store_flushes_are_allocation_free() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The first (full) flush sizes every staging buffer in the store — the
+    // page-aligned block scratch, the journal payload, the dirty-id list,
+    // the per-block hash tables. Every flush after that must reuse them:
+    // zero heap allocations per flushed window, the on-disk counterpart of
+    // the PR 3 in-RAM rebalance guarantee.
+    let path = temp_path("alloc-flush");
+    let mut store = BlockStore::open(&path, StoreOptions::new(4096).no_sync()).unwrap();
+    let mut pma: HiPma<u64> = HiPma::new(0xF1A5);
+    let mut state = 17u64;
+    for i in 0..20_000u64 {
+        let rank = next_rank(&mut state, pma.len() as u64 + 1);
+        pma.insert(rank, i).unwrap();
+    }
+    flush_layout(&pma, 9, &mut store).unwrap();
+
+    for round in 0..40u64 {
+        // Mutate a window between flushes. Paired delete+insert keeps the
+        // length (hence the slot-array geometry) fixed, so no capacity
+        // resize muddies the measurement.
+        for i in 0..32u64 {
+            let rank = next_rank(&mut state, pma.len() as u64);
+            pma.delete(rank).unwrap();
+            let rank = next_rank(&mut state, pma.len() as u64 + 1);
+            pma.insert(rank, round * 1_000 + i).unwrap();
+        }
+        let before = allocations();
+        flush_layout(&pma, 9, &mut store).unwrap();
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "round {round}: steady-state block-store flush allocated {delta} times"
+        );
+    }
+    let data = store.path().to_path_buf();
+    let journal = store.journal_path().to_path_buf();
+    drop(store);
+    let _ = std::fs::remove_file(data);
+    let _ = std::fs::remove_file(journal);
 }
 
 #[test]

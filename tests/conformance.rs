@@ -125,6 +125,62 @@ fn every_dyn_backend_passes_the_edge_cases() {
 }
 
 #[test]
+fn the_builder_rejects_degenerate_io_configs() {
+    // `IoConfig`'s fields are public, so a struct literal can smuggle in
+    // values the constructor's assert would reject; the builder must catch
+    // them at build time with a named error instead of panicking deep
+    // inside the I/O model on the first traced access.
+    let bad_configs = [
+        (
+            IoConfig {
+                block_size: 0,
+                memory_blocks: 16,
+            },
+            "block_size == 0",
+        ),
+        (
+            IoConfig {
+                block_size: 4096,
+                memory_blocks: 0,
+            },
+            "memory_blocks == 0",
+        ),
+    ];
+    for (bad, name) in bad_configs {
+        for backend in Backend::ALL {
+            let err = Dict::builder()
+                .backend(backend)
+                .io(bad)
+                .try_build::<u64, u64>()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, DictConfigError::Io(_)),
+                "{backend}: degenerate IoConfig ({name}) must be rejected, got {err}"
+            );
+        }
+        let err = Dict::builder()
+            .io(bad)
+            .shards(2)
+            .try_build_sharded::<u64, u64>()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, DictConfigError::Io(_)), "sharded: {name}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "invalid dictionary config")]
+fn the_infallible_builder_panics_at_build_time_not_inside_the_model() {
+    let _ = Dict::builder()
+        .io(IoConfig {
+            block_size: 0,
+            memory_blocks: 0,
+        })
+        .build::<u64, u64>();
+}
+
+#[test]
 fn every_dyn_backend_bulk_loads_against_the_oracle() {
     for backend in Backend::ALL {
         run_bulk_load_differential(
