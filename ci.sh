@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> hi-lint (determinism-hygiene gate: zero diagnostics, zero stale suppressions)"
+cargo run --release --quiet --bin hi-lint
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,6 +2,7 @@
 //! fuse, and transfer accounting that can feed the simulated DAM ledger.
 
 use io_sim::Tracer;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -12,6 +13,79 @@ use std::sync::Arc;
 /// kernel page cache works in. All block images are staged through buffers
 /// with this alignment before they touch the file.
 pub const PAGE_ALIGN: usize = 4096;
+
+/// A typed error from block-granular file I/O.
+///
+/// The interesting failure modes — an injected crash, a poisoned handle, a
+/// file that ends before the requested blocks — used to be stringly-typed
+/// `io::Error::other(…)` values that callers could only grep. They are now
+/// variants the crash-recovery batteries can match on. [`BlockStore`] and
+/// the facade keep their `io::Result` surface: the `From` impl below folds
+/// a `FileError` back into an [`io::Error`] (preserving the message text),
+/// so `?` propagation through the existing APIs is unchanged.
+///
+/// [`BlockStore`]: crate::BlockStore
+#[derive(Debug)]
+pub enum FileError {
+    /// The handle is poisoned: an injected crash fired earlier, and every
+    /// subsequent mutation fails fast so a torn flush cannot be resumed.
+    Poisoned,
+    /// An injected crash fired mid-stream: the [`WriteFuse`] tripped,
+    /// leaving the already-written prefix of the stream on disk.
+    Crashed,
+    /// A read hit end-of-file before filling the requested blocks.
+    ShortRead {
+        /// First block of the failed read.
+        block: u64,
+        /// Bytes the read asked for.
+        wanted: usize,
+    },
+    /// An underlying operating-system error.
+    Io(io::Error),
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The "injected crash" phrasing is load-bearing: the recovery and
+        // fuse batteries assert on it through the io::Error conversion.
+        match self {
+            FileError::Poisoned => write!(f, "block file poisoned by injected crash"),
+            FileError::Crashed => write!(f, "injected crash: write fuse tripped"),
+            FileError::ShortRead { block, wanted } => write!(
+                f,
+                "short read at block {block}: file ends before the {wanted} requested bytes"
+            ),
+            FileError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FileError {
+    fn from(e: io::Error) -> Self {
+        FileError::Io(e)
+    }
+}
+
+impl From<FileError> for io::Error {
+    fn from(e: FileError) -> Self {
+        match e {
+            FileError::Io(io) => io,
+            short @ FileError::ShortRead { .. } => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, short.to_string())
+            }
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
 
 /// A reusable byte buffer whose payload starts on a [`PAGE_ALIGN`] boundary.
 ///
@@ -179,26 +253,27 @@ impl BlockFile {
     }
 
     /// Current file length in bytes.
-    pub fn len(&self) -> io::Result<u64> {
-        self.file.metadata().map(|m| m.len())
+    pub fn len(&self) -> Result<u64, FileError> {
+        Ok(self.file.metadata()?.len())
     }
 
     /// `true` when the file is empty.
-    pub fn is_empty(&self) -> io::Result<bool> {
+    pub fn is_empty(&self) -> Result<bool, FileError> {
         Ok(self.len()? == 0)
     }
 
     /// Sets the file length (grow zero-fills, shrink truncates).
-    pub fn set_len(&mut self, bytes: u64) -> io::Result<()> {
+    pub fn set_len(&mut self, bytes: u64) -> Result<(), FileError> {
         self.check_poisoned()?;
-        self.file.set_len(bytes)
+        self.file.set_len(bytes)?;
+        Ok(())
     }
 
     /// Writes `data` (a multiple of the block size) starting at block
     /// `first_block`, one block at a time. Each block ticks the fuse; a
     /// tripped fuse aborts mid-stream with the already-written prefix on
     /// disk — a crash torn at a block boundary.
-    pub fn write_blocks(&mut self, first_block: u64, data: &[u8]) -> io::Result<()> {
+    pub fn write_blocks(&mut self, first_block: u64, data: &[u8]) -> Result<(), FileError> {
         self.check_poisoned()?;
         assert_eq!(
             data.len() % self.block_size,
@@ -208,7 +283,7 @@ impl BlockFile {
         for (block, chunk) in (first_block..).zip(data.chunks(self.block_size)) {
             if !self.fuse.tick() {
                 self.poisoned = true;
-                return Err(io::Error::other("injected crash: write fuse tripped"));
+                return Err(FileError::Crashed);
             }
             self.file
                 .seek(SeekFrom::Start(block * self.block_size as u64))?;
@@ -221,11 +296,20 @@ impl BlockFile {
 
     /// Reads `buf.len()` bytes (a multiple of the block size) starting at
     /// block `first_block`.
-    pub fn read_blocks(&mut self, first_block: u64, buf: &mut [u8]) -> io::Result<()> {
+    pub fn read_blocks(&mut self, first_block: u64, buf: &mut [u8]) -> Result<(), FileError> {
         assert_eq!(buf.len() % self.block_size, 0, "read must be block-aligned");
         self.file
             .seek(SeekFrom::Start(first_block * self.block_size as u64))?;
-        self.file.read_exact(buf)?;
+        self.file.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                FileError::ShortRead {
+                    block: first_block,
+                    wanted: buf.len(),
+                }
+            } else {
+                FileError::Io(e)
+            }
+        })?;
         let blocks = (buf.len() / self.block_size) as u64;
         self.stats.blocks_read += blocks;
         self.tracer.charge(blocks, 0);
@@ -233,16 +317,16 @@ impl BlockFile {
     }
 
     /// Flushes file contents and metadata to the device.
-    pub fn sync(&mut self) -> io::Result<()> {
+    pub fn sync(&mut self) -> Result<(), FileError> {
         self.check_poisoned()?;
         self.file.sync_all()?;
         self.stats.syncs += 1;
         Ok(())
     }
 
-    fn check_poisoned(&self) -> io::Result<()> {
+    fn check_poisoned(&self) -> Result<(), FileError> {
         if self.poisoned {
-            Err(io::Error::other("block file poisoned by injected crash"))
+            Err(FileError::Poisoned)
         } else {
             Ok(())
         }

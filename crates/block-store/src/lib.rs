@@ -46,7 +46,7 @@ mod file;
 mod record;
 mod store;
 
-pub use file::{AlignedBuf, BlockFile, FileStats, WriteFuse, PAGE_ALIGN};
+pub use file::{AlignedBuf, BlockFile, FileError, FileStats, WriteFuse, PAGE_ALIGN};
 pub use record::Record;
 pub use store::{layout_fingerprint, BlockStore, StoreMeta, StoreOptions, StoreStats};
 

@@ -29,6 +29,7 @@ impl Record for u64 {
     }
 
     fn decode(buf: &[u8]) -> Self {
+        // hi-lint: allow(panic-surface): Record::decode contract: callers always slice exactly SIZE bytes
         u64::from_le_bytes(buf.try_into().expect("u64 record is 8 bytes"))
     }
 }

@@ -13,8 +13,9 @@
 //!                                        the encoded record, vacant slots
 //!                                        are zeros
 //! journal file:   block 0                journal header: magic, block size,
-//!                 (`<path>.journal`)     generation, dirty count, target data
-//!                                        length, payload checksum, checksum
+//!                 (`<path>.journal`)     reserved (zero), dirty count, target
+//!                                        data length, payload checksum,
+//!                                        checksum
 //!                 blocks 1..1+I          dirty block ids (zero padded)
 //!                 blocks 1+I..1+I+count  dirty block images
 //! ```
@@ -76,7 +77,12 @@ fn put_u64(buf: &mut [u8], field: usize, v: u64) {
 }
 
 fn get_u64(buf: &[u8], field: usize) -> u64 {
-    u64::from_le_bytes(buf[field * 8..field * 8 + 8].try_into().expect("8 bytes"))
+    // Copy-based decode: the fixed-width stack array makes the length match
+    // structural, where a `try_into().expect(…)` would put a panic on the
+    // read path of every header field, bitmap word, and journal id.
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&buf[field * 8..field * 8 + 8]);
+    u64::from_le_bytes(word)
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -315,6 +321,29 @@ fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
     put_u64(out, 8, meta.fingerprint);
     let sum = fnv1a(FNV_OFFSET, &out[..(HEADER_FIELDS - 1) * 8]);
     put_u64(out, HEADER_FIELDS - 1, sum);
+}
+
+fn encode_journal_header(
+    out: &mut [u8],
+    block_size: u64,
+    count: u64,
+    target_len: u64,
+    payload_sum: u64,
+) {
+    out.fill(0);
+    put_u64(out, 0, JMAGIC);
+    put_u64(out, 1, block_size);
+    // Field 2 is reserved and always zero. An earlier revision journaled the
+    // commit generation here, but recovery never reads it — that was a
+    // transient copy of operation history on the platter, exactly what the
+    // anti-persistence goal forbids. hi-lint's persisted-history rule pins
+    // this encoder's field list so the leak cannot come back.
+    put_u64(out, 2, 0);
+    put_u64(out, 3, count);
+    put_u64(out, 4, target_len);
+    put_u64(out, 5, payload_sum);
+    let sum = fnv1a(FNV_OFFSET, &out[..(JHEADER_FIELDS - 1) * 8]);
+    put_u64(out, JHEADER_FIELDS - 1, sum);
 }
 
 fn decode_header(buf: &[u8], expect_block_size: u64) -> io::Result<StoreMeta> {
@@ -588,18 +617,13 @@ impl BlockStore {
         if self.opts.sync {
             self.journal.sync()?;
         }
-        {
-            let buf = self.block_buf.get_mut(bs);
-            buf.fill(0);
-            put_u64(buf, 0, JMAGIC);
-            put_u64(buf, 1, b);
-            put_u64(buf, 2, meta.generation);
-            put_u64(buf, 3, count);
-            put_u64(buf, 4, geo.file_len());
-            put_u64(buf, 5, payload_sum);
-            let sum = fnv1a(FNV_OFFSET, &buf[..(JHEADER_FIELDS - 1) * 8]);
-            put_u64(buf, JHEADER_FIELDS - 1, sum);
-        }
+        encode_journal_header(
+            self.block_buf.get_mut(bs),
+            b,
+            count,
+            geo.file_len(),
+            payload_sum,
+        );
         let jheader = self.block_buf.get(bs);
         self.journal.write_blocks(0, jheader)?;
         if self.opts.sync {
@@ -663,7 +687,7 @@ impl BlockStore {
             hashes[1 + i] = fnv1a(FNV_OFFSET, chunk);
         }
         let words: Vec<u64> = (0..geo.bitmap_words() as usize)
-            .map(|w| u64::from_le_bytes(bitmap_bytes[w * 8..w * 8 + 8].try_into().expect("word")))
+            .map(|w| get_u64(&bitmap_bytes, w))
             .collect();
         if bitmap_bytes[geo.bitmap_words() as usize * 8..]
             .iter()
@@ -762,6 +786,7 @@ impl BlockStore {
             let sum = fnv1a(FNV_OFFSET, &header[..(JHEADER_FIELDS - 1) * 8]);
             let ok = get_u64(header, 0) == JMAGIC
                 && get_u64(header, 1) == b
+                && get_u64(header, 2) == 0
                 && get_u64(header, JHEADER_FIELDS - 1) == sum;
             (
                 ok,
@@ -786,7 +811,7 @@ impl BlockStore {
         }
         self.data.set_len(target_len)?;
         for i in 0..count as usize {
-            let id = u64::from_le_bytes(ids_area[i * 8..i * 8 + 8].try_into().expect("id"));
+            let id = get_u64(&ids_area, i);
             self.data.write_blocks(id, &payload[i * bs..(i + 1) * bs])?;
         }
         if self.opts.sync {

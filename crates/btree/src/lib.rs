@@ -356,6 +356,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                         loop {
                             match &self.nodes[probe] {
                                 Node::Internal { children, .. } => {
+                                    // hi-lint: allow(panic-surface): B-tree invariant: internal nodes always hold at least one child
                                     probe = *children.last().expect("internal node has children");
                                 }
                                 Node::Leaf { keys, values } => {
@@ -729,7 +730,9 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                     unreachable!();
                 };
                 (
+                    // hi-lint: allow(panic-surface): the donor sibling was checked to have surplus entries
                     keys.pop().expect("donor leaf"),
+                    // hi-lint: allow(panic-surface): the donor sibling was checked to have surplus entries
                     values.pop().expect("donor leaf"),
                 )
             };
@@ -750,6 +753,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                 let Node::Internal { keys, children } = &mut self.nodes[left_id] else {
                     unreachable!();
                 };
+                // hi-lint: allow(panic-surface): the donor sibling was checked to have surplus entries
                 (children.pop().expect("donor"), keys.pop().expect("donor"))
             };
             let old_sep = {

@@ -66,6 +66,7 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
     /// Creates an empty tree drawing its coins from OS entropy.
     pub fn from_entropy() -> Self {
         Self {
+            // hi-lint: allow(entropy): forwards to the audited RngSource intake; production trees need a seed the observer cannot know
             pma: HiPma::from_entropy(),
         }
     }
@@ -154,15 +155,18 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
             if *existing == key {
                 // Replace: delete + reinsert at the same rank keeps the
                 // layout distribution a function of the key set only.
+                // hi-lint: allow(panic-surface): delete at the rank the probe just returned
                 let (_, old_value) = self.pma.delete(rank).expect("rank just observed");
                 self.pma
                     .insert(rank, (key, value))
+                    // hi-lint: allow(panic-surface): reinsert at the rank the delete just vacated
                     .expect("rank still valid");
                 return Some(old_value);
             }
         }
         self.pma
             .insert(rank, (key, value))
+            // hi-lint: allow(panic-surface): lower_bound returns a rank <= len, the valid insertion range
             .expect("lower bound is a valid insertion rank");
         None
     }
@@ -173,6 +177,7 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
         let rank = self.lower_bound(key);
         match self.pma.get_rank_ref(rank) {
             Some((existing, _)) if existing == key => {
+                // hi-lint: allow(panic-surface): delete at the rank the probe just returned
                 let (_, v) = self.pma.delete(rank).expect("rank just observed");
                 Some(v)
             }
@@ -274,6 +279,7 @@ impl<K: Ord + Clone, V: Clone> CobBTree<K, V> {
         } else {
             self.pma
                 .range_query(0, self.len() - 1)
+                // hi-lint: allow(panic-surface): empty trees take the explicit empty-range branch; otherwise 0..len-1 is valid
                 .expect("full range is valid")
         }
     }

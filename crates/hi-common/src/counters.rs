@@ -11,6 +11,7 @@
 //! threads; each engine still owns its ledger exclusively, so the lock is
 //! never contended on the hot path.
 
+use crate::sync::locked;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -129,83 +130,59 @@ impl SharedCounters {
 
     /// Returns a snapshot of the current totals.
     pub fn snapshot(&self) -> OpCounters {
-        *self.inner.lock().expect("counter ledger lock poisoned")
+        *locked(&self.inner)
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .reset();
+        locked(&self.inner).reset();
     }
 
     /// Applies `f` to the underlying counters.
     pub fn update<F: FnOnce(&mut OpCounters)>(&self, f: F) {
-        f(&mut self.inner.lock().expect("counter ledger lock poisoned"));
+        f(&mut locked(&self.inner));
     }
 
     /// Adds `n` element moves.
     pub fn add_moves(&self, n: u64) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .element_moves += n;
+        locked(&self.inner).element_moves += n;
     }
 
     /// Records a rebuild that rewrote `slots` slots.
     pub fn add_rebuild(&self, slots: u64) {
-        let mut c = self.inner.lock().expect("counter ledger lock poisoned");
+        let mut c = locked(&self.inner);
         c.rebuilds += 1;
         c.rebuild_slots += slots;
     }
 
     /// Records a whole-structure resize.
     pub fn add_resize(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .resizes += 1;
+        locked(&self.inner).resizes += 1;
     }
 
     /// Adds `n` key comparisons.
     pub fn add_comparisons(&self, n: u64) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .comparisons += n;
+        locked(&self.inner).comparisons += n;
     }
 
     /// Records a completed insert.
     pub fn add_insert(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .inserts += 1;
+        locked(&self.inner).inserts += 1;
     }
 
     /// Records a completed delete.
     pub fn add_delete(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .deletes += 1;
+        locked(&self.inner).deletes += 1;
     }
 
     /// Records one batch-commit window gather/refill round-trip.
     pub fn add_batch_gather(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .batch_gathers += 1;
+        locked(&self.inner).batch_gathers += 1;
     }
 
     /// Records a completed query.
     pub fn add_query(&self) {
-        self.inner
-            .lock()
-            .expect("counter ledger lock poisoned")
-            .queries += 1;
+        locked(&self.inner).queries += 1;
     }
 }
 

@@ -34,6 +34,7 @@ pub mod reservoir;
 pub mod rng;
 pub mod scratch;
 pub mod stats;
+pub mod sync;
 pub mod traits;
 
 pub use batch::{apply_keyed_batch, BatchOp, SeekFinger};

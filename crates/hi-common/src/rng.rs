@@ -60,6 +60,7 @@ impl RngSource {
     /// Use this in production settings where reproducibility is not desired;
     /// the WHI guarantees require the seed to be unknown to the observer.
     pub fn from_entropy() -> Self {
+        // hi-lint: allow(entropy): the one production entropy intake — WHI needs a seed the observer cannot know; everything downstream is a pure function of it
         let seed = rand::rngs::OsRng.next_u64();
         Self::from_seed(seed)
     }
@@ -98,6 +99,7 @@ impl RngSource {
 
 impl Default for RngSource {
     fn default() -> Self {
+        // hi-lint: allow(entropy): the safe default is the adversary-unknown seed; deterministic runs must opt in with from_seed
         Self::from_entropy()
     }
 }

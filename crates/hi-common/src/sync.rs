@@ -1,0 +1,49 @@
+//! The workspace's poisoned-lock policy, in one place.
+//!
+//! A `Mutex` poisons when a thread panics while holding it, and the common
+//! reflex — `lock().expect("poisoned")` — turns one thread's panic into a
+//! cascade through every thread that shares the ledger. All mutexes in this
+//! workspace guard *accounting* state (operation counters, simulated-I/O
+//! ledgers): plain integers that are consistent after every individual
+//! mutation, with no multi-step invariant a mid-update panic could tear.
+//! For such state the right policy is to take the guard back and keep
+//! counting; [`locked`] encodes that once, so no call site needs its own
+//! panic and its own justification.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+///
+/// Only use this for state that is valid after every single mutation (e.g.
+/// counter ledgers). State with multi-step invariants should propagate a
+/// typed error instead of recovering.
+pub fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn locks_normally() {
+        let m = Mutex::new(5);
+        *locked(&m) += 1;
+        assert_eq!(*locked(&m), 6);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_lock() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *locked(&m) += 1;
+        assert_eq!(*locked(&m), 42);
+    }
+}

@@ -132,6 +132,7 @@ pub trait RankedSequence {
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
+            // hi-lint: allow(panic-surface): mid < len: the binary-search bounds maintain lo <= mid < hi <= len
             let probe = self.get_ref(mid).expect("mid < len");
             if f(probe) == std::cmp::Ordering::Less {
                 lo = mid + 1;
@@ -185,6 +186,7 @@ pub trait RankedSequence {
     /// [`Self::insert_at`] would draw them.
     fn batch_insert_at(&mut self, rank: usize, item: Self::Item) {
         self.insert_at(rank, item)
+            // hi-lint: allow(panic-surface): batch replay contract: the engine recorded this rank as valid when the batch was built
             .expect("batch insert rank out of range");
     }
 
@@ -192,6 +194,7 @@ pub trait RankedSequence {
     /// dropped (batch callers never consume it).
     fn batch_delete_at(&mut self, rank: usize) {
         self.delete_at(rank)
+            // hi-lint: allow(panic-surface): batch replay contract: the engine recorded this rank as valid when the batch was built
             .expect("batch delete rank out of range");
     }
 
@@ -222,6 +225,7 @@ pub trait RankedSequence {
         // being avoided by the explicit guard below).
         let last = self.len().saturating_sub(1);
         self.range_iter(usize::from(self.is_empty()), last)
+            // hi-lint: allow(panic-surface): empty sequences take the explicit empty-range branch; otherwise 0..len-1 is valid
             .expect("full range is valid")
     }
 
@@ -243,6 +247,7 @@ pub trait RankedSequence {
         for item in items {
             let len = self.len();
             self.insert_at(len, item)
+                // hi-lint: allow(panic-surface): insert at rank == len is the always-valid append form
                 .expect("insert at len is always valid");
         }
     }
@@ -260,6 +265,7 @@ pub trait RankedSequence {
         let _ = seed;
         while !self.is_empty() {
             let last = self.len() - 1;
+            // hi-lint: allow(panic-surface): last = len - 1 under the !is_empty loop guard
             self.delete_at(last).expect("last rank is valid");
         }
         self.extend_back(items);
@@ -589,14 +595,17 @@ where
             // HI-preserving replace `CobBTree::insert` uses: the layout
             // distribution stays a function of the key set only, at the
             // cost of two rank updates for a value change.
+            // hi-lint: allow(panic-surface): delete at the rank the probe just returned
             let (_, old) = self.seq.delete_at(rank).expect("rank just observed");
             self.seq
                 .insert_at(rank, (key, value))
+                // hi-lint: allow(panic-surface): reinsert at the rank the delete just vacated
                 .expect("rank still valid");
             return Some(old);
         }
         self.seq
             .insert_at(rank, (key, value))
+            // hi-lint: allow(panic-surface): lower_bound returns a rank <= len, the valid insertion range
             .expect("lower bound is a valid insertion rank");
         None
     }
@@ -605,6 +614,7 @@ where
         let (rank, probe) = self.seq.lower_bound_ref_by(|pair| pair.0.cmp(key));
         let hit = matches!(probe, Some((existing, _)) if existing == key);
         if hit {
+            // hi-lint: allow(panic-surface): delete at the rank the probe just returned
             let (_, v) = self.seq.delete_at(rank).expect("rank just observed");
             Some(v)
         } else {
@@ -629,6 +639,7 @@ where
         let j = if from >= self.seq.len() { 0 } else { last };
         self.seq
             .range_iter(i, j)
+            // hi-lint: allow(panic-surface): ranks were clamped to the canonical empty pair or 0..len-1 just above
             .expect("clamped range is valid")
             .take_while(move |(k, _)| below_end_bound(k, &end))
             .map(|(k, v)| (k, v))

@@ -1,0 +1,226 @@
+//! Ties the pieces together: lint every file, apply inline annotations and
+//! `hi-lint.toml` suppressions, detect stale entries, and render a report.
+
+use crate::rules::{lint_file, Diagnostic, RuleId, AUDITED_STORE_PATH};
+use crate::suppress::Suppression;
+
+/// One source file handed to the engine (path is workspace-relative with
+/// forward slashes).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// The outcome of a full run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed diagnostics plus stale-suppression findings, sorted by
+    /// path, line, column, rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files: usize,
+    /// Diagnostics silenced by a matching annotation or suppression.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// `true` when the workspace is clean: nothing unsuppressed, nothing
+    /// stale.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the report as the CLI prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "hi-lint: {} files scanned, {} diagnostics ({} suppressed)\n",
+            self.files,
+            self.diagnostics.len(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Runs the linter over `files` with the given suppression table.
+///
+/// `require_audit_anchors` makes the absence of [`AUDITED_STORE_PATH`]
+/// itself a diagnostic — the workspace gate sets it so that deleting the
+/// audited file cannot silently disable the persisted-history rule;
+/// fixture-driven tests leave it off.
+pub fn run(
+    files: &[SourceFile],
+    suppressions: &[Suppression],
+    require_audit_anchors: bool,
+) -> Report {
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    let mut used_suppression = vec![false; suppressions.len()];
+
+    for file in files {
+        let lint = lint_file(&file.rel_path, &file.src);
+        let lines: Vec<&str> = file.src.lines().collect();
+        let line_text = |line: u32| lines.get(line as usize - 1).copied().unwrap_or("");
+        let mut used_annotation = vec![false; lint.annotations.len()];
+
+        for d in lint.diagnostics {
+            // Inline annotations first: they are the preferred, closest-to-
+            // the-code suppression and their justification reads in context.
+            let ann = lint
+                .annotations
+                .iter()
+                .position(|a| a.rule == d.rule && a.target_line == d.line);
+            if let Some(k) = ann {
+                used_annotation[k] = true;
+                report.suppressed += 1;
+                continue;
+            }
+            let sup = suppressions
+                .iter()
+                .position(|s| s.matches(d.rule, &d.path, d.line, line_text(d.line)));
+            if let Some(k) = sup {
+                used_suppression[k] = true;
+                report.suppressed += 1;
+                continue;
+            }
+            report.diagnostics.push(d);
+        }
+
+        for (k, a) in lint.annotations.iter().enumerate() {
+            if !used_annotation[k] {
+                report.diagnostics.push(Diagnostic {
+                    rule: RuleId::StaleAnnotation,
+                    path: file.rel_path.clone(),
+                    line: a.comment_line,
+                    col: 1,
+                    message: format!(
+                        "`allow({})` matches no diagnostic on line {} — the code it \
+                         excused was fixed; delete the annotation",
+                        a.rule, a.target_line
+                    ),
+                });
+            }
+        }
+        for b in lint.bad_annotations {
+            report.diagnostics.push(Diagnostic {
+                rule: RuleId::BadAnnotation,
+                path: file.rel_path.clone(),
+                line: b.line,
+                col: 1,
+                message: b.what,
+            });
+        }
+    }
+
+    if require_audit_anchors && !files.iter().any(|f| f.rel_path == AUDITED_STORE_PATH) {
+        report.diagnostics.push(Diagnostic {
+            rule: RuleId::PersistedHistory,
+            path: AUDITED_STORE_PATH.to_string(),
+            line: 1,
+            col: 1,
+            message: "audited file not found in the workspace — the persisted-history \
+                      rule has nothing to check"
+                .into(),
+        });
+    }
+
+    for (k, s) in suppressions.iter().enumerate() {
+        if !used_suppression[k] {
+            report.diagnostics.push(Diagnostic {
+                rule: RuleId::StaleSuppression,
+                path: "hi-lint.toml".to_string(),
+                line: s.toml_line,
+                col: 1,
+                message: format!(
+                    "suppression of `{}` at `{}` matches no diagnostic — the code it \
+                     excused was fixed; delete the entry",
+                    s.rule, s.path
+                ),
+            });
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suppress::parse_toml;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            src: src.to_string(),
+        }
+    }
+
+    #[test]
+    fn annotation_suppresses_and_is_consumed() {
+        let f = file(
+            "crates/pma/src/x.rs",
+            "fn f() {\n    // hi-lint: allow(panic-surface): index bounded by caller\n    x.unwrap();\n}\n",
+        );
+        let r = run(&[f], &[], false);
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn stale_annotation_fails() {
+        let f = file(
+            "crates/pma/src/x.rs",
+            "// hi-lint: allow(panic-surface): nothing here panics\nfn f() {}\n",
+        );
+        let r = run(&[f], &[], false);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, RuleId::StaleAnnotation);
+    }
+
+    #[test]
+    fn toml_suppression_matches_and_stale_entry_fails() {
+        let toml = parse_toml(
+            "[[suppress]]\nrule = \"nondeterminism\"\npath = \"crates/pma/src/x.rs\"\ncontains = \"HashMap\"\nreason = \"membership only\"\n\n[[suppress]]\nrule = \"entropy\"\npath = \"crates/pma/src/gone.rs\"\nreason = \"was fixed\"\n",
+        )
+        .unwrap();
+        let f = file("crates/pma/src/x.rs", "use std::collections::HashMap;\n");
+        let r = run(&[f], &toml, false);
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(r.diagnostics.len(), 1, "{}", r.render());
+        assert_eq!(r.diagnostics[0].rule, RuleId::StaleSuppression);
+        assert_eq!(r.diagnostics[0].path, "hi-lint.toml");
+    }
+
+    #[test]
+    fn missing_audited_file_is_reported_when_required() {
+        let f = file("crates/pma/src/x.rs", "fn f() {}\n");
+        let r = run(std::slice::from_ref(&f), &[], true);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, RuleId::PersistedHistory);
+        let r2 = run(&[f], &[], false);
+        assert!(r2.is_clean());
+    }
+
+    #[test]
+    fn report_is_sorted_and_rendered() {
+        let f1 = file("crates/pma/src/b.rs", "fn f() { x.unwrap(); }\n");
+        let f2 = file("crates/pma/src/a.rs", "use std::collections::HashSet;\n");
+        let r = run(&[f1, f2], &[], false);
+        assert_eq!(r.diagnostics.len(), 2);
+        assert!(r.diagnostics[0].path.ends_with("a.rs"));
+        assert!(r.render().contains("2 diagnostics (0 suppressed)"));
+    }
+}

@@ -1,0 +1,605 @@
+//! A lightweight Rust lexer: just enough structure to write reliable
+//! source-level rules without a full parser.
+//!
+//! The lexer produces a token stream (identifiers, literals, punctuation)
+//! with `line:col` positions, a separate comment stream (rules never match
+//! inside comments, but suppression annotations live there), and a
+//! per-token "inside test code" flag computed by brace-tracking items
+//! attributed `#[cfg(test)]` or `#[test]`.
+//!
+//! Handled literal forms, because a rule that matches a banned identifier
+//! inside a string would be useless: cooked strings with escapes, raw
+//! strings `r#"…"#` at any hash depth, byte/C-string prefixes (`b"`, `br#"`,
+//! `c"`, `cr#"`), char and byte-char literals, lifetimes, and nested block
+//! comments.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// Lifetime (`'a`, `'_`) — distinguished so `'a` never looks like a
+    /// char literal and vice versa.
+    Lifetime,
+    /// Numeric literal (suffixes included; `1.5` lexes as `1` `.` `5`,
+    /// which is fine for pattern rules).
+    Num,
+    /// String literal of any flavor (cooked, raw, byte, C).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexeme with its source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The lexeme kind.
+    pub kind: Kind,
+    /// The lexeme text, sliced out of the source.
+    pub text: &'a str,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment (`//…` to end of line, or a `/*…*/` block, nesting included),
+/// kept out of the token stream but retained for annotation parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comment<'a> {
+    /// Full comment text including the delimiters.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
+    /// Whether any token precedes the comment on its starting line (a
+    /// trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// All comments in source order.
+    pub comments: Vec<Comment<'a>>,
+    /// `in_test[i]` is `true` when `tokens[i]` sits inside a `#[cfg(test)]`
+    /// or `#[test]` item body.
+    pub in_test: Vec<bool>,
+}
+
+impl<'a> Lexed<'a> {
+    /// The first token line strictly after `line`, if any — where a
+    /// standalone comment annotation attaches.
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        // Tokens are in source order, so a linear scan from the first token
+        // past `line` is fine at these file sizes.
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset into `src`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `prefix` + `"` (or `prefix` + `#…#"`) starts a string literal
+/// (`r`, `b`, `c`, `br`, `cr`, `rb` is not valid Rust but harmless to
+/// accept).
+fn is_string_prefix(prefix: &str) -> bool {
+    matches!(prefix, "r" | "b" | "c" | "br" | "cr" | "rb")
+}
+
+/// Lexes `src` into tokens, comments, and per-token test-region flags.
+///
+/// The lexer is permissive: malformed input (an unterminated string, say)
+/// never panics, it just consumes to end of file. Rules operate on whatever
+/// tokens come out; `rustc` is the authority on well-formedness.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut line_has_token = false;
+    let mut last_line = 1u32;
+
+    while let Some(c) = cur.peek() {
+        if cur.line != last_line {
+            line_has_token = false;
+            last_line = cur.line;
+        }
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek2() == Some('/') {
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: &src[start..cur.pos],
+                line,
+                col,
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(), cur.peek2()) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text: &src[start..cur.pos],
+                line,
+                col,
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        line_has_token = true;
+        // Identifiers, keywords, and string-literal prefixes.
+        if is_ident_start(c) {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let ident = &src[start..cur.pos];
+            if is_string_prefix(ident) {
+                match cur.peek() {
+                    Some('"') => {
+                        let raw = ident.contains('r');
+                        lex_string(&mut cur, raw, 0);
+                        out.tokens.push(Token {
+                            kind: Kind::Str,
+                            text: &src[start..cur.pos],
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                    Some('#') if ident.contains('r') => {
+                        let mut hashes = 0usize;
+                        while cur.peek_at(hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if cur.peek_at(hashes) == Some('"') {
+                            for _ in 0..hashes {
+                                cur.bump();
+                            }
+                            lex_string(&mut cur, true, hashes);
+                            out.tokens.push(Token {
+                                kind: Kind::Str,
+                                text: &src[start..cur.pos],
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                    }
+                    Some('\'') if ident == "b" => {
+                        cur.bump();
+                        lex_char_body(&mut cur);
+                        out.tokens.push(Token {
+                            kind: Kind::Char,
+                            text: &src[start..cur.pos],
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            out.tokens.push(Token {
+                kind: Kind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers (integer spellings; `.` stays punctuation).
+        if c.is_ascii_digit() {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: Kind::Num,
+                text: &src[start..cur.pos],
+                line,
+                col,
+            });
+            continue;
+        }
+        // Cooked strings.
+        if c == '"' {
+            lex_string(&mut cur, false, 0);
+            out.tokens.push(Token {
+                kind: Kind::Str,
+                text: &src[start..cur.pos],
+                line,
+                col,
+            });
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            cur.bump();
+            match (cur.peek(), cur.peek2()) {
+                // '\…' is always a char literal.
+                (Some('\\'), _) => {
+                    lex_char_body(&mut cur);
+                    out.tokens.push(Token {
+                        kind: Kind::Char,
+                        text: &src[start..cur.pos],
+                        line,
+                        col,
+                    });
+                }
+                // 'x' (any single char followed by a closing quote).
+                (Some(_), Some('\'')) => {
+                    cur.bump();
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: Kind::Char,
+                        text: &src[start..cur.pos],
+                        line,
+                        col,
+                    });
+                }
+                // 'ident — a lifetime.
+                (Some(x), _) if is_ident_start(x) => {
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: Kind::Lifetime,
+                        text: &src[start..cur.pos],
+                        line,
+                        col,
+                    });
+                }
+                // Anything else ('0', say): consume to the closing quote.
+                _ => {
+                    lex_char_body(&mut cur);
+                    out.tokens.push(Token {
+                        kind: Kind::Char,
+                        text: &src[start..cur.pos],
+                        line,
+                        col,
+                    });
+                }
+            }
+            continue;
+        }
+        // Single punctuation character.
+        cur.bump();
+        out.tokens.push(Token {
+            kind: Kind::Punct,
+            text: &src[start..cur.pos],
+            line,
+            col,
+        });
+    }
+
+    out.in_test = test_regions(&out.tokens);
+    out
+}
+
+/// Consumes a string body. For cooked strings handles `\\` and `\"`; for raw
+/// strings scans for `"` followed by `hashes` `#` characters. The opening
+/// quote has not been consumed yet.
+fn lex_string(cur: &mut Cursor<'_>, raw: bool, hashes: usize) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek() {
+        if !raw && ch == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if ch == '"' {
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek_at(1 + i) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consumes the rest of a char literal after the opening `'` (escapes
+/// included), stopping after the closing `'` or at end of line.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if ch == '\n' {
+            return; // malformed; don't swallow the file
+        }
+        cur.bump();
+        if ch == '\'' {
+            return;
+        }
+    }
+}
+
+/// Computes, for each token, whether it sits inside a test item: an item
+/// attributed `#[test]` or `#[cfg(test)]` (also `#[cfg(all(test, …))]` and
+/// friends — any `cfg` attribute mentioning `test` outside a `not(…)`).
+///
+/// Mechanism: a test attribute arms a "pending" flag; the next `{` at the
+/// same brace depth opens the item body and the region lasts until its
+/// matching `}`. A `;` before any `{` disarms (e.g. `#[cfg(test)] use …;`).
+fn test_regions(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut depth: i32 = 0;
+    // Brace depths at which an active test region started.
+    let mut regions: Vec<i32> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == Kind::Punct && t.text == "#" {
+            // Attribute: `#[…]` or `#![…]`.
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.text == "!") {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.text == "[") {
+                let attr_start = j + 1;
+                let mut bdepth = 1;
+                j += 1;
+                while j < tokens.len() && bdepth > 0 {
+                    match tokens[j].text {
+                        "[" => bdepth += 1,
+                        "]" => bdepth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let attr = &tokens[attr_start..j.saturating_sub(1)];
+                if is_test_attr(attr) {
+                    pending = true;
+                }
+                for f in flags.iter_mut().take(j).skip(i) {
+                    *f = !regions.is_empty();
+                }
+                i = j;
+                continue;
+            }
+        }
+        match t.text {
+            "{" => {
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                    // The closing brace itself still belongs to the region.
+                    flags[i] = true;
+                    i += 1;
+                    continue;
+                }
+            }
+            // `#[cfg(test)] use …;` — a body-less item ends the pending
+            // attribute without ever opening a region.
+            ";" => pending = false,
+            _ => {}
+        }
+        flags[i] = !regions.is_empty() || pending;
+        i += 1;
+    }
+    flags
+}
+
+/// Whether the tokens of one attribute mark a test item: `test`, or a `cfg`
+/// mentioning `test` not directly wrapped in `not(…)`.
+fn is_test_attr(attr: &[Token<'_>]) -> bool {
+    for (k, t) in attr.iter().enumerate() {
+        if t.kind == Kind::Ident && t.text == "test" {
+            let negated = k >= 2 && attr[k - 2].text == "not" && attr[k - 1].text == "(";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "HashMap::new()";"#), vec!["let", "x"]);
+        assert_eq!(
+            idents(r##"let x = r#"unwrap() "quoted""#;"##),
+            vec!["let", "x"]
+        );
+        assert_eq!(idents(r#"let x = b"unwrap";"#), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn comments_hide_their_contents_but_are_kept() {
+        let l = lex("// HashMap here\nlet /* unwrap() /* nested */ */ x = 1;");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "unwrap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].trailing);
+        assert!(l.comments[1].trailing);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let z = b'a'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = l.tokens.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  bb");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_module_is_flagged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n}\nfn live2() {}";
+        let l = lex(src);
+        for (t, &in_test) in l.tokens.iter().zip(&l.in_test) {
+            if t.text == "unwrap" || t.text == "helper" {
+                assert!(in_test, "{} should be in a test region", t.text);
+            }
+            if t.text == "live" || t.text == "live2" {
+                assert!(!in_test, "{} should not be in a test region", t.text);
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let l = lex(src);
+        assert!(l.in_test.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_flagged() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn live() {}";
+        let l = lex(src);
+        for (t, &in_test) in l.tokens.iter().zip(&l.in_test) {
+            if t.text == "assert" {
+                assert!(in_test);
+            }
+            if t.text == "live" {
+                assert!(!in_test);
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_test_use_without_body_does_not_arm_forever() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { f(); }";
+        let l = lex(src);
+        for (t, &in_test) in l.tokens.iter().zip(&l.in_test) {
+            if t.text == "live" || t.text == "f" {
+                assert!(!in_test);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_braces_close_the_right_region() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y(); } } }\nfn live() {}";
+        let l = lex(src);
+        let live = l.tokens.iter().position(|t| t.text == "live").unwrap();
+        assert!(!l.in_test[live]);
+    }
+}

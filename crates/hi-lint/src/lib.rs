@@ -1,0 +1,40 @@
+//! # hi-lint — workspace determinism-hygiene analyzer
+//!
+//! The paper's anti-persistence guarantee says a structure's bit
+//! representation is a pure function of *(contents, seed)*. The runtime
+//! batteries (χ² layout distributions, determinism fingerprints, crash
+//! kill-points) can only catch a violation a test happens to exercise; this
+//! crate machine-checks the *sources* of violation on every CI run, so a
+//! stray `HashMap` iteration feeding a rebalance, an `Instant::now()`
+//! tie-break, or a persisted flush counter is a lint error before it is a
+//! statistics problem.
+//!
+//! The analyzer is hand-rolled and dependency-free: a lightweight Rust
+//! lexer ([`lexer`]) that understands strings, raw strings, char literals,
+//! nested comments, and `#[cfg(test)]`-module brace tracking; a rule engine
+//! ([`rules`]) emitting `file:line:col` diagnostics for five rules; and a
+//! suppression layer ([`suppress`]) — inline
+//! `// hi-lint: allow(<rule>): <justification>` annotations plus a
+//! `hi-lint.toml` file — with stale-suppression detection, so the escape
+//! hatch can only shrink by itself, never rot.
+//!
+//! Run as a workspace bin (`cargo run --release --bin hi-lint`) it scans
+//! `src/`, `crates/*/src/`, `tests/`, and `examples/` and exits nonzero on
+//! any unsuppressed diagnostic or stale suppression. `ci.sh` runs it as a
+//! hard gate before clippy. See `DESIGN.md` §"Determinism hygiene & static
+//! analysis" for each rule's invariant and the suppression policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use engine::{run, Report, SourceFile};
+pub use rules::{classify, lint_file, Diagnostic, FileClass, RuleId};
+pub use suppress::{parse_toml, Suppression};
+pub use walk::workspace_files;

@@ -1,0 +1,71 @@
+//! The `hi-lint` CLI: scan the workspace, apply `hi-lint.toml`, print
+//! diagnostics, exit nonzero unless clean. See the library docs for what
+//! the rules check.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("hi-lint: cannot locate the workspace root (run from the repo)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let toml_path = root.join("hi-lint.toml");
+    let suppressions = if toml_path.is_file() {
+        let src = match std::fs::read_to_string(&toml_path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("hi-lint: cannot read {}: {e}", toml_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match hi_lint::parse_toml(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hi-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let files = match hi_lint::workspace_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("hi-lint: walking {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = hi_lint::run(&files, &suppressions, true);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: an explicit argument, the current directory when it
+/// looks like the workspace, or the checkout this binary was built from.
+fn workspace_root() -> Option<PathBuf> {
+    if let Some(arg) = std::env::args().nth(1) {
+        return Some(PathBuf::from(arg));
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        if looks_like_root(&cwd) {
+            return Some(cwd);
+        }
+    }
+    let from_manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    looks_like_root(&from_manifest).then_some(from_manifest)
+}
+
+fn looks_like_root(p: &Path) -> bool {
+    p.join("Cargo.toml").is_file() && p.join("crates").is_dir()
+}

@@ -1,0 +1,798 @@
+//! The rule engine: five determinism-hygiene rules, each protecting one
+//! history-independence invariant at the source level.
+//!
+//! | Rule | Protects |
+//! |---|---|
+//! | `nondeterminism` | layout = *f(contents, seed)*: no iteration-order, wall-clock, thread-id, or address dependence in layout-affecting crates |
+//! | `unsafe-audit` | the memory-safety baseline the HI proofs assume: every crate root forbids `unsafe_code` |
+//! | `persisted-history` | anti-persistence at rest: the on-disk header field lists match an explicit allowlist |
+//! | `panic-surface` | recoverability: library panics are either typed errors or carry an inline justification |
+//! | `entropy` | reproducibility: no unseeded randomness outside bench/test code |
+//!
+//! Rules are lexical, not semantic: they match token patterns, so they are
+//! conservative (a `HashMap` that is never iterated still needs a justified
+//! suppression — the justification *is* the audit trail).
+
+use crate::lexer::{lex, Kind, Lexed, Token};
+use crate::suppress::{parse_annotations, Annotation, BadAnnotation};
+use std::fmt;
+
+/// Identifies a rule (or meta-rule) in diagnostics and suppressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Nondeterminism sources in layout-affecting code.
+    Nondeterminism,
+    /// `#![forbid(unsafe_code)]` on crate roots; no `unsafe` tokens.
+    UnsafeAudit,
+    /// On-disk header fields must match the explicit allowlist.
+    PersistedHistory,
+    /// `unwrap`/`expect`/`panic!` in library code need justification.
+    PanicSurface,
+    /// Unseeded RNG construction outside bench/test code.
+    Entropy,
+    /// Meta: a `hi-lint.toml` entry matched no diagnostic.
+    StaleSuppression,
+    /// Meta: an inline annotation matched no diagnostic.
+    StaleAnnotation,
+    /// Meta: a malformed `hi-lint:` comment.
+    BadAnnotation,
+}
+
+impl RuleId {
+    /// The kebab-case rule name used in diagnostics, annotations, and
+    /// `hi-lint.toml`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::UnsafeAudit => "unsafe-audit",
+            RuleId::PersistedHistory => "persisted-history",
+            RuleId::PanicSurface => "panic-surface",
+            RuleId::Entropy => "entropy",
+            RuleId::StaleSuppression => "stale-suppression",
+            RuleId::StaleAnnotation => "stale-annotation",
+            RuleId::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// Parses a *suppressible* rule name (the five real rules; meta-rules
+    /// cannot be suppressed — a stale suppression must be deleted, not
+    /// suppressed in turn).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "nondeterminism" => RuleId::Nondeterminism,
+            "unsafe-audit" => RuleId::UnsafeAudit,
+            "persisted-history" => RuleId::PersistedHistory,
+            "panic-surface" => RuleId::PanicSurface,
+            "entropy" => RuleId::Entropy,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: `path:line:col: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/<name>/src/…` — the crate's directory name.
+    CrateSrc(String),
+    /// `src/…` — the root facade crate.
+    RootSrc,
+    /// `tests/…` — workspace integration tests.
+    TestsDir,
+    /// `examples/…` — runnable examples.
+    ExamplesDir,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        let krate = rest.split('/').next()?;
+        if rest.split('/').nth(1) == Some("src") {
+            return Some(FileClass::CrateSrc(krate.to_string()));
+        }
+        return None;
+    }
+    if rel_path.starts_with("src/") {
+        return Some(FileClass::RootSrc);
+    }
+    if rel_path.starts_with("tests/") {
+        return Some(FileClass::TestsDir);
+    }
+    if rel_path.starts_with("examples/") {
+        return Some(FileClass::ExamplesDir);
+    }
+    None
+}
+
+/// Crates exempt from the `nondeterminism` and `panic-surface` rules:
+/// the bench harness and test support are measurement/fixture code whose
+/// output never feeds a persisted layout, and the linter itself is a dev
+/// tool. Everything else — engines *and* the workload generators whose
+/// output becomes dictionary contents — is in scope.
+pub const TOOL_CRATES: &[&str] = &["bench", "test-support", "hi-lint"];
+
+/// Crates exempt from the `entropy` rule (bench harnesses may time with
+/// entropy-free clocks but never draw layout coins; test support seeds
+/// everything by construction and is exercised only under `cargo test`).
+pub const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench", "test-support"];
+
+/// The one file allowed to write persisted header bytes, audited by the
+/// `persisted-history` rule.
+pub const AUDITED_STORE_PATH: &str = "crates/block-store/src/store.rs";
+
+/// Functions in [`AUDITED_STORE_PATH`] that may call `put_u64`, with the
+/// exact ordered field list each may write. A new field — say, persisting
+/// the commit generation — changes the third argument sequence and fails
+/// the audit until the allowlist (and the DESIGN.md argument for why the
+/// field is not operation history) is updated.
+pub const PERSISTED_ALLOWLIST: &[(&str, &[&str])] = &[
+    (
+        "encode_header",
+        &[
+            "MAGIC",
+            "VERSION",
+            "block_size",
+            "meta.record_size",
+            "meta.total_slots",
+            "meta.len",
+            "meta.seed",
+            "0", // reserved: the commit generation must stay RAM-only
+            "meta.fingerprint",
+            "sum",
+        ],
+    ),
+    (
+        "encode_journal_header",
+        &[
+            "JMAGIC",
+            "block_size",
+            "0", // reserved: no generation counter in the journal either
+            "count",
+            "target_len",
+            "payload_sum",
+            "sum",
+        ],
+    ),
+];
+
+/// The result of linting one file, before suppression matching.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Raw diagnostics (annotations not yet applied).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Inline `hi-lint: allow(…)` annotations found in the file.
+    pub annotations: Vec<Annotation>,
+    /// Malformed `hi-lint:` comments.
+    pub bad_annotations: Vec<BadAnnotation>,
+}
+
+/// Lints one file's source. `rel_path` drives rule scoping; unclassifiable
+/// paths get only the universally applicable checks (none today).
+pub fn lint_file(rel_path: &str, src: &str) -> FileLint {
+    let lx = lex(src);
+    let mut out = FileLint::default();
+    let (annotations, bad_annotations) =
+        parse_annotations(&lx.comments, |line| lx.next_token_line(line));
+    out.annotations = annotations;
+    out.bad_annotations = bad_annotations;
+
+    let Some(class) = classify(rel_path) else {
+        return out;
+    };
+    let crate_name = match &class {
+        FileClass::CrateSrc(k) => Some(k.as_str()),
+        _ => None,
+    };
+    let is_tool = crate_name.is_some_and(|k| TOOL_CRATES.contains(&k));
+    let is_lib_code = matches!(class, FileClass::CrateSrc(_) | FileClass::RootSrc);
+
+    if is_lib_code && !is_tool {
+        nondeterminism_rule(rel_path, &lx, &mut out.diagnostics);
+        panic_surface_rule(rel_path, &lx, &mut out.diagnostics);
+    }
+    let entropy_exempt = crate_name.is_some_and(|k| ENTROPY_EXEMPT_CRATES.contains(&k));
+    let entropy_in_scope = match class {
+        FileClass::CrateSrc(_) | FileClass::RootSrc => !entropy_exempt,
+        // Examples are the documented face of the workspace: they must be
+        // seeded end to end. Integration tests are test code by definition.
+        FileClass::ExamplesDir => true,
+        FileClass::TestsDir => false,
+    };
+    if entropy_in_scope {
+        entropy_rule(rel_path, &lx, &mut out.diagnostics);
+    }
+    unsafe_audit_rule(rel_path, &class, is_tool, &lx, &mut out.diagnostics);
+    if rel_path == AUDITED_STORE_PATH {
+        persisted_history_rule(rel_path, &lx, &mut out.diagnostics);
+    }
+    out
+}
+
+/// Iterates indices of tokens outside test regions.
+fn live_tokens<'a>(lx: &'a Lexed<'a>) -> impl Iterator<Item = (usize, &'a Token<'a>)> {
+    lx.tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !lx.in_test[*i])
+}
+
+fn diag(out: &mut Vec<Diagnostic>, rule: RuleId, path: &str, t: &Token<'_>, message: String) {
+    out.push(Diagnostic {
+        rule,
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    });
+}
+
+/// Texts of `lx.tokens[i..i+n]`, or `None` near the end of the stream.
+fn seq<'a>(lx: &'a Lexed<'a>, i: usize, n: usize) -> Option<Vec<&'a str>> {
+    lx.tokens
+        .get(i..i + n)
+        .map(|w| w.iter().map(|t| t.text).collect())
+}
+
+/// Rule 1 — nondeterminism sources. In layout-affecting crates, layout must
+/// be a pure function of *(contents, seed)*; these constructs smuggle in
+/// hasher randomization, iteration order, wall-clock time, thread identity,
+/// or allocation addresses.
+fn nondeterminism_rule(path: &str, lx: &Lexed<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in live_tokens(lx) {
+        if t.kind == Kind::Ident {
+            let why = match t.text {
+                "HashMap" | "HashSet" => Some(
+                    "iteration order depends on the process-random hasher; \
+                     use BTreeMap/BTreeSet, an index map, or suppress with a \
+                     membership-only justification",
+                ),
+                "RandomState" | "DefaultHasher" => {
+                    Some("process-random hashing; derive hashes from the structure seed instead")
+                }
+                "hash_map" | "hash_set" => {
+                    Some("std::collections hash-module import in layout-affecting code")
+                }
+                "Instant" | "SystemTime" | "UNIX_EPOCH" => {
+                    Some("wall-clock reads make layout decisions time-dependent")
+                }
+                _ => None,
+            };
+            if let Some(why) = why {
+                diag(
+                    out,
+                    RuleId::Nondeterminism,
+                    path,
+                    t,
+                    format!("`{}`: {}", t.text, why),
+                );
+                continue;
+            }
+            if t.text == "thread" && seq(lx, i + 1, 3).is_some_and(|w| w == [":", ":", "current"]) {
+                diag(
+                    out,
+                    RuleId::Nondeterminism,
+                    path,
+                    t,
+                    "`thread::current()`: thread identity must never influence layout".into(),
+                );
+                continue;
+            }
+            if (t.text == "as_ptr" || t.text == "as_mut_ptr")
+                && seq(lx, i + 1, 3).is_some_and(|w| w == ["(", ")", "as"])
+            {
+                diag(
+                    out,
+                    RuleId::Nondeterminism,
+                    path,
+                    t,
+                    format!(
+                        "`{}() as …`: pointer-to-integer cast leaks allocation addresses \
+                         into arithmetic",
+                        t.text
+                    ),
+                );
+                continue;
+            }
+        }
+        if t.kind == Kind::Punct
+            && t.text == "*"
+            && lx
+                .tokens
+                .get(i + 1)
+                .is_some_and(|n| n.text == "const" || n.text == "mut")
+        {
+            diag(
+                out,
+                RuleId::Nondeterminism,
+                path,
+                t,
+                "raw pointer type in layout-affecting code: addresses are per-run entropy".into(),
+            );
+        }
+    }
+}
+
+/// Rule 2 — unsafe audit. Crate roots must carry `#![forbid(unsafe_code)]`
+/// (the compiler then polices the lib target); any `unsafe` token in
+/// non-tool library sources is flagged directly, which also covers bin
+/// targets that an inner lib attribute cannot reach.
+fn unsafe_audit_rule(
+    path: &str,
+    class: &FileClass,
+    is_tool: bool,
+    lx: &Lexed<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let is_crate_root =
+        path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"));
+    if is_crate_root {
+        let mut found = false;
+        for (i, t) in lx.tokens.iter().enumerate() {
+            if t.text == "#"
+                && seq(lx, i + 1, 7)
+                    .is_some_and(|w| w == ["!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            out.push(Diagnostic {
+                rule: RuleId::UnsafeAudit,
+                path: path.to_string(),
+                line: 1,
+                col: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            });
+        }
+    }
+    let token_scope = matches!(class, FileClass::CrateSrc(_) | FileClass::RootSrc) && !is_tool;
+    if token_scope {
+        for (_, t) in live_tokens(lx) {
+            if t.kind == Kind::Ident && t.text == "unsafe" {
+                diag(
+                    out,
+                    RuleId::UnsafeAudit,
+                    path,
+                    t,
+                    "`unsafe` in library code: the HI proofs assume the safe subset".into(),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3 — persisted-history audit. Every `put_u64` into a header image
+/// must sit inside one of the audited encoder functions, and each encoder's
+/// ordered third-argument list must equal [`PERSISTED_ALLOWLIST`] exactly.
+fn persisted_history_rule(path: &str, lx: &Lexed<'_>, out: &mut Vec<Diagnostic>) {
+    // Locate each audited function's body as a token range.
+    let mut bodies: Vec<(usize, usize, usize)> = Vec::new(); // (allowlist idx, start, end)
+    for (which, (name, _)) in PERSISTED_ALLOWLIST.iter().enumerate() {
+        let mut found = false;
+        for (i, t) in lx.tokens.iter().enumerate() {
+            if t.text == "fn" && lx.tokens.get(i + 1).is_some_and(|n| n.text == *name) {
+                if let Some(range) = brace_body(lx, i) {
+                    bodies.push((which, range.0, range.1));
+                    found = true;
+                }
+                break;
+            }
+        }
+        if !found {
+            out.push(Diagnostic {
+                rule: RuleId::PersistedHistory,
+                path: path.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "audited encoder `fn {name}` not found — the persisted-history \
+                     allowlist has nothing to anchor on"
+                ),
+            });
+        }
+    }
+
+    // Check each audited body's put_u64 calls against its allowlist.
+    for &(which, start, end) in &bodies {
+        let (name, allow) = PERSISTED_ALLOWLIST[which];
+        let mut k = 0usize;
+        let mut i = start;
+        while i < end {
+            let t = &lx.tokens[i];
+            if t.text == "put_u64" && lx.tokens.get(i + 1).is_some_and(|n| n.text == "(") {
+                let (args, after) = call_args(lx, i + 1);
+                let value = args.get(2).cloned().unwrap_or_default();
+                match allow.get(k) {
+                    Some(&expected) if expected == value => {}
+                    Some(&expected) => diag(
+                        out,
+                        RuleId::PersistedHistory,
+                        path,
+                        t,
+                        format!(
+                            "`{name}` field {k} persists `{value}` but the allowlist \
+                             says `{expected}` — on-disk state may encode operation history"
+                        ),
+                    ),
+                    None => diag(
+                        out,
+                        RuleId::PersistedHistory,
+                        path,
+                        t,
+                        format!(
+                            "`{name}` persists extra field {k} (`{value}`) beyond the \
+                             {}-entry allowlist",
+                            allow.len()
+                        ),
+                    ),
+                }
+                k += 1;
+                i = after;
+                continue;
+            }
+            i += 1;
+        }
+        if k < allow.len() {
+            out.push(Diagnostic {
+                rule: RuleId::PersistedHistory,
+                path: path.to_string(),
+                line: lx.tokens[start].line,
+                col: lx.tokens[start].col,
+                message: format!(
+                    "`{name}` writes {k} fields but the allowlist expects {} — \
+                     decode offsets and the allowlist have drifted apart",
+                    allow.len()
+                ),
+            });
+        }
+    }
+
+    // Any put_u64 call outside the audited bodies (the definition itself and
+    // test modules excepted) writes persisted bytes nobody audited.
+    for (i, t) in live_tokens(lx) {
+        if t.text != "put_u64" {
+            continue;
+        }
+        if i > 0 && lx.tokens[i - 1].text == "fn" {
+            continue; // the definition
+        }
+        if lx.tokens.get(i + 1).map(|n| n.text) != Some("(") {
+            continue; // a mention, not a call
+        }
+        if bodies.iter().any(|&(_, s, e)| i >= s && i < e) {
+            continue;
+        }
+        diag(
+            out,
+            RuleId::PersistedHistory,
+            path,
+            t,
+            "`put_u64` outside the audited encoder functions: all persisted header \
+             writes must go through an allowlisted encoder"
+                .into(),
+        );
+    }
+}
+
+/// The token range (exclusive of braces) of the body following item token
+/// `i` — the first `{…}` group after it.
+fn brace_body(lx: &Lexed<'_>, i: usize) -> Option<(usize, usize)> {
+    let open = (i..lx.tokens.len()).find(|&j| lx.tokens[j].text == "{")?;
+    let mut depth = 0i32;
+    for j in open..lx.tokens.len() {
+        match lx.tokens[j].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, j));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses a call's arguments starting at the `(` token index: returns the
+/// comma-separated argument texts (tokens concatenated) at paren depth 1 and
+/// the index one past the closing `)`.
+fn call_args(lx: &Lexed<'_>, open: usize) -> (Vec<String>, usize) {
+    let mut args = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < lx.tokens.len() {
+        let text = lx.tokens[j].text;
+        match text {
+            "(" | "[" | "{" => {
+                depth += 1;
+                if depth > 1 {
+                    current.push_str(text);
+                }
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        args.push(std::mem::take(&mut current));
+                    }
+                    return (args, j + 1);
+                }
+                current.push_str(text);
+            }
+            "," if depth == 1 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push_str(text),
+        }
+        j += 1;
+    }
+    (args, j)
+}
+
+/// Rule 4 — panic surface. In library code, `.unwrap()`, `.expect(…)` and
+/// the panicking macros either get converted to typed errors or carry an
+/// inline justification explaining why the path is unreachable. (`assert!`
+/// family is deliberately allowed: asserts are stated invariants, and the
+/// determinism batteries rely on them firing loudly.)
+fn panic_surface_rule(path: &str, lx: &Lexed<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in live_tokens(lx) {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let next = lx.tokens.get(i + 1).map(|n| n.text);
+        let prev = i.checked_sub(1).map(|p| lx.tokens[p].text);
+        match t.text {
+            "unwrap" | "expect" if next == Some("(") && prev == Some(".") => {
+                diag(
+                    out,
+                    RuleId::PanicSurface,
+                    path,
+                    t,
+                    format!(
+                        "`.{}(…)` in library code: return a typed error or justify \
+                         with `// hi-lint: allow(panic-surface): <why unreachable>`",
+                        t.text
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+                diag(
+                    out,
+                    RuleId::PanicSurface,
+                    path,
+                    t,
+                    format!(
+                        "`{}!` in library code: return a typed error or justify \
+                         with `// hi-lint: allow(panic-surface): <why unreachable>`",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule 5 — entropy sources. Layout coins come from the structure seed;
+/// constructing an RNG from process entropy anywhere outside bench/test
+/// code silently breaks every reproducibility guarantee.
+fn entropy_rule(path: &str, lx: &Lexed<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in live_tokens(lx) {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `fn from_entropy(…)` — defining the escape hatch draws nothing;
+        // the rule bites at every call site instead.
+        if i > 0 && lx.tokens[i - 1].text == "fn" {
+            continue;
+        }
+        let why = match t.text {
+            "from_entropy" | "thread_rng" => "unseeded RNG construction",
+            "OsRng" => "operating-system entropy source",
+            "getrandom" => "raw entropy syscall",
+            _ => continue,
+        };
+        diag(
+            out,
+            RuleId::Entropy,
+            path,
+            t,
+            format!(
+                "`{}`: {} — derive all randomness from an explicit seed",
+                t.text, why
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs(rel: &str, src: &str) -> Vec<String> {
+        lint_file(rel, src)
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/pma/src/hi_pma.rs"),
+            Some(FileClass::CrateSrc("pma".into()))
+        );
+        assert_eq!(classify("src/dict.rs"), Some(FileClass::RootSrc));
+        assert_eq!(classify("tests/determinism.rs"), Some(FileClass::TestsDir));
+        assert_eq!(
+            classify("examples/quickstart.rs"),
+            Some(FileClass::ExamplesDir)
+        );
+        assert_eq!(classify("crates/pma/tests/x.rs"), None);
+    }
+
+    #[test]
+    fn nondeterminism_fires_in_engine_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src).len(), 1);
+        assert_eq!(msgs("crates/bench/src/x.rs", src).len(), 0);
+        assert_eq!(msgs("tests/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn nondeterminism_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n}\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn thread_current_and_ptr_casts_fire() {
+        let src = "fn f() { let t = thread::current(); let p = v.as_ptr() as usize; }\n";
+        let m = msgs("crates/shard/src/x.rs", src);
+        assert_eq!(m.len(), 2, "{m:?}");
+    }
+
+    #[test]
+    fn raw_pointer_types_fire() {
+        let src = "fn f(p: *const u8, q: *mut u8) {}\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn multiplication_is_not_a_raw_pointer() {
+        let src = "fn f(a: usize) -> usize { a * CONST_FACTOR }\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn panic_surface_needs_method_call_shape() {
+        // A local function named `unwrap` or a path call is not `.unwrap()`.
+        let src = "fn f() { unwrap(); x.unwrap_or(3); x.unwrap_or_else(g); }\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src).len(), 0);
+        let src2 = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); }\n";
+        assert_eq!(msgs("crates/pma/src/x.rs", src2).len(), 3);
+    }
+
+    #[test]
+    fn entropy_applies_to_examples_but_not_tests() {
+        let src = "fn main() { let r = StdRng::from_entropy(); }\n";
+        assert_eq!(msgs("examples/demo.rs", src).len(), 1);
+        assert_eq!(msgs("tests/demo.rs", src).len(), 0);
+        assert_eq!(msgs("crates/bench/src/bin/demo.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn unsafe_audit_checks_roots_and_tokens() {
+        let m = msgs("crates/pma/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].contains("forbid(unsafe_code)"), "{m:?}");
+        let ok = msgs(
+            "crates/pma/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let tok = msgs("crates/pma/src/x.rs", "fn f() { unsafe { g(); } }\n");
+        assert_eq!(tok.len(), 1);
+    }
+
+    #[test]
+    fn persisted_history_accepts_the_allowlist() {
+        let src = r#"
+fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
+    put_u64(out, 0, MAGIC);
+    put_u64(out, 1, VERSION);
+    put_u64(out, 2, block_size);
+    put_u64(out, 3, meta.record_size);
+    put_u64(out, 4, meta.total_slots);
+    put_u64(out, 5, meta.len);
+    put_u64(out, 6, meta.seed);
+    put_u64(out, 7, 0);
+    put_u64(out, 8, meta.fingerprint);
+    put_u64(out, HEADER_FIELDS - 1, sum);
+}
+fn encode_journal_header(out: &mut [u8]) {
+    put_u64(out, 0, JMAGIC);
+    put_u64(out, 1, block_size);
+    put_u64(out, 2, 0);
+    put_u64(out, 3, count);
+    put_u64(out, 4, target_len);
+    put_u64(out, 5, payload_sum);
+    put_u64(out, JHEADER_FIELDS - 1, sum);
+}
+"#;
+        let m = msgs(AUDITED_STORE_PATH, src);
+        assert!(m.is_empty(), "{m:?}");
+    }
+
+    #[test]
+    fn persisted_history_catches_a_generation_leak() {
+        let src = r#"
+fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
+    put_u64(out, 0, MAGIC);
+    put_u64(out, 1, VERSION);
+    put_u64(out, 2, block_size);
+    put_u64(out, 3, meta.record_size);
+    put_u64(out, 4, meta.total_slots);
+    put_u64(out, 5, meta.len);
+    put_u64(out, 6, meta.seed);
+    put_u64(out, 7, meta.generation);
+    put_u64(out, 8, meta.fingerprint);
+    put_u64(out, HEADER_FIELDS - 1, sum);
+}
+fn encode_journal_header(out: &mut [u8]) {
+    put_u64(out, 0, JMAGIC);
+    put_u64(out, 1, block_size);
+    put_u64(out, 2, 0);
+    put_u64(out, 3, count);
+    put_u64(out, 4, target_len);
+    put_u64(out, 5, payload_sum);
+    put_u64(out, JHEADER_FIELDS - 1, sum);
+}
+"#;
+        let m = msgs(AUDITED_STORE_PATH, src);
+        assert_eq!(m.len(), 1, "{m:?}");
+        assert!(m[0].contains("meta.generation"), "{m:?}");
+    }
+
+    #[test]
+    fn persisted_history_catches_rogue_writes_and_missing_anchors() {
+        let rogue = "fn sneak(out: &mut [u8]) { put_u64(out, 0, counter); }\n";
+        let m = msgs(AUDITED_STORE_PATH, rogue);
+        // Two missing anchors plus the rogue write.
+        assert_eq!(m.len(), 3, "{m:?}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Suppressions: the `hi-lint.toml` file and inline `// hi-lint: allow(…)`
+//! annotations, both with stale-entry detection.
+//!
+//! Policy (documented in `DESIGN.md` §"Determinism hygiene"):
+//!
+//! * Every suppression carries a human justification. An empty reason is a
+//!   lint error, not a shrug.
+//! * Every suppression must match at least one diagnostic in the current
+//!   run. A stale entry — left behind after the code it excused was fixed —
+//!   fails CI, so the suppression surface can only shrink by itself, never
+//!   silently rot.
+
+use crate::rules::RuleId;
+use std::fmt;
+
+/// One `[[suppress]]` entry from `hi-lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Optional exact line constraint.
+    pub line: Option<u32>,
+    /// Optional substring constraint against the flagged source line.
+    pub contains: Option<String>,
+    /// Human justification (required, non-empty).
+    pub reason: String,
+    /// Line in `hi-lint.toml` where the entry starts (for stale reports).
+    pub toml_line: u32,
+}
+
+impl Suppression {
+    /// Whether this entry suppresses a diagnostic at `path:line` whose
+    /// flagged source line is `src_line`.
+    pub fn matches(&self, rule: RuleId, path: &str, line: u32, src_line: &str) -> bool {
+        self.rule == rule
+            && self.path == path
+            && self.line.is_none_or(|l| l == line)
+            && self
+                .contains
+                .as_deref()
+                .is_none_or(|needle| src_line.contains(needle))
+    }
+}
+
+/// An inline `// hi-lint: allow(<rule>): <justification>` annotation.
+///
+/// A trailing annotation excuses its own line; a standalone annotation
+/// excuses the next line that holds code. The justification is mandatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// The rule being allowed.
+    pub rule: RuleId,
+    /// The code line the annotation applies to.
+    pub target_line: u32,
+    /// The line the comment itself sits on.
+    pub comment_line: u32,
+    /// Human justification (non-empty by construction).
+    pub reason: String,
+}
+
+/// A malformed `hi-lint:` comment — reported as a diagnostic rather than
+/// silently ignored, because a typo'd annotation that quietly fails to
+/// suppress would surface as a confusing unrelated error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAnnotation {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub what: String,
+}
+
+/// Parses the inline annotations of one file from its comment stream.
+///
+/// `next_token_line` maps a comment's line to the following code line (for
+/// standalone comments); trailing comments bind to their own line.
+pub fn parse_annotations(
+    comments: &[crate::lexer::Comment<'_>],
+    mut next_token_line: impl FnMut(u32) -> Option<u32>,
+) -> (Vec<Annotation>, Vec<BadAnnotation>) {
+    let mut anns = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("hi-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: "expected `hi-lint: allow(<rule>): <justification>`".into(),
+            });
+            continue;
+        };
+        let Some((rule_name, after)) = rest.split_once(')') else {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: "unclosed `allow(`".into(),
+            });
+            continue;
+        };
+        let Some(rule) = RuleId::from_name(rule_name.trim()) else {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: format!("unknown rule `{}`", rule_name.trim()),
+            });
+            continue;
+        };
+        let reason = after.trim_start_matches(':').trim();
+        if reason.is_empty() {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: "missing justification after `allow(…):`".into(),
+            });
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            match next_token_line(c.line) {
+                Some(l) => l,
+                None => {
+                    bad.push(BadAnnotation {
+                        line: c.line,
+                        what: "annotation is not followed by any code".into(),
+                    });
+                    continue;
+                }
+            }
+        };
+        anns.push(Annotation {
+            rule,
+            target_line,
+            comment_line: c.line,
+            reason: reason.to_string(),
+        });
+    }
+    (anns, bad)
+}
+
+/// A `hi-lint.toml` parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending entry.
+    pub line: u32,
+    /// Description of the problem.
+    pub what: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hi-lint.toml:{}: {}", self.line, self.what)
+    }
+}
+
+/// Parses the suppression file: a sequence of `[[suppress]]` tables with
+/// `rule`, `path`, `reason` (strings, required) and `line` (integer) /
+/// `contains` (string) optional constraints.
+///
+/// This is a deliberate hand-rolled subset of TOML — string and integer
+/// values, `#` comments, one table shape — because the workspace vendors no
+/// TOML crate and the gate must not depend on unvetted parsing code.
+pub fn parse_toml(src: &str) -> Result<Vec<Suppression>, TomlError> {
+    struct Partial {
+        rule: Option<RuleId>,
+        path: Option<String>,
+        line: Option<u32>,
+        contains: Option<String>,
+        reason: Option<String>,
+        toml_line: u32,
+    }
+    let mut out = Vec::new();
+    let mut open: Option<Partial> = None;
+
+    let finish = |p: Partial| -> Result<Suppression, TomlError> {
+        let missing = |what: &str| TomlError {
+            line: p.toml_line,
+            what: format!("[[suppress]] entry is missing `{what}`"),
+        };
+        let rule = p.rule.ok_or_else(|| missing("rule"))?;
+        let path = p.path.ok_or_else(|| missing("path"))?;
+        let reason = p.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(TomlError {
+                line: p.toml_line,
+                what: "`reason` must not be empty".into(),
+            });
+        }
+        Ok(Suppression {
+            rule,
+            path,
+            line: p.line,
+            contains: p.contains,
+            reason,
+            toml_line: p.toml_line,
+        })
+    };
+
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[suppress]]" {
+            if let Some(p) = open.take() {
+                out.push(finish(p)?);
+            }
+            open = Some(Partial {
+                rule: None,
+                path: None,
+                line: None,
+                contains: None,
+                reason: None,
+                toml_line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(TomlError {
+                line: lineno,
+                what: format!("expected `key = value` or `[[suppress]]`, got `{line}`"),
+            });
+        };
+        let Some(p) = open.as_mut() else {
+            return Err(TomlError {
+                line: lineno,
+                what: "key outside any [[suppress]] table".into(),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let string = |v: &str| -> Result<String, TomlError> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| TomlError {
+                    line: lineno,
+                    what: format!("`{key}` must be a double-quoted string"),
+                })?;
+            Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+        };
+        match key {
+            "rule" => {
+                let name = string(value)?;
+                p.rule = Some(RuleId::from_name(&name).ok_or_else(|| TomlError {
+                    line: lineno,
+                    what: format!("unknown rule `{name}`"),
+                })?);
+            }
+            "path" => p.path = Some(string(value)?),
+            "contains" => p.contains = Some(string(value)?),
+            "reason" => p.reason = Some(string(value)?),
+            "line" => {
+                p.line = Some(value.parse().map_err(|_| TomlError {
+                    line: lineno,
+                    what: format!("`line` must be an integer, got `{value}`"),
+                })?);
+            }
+            other => {
+                return Err(TomlError {
+                    line: lineno,
+                    what: format!("unknown key `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(p) = open.take() {
+        out.push(finish(p)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn toml_roundtrip() {
+        let src = r#"
+# comment
+[[suppress]]
+rule = "nondeterminism"
+path = "crates/io-sim/src/lru.rs"
+contains = "HashMap"
+reason = "membership only"
+
+[[suppress]]
+rule = "panic-surface"
+path = "src/dict.rs"
+line = 12
+reason = "unreachable: builder validated"
+"#;
+        let s = parse_toml(src).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].rule, RuleId::Nondeterminism);
+        assert_eq!(s[0].contains.as_deref(), Some("HashMap"));
+        assert_eq!(s[1].line, Some(12));
+        assert!(s[0].matches(
+            RuleId::Nondeterminism,
+            "crates/io-sim/src/lru.rs",
+            40,
+            "    map: HashMap<u64, usize>,"
+        ));
+        assert!(!s[0].matches(
+            RuleId::Nondeterminism,
+            "crates/io-sim/src/lru.rs",
+            40,
+            "    slab: Vec<Node>,"
+        ));
+    }
+
+    #[test]
+    fn toml_rejects_missing_reason() {
+        let src = "[[suppress]]\nrule = \"entropy\"\npath = \"x.rs\"\n";
+        assert!(parse_toml(src).is_err());
+    }
+
+    #[test]
+    fn toml_rejects_unknown_rule_and_key() {
+        assert!(
+            parse_toml("[[suppress]]\nrule = \"bogus\"\npath = \"x\"\nreason = \"y\"\n").is_err()
+        );
+        assert!(
+            parse_toml("[[suppress]]\nrule = \"entropy\"\nfoo = \"x\"\nreason = \"y\"\n").is_err()
+        );
+    }
+
+    #[test]
+    fn annotations_bind_trailing_and_standalone() {
+        let src = "\
+let a = x.unwrap(); // hi-lint: allow(panic-surface): length checked above
+// hi-lint: allow(entropy): demo seed displayed to the user
+let b = seed();
+";
+        let l = lex(src);
+        let (anns, bad) = parse_annotations(&l.comments, |line| l.next_token_line(line));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].rule, RuleId::PanicSurface);
+        assert_eq!(anns[0].target_line, 1);
+        assert_eq!(anns[1].rule, RuleId::Entropy);
+        assert_eq!(anns[1].target_line, 3);
+    }
+
+    #[test]
+    fn malformed_annotations_are_reported() {
+        let src = "\
+// hi-lint: allow(panic-surface)
+let a = 1;
+// hi-lint: allow(bogus-rule): x
+let b = 2;
+// hi-lint: disallow(entropy): x
+let c = 3;
+";
+        let l = lex(src);
+        let (anns, bad) = parse_annotations(&l.comments, |line| l.next_token_line(line));
+        assert!(anns.is_empty());
+        assert_eq!(bad.len(), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Deterministic workspace traversal.
+//!
+//! Scans exactly the surfaces the issue gate names — `src/`,
+//! `crates/*/src/`, `tests/`, `examples/` — in sorted order, so diagnostics
+//! come out in a stable order on every machine. `vendor/` (external shims)
+//! and `target/` are never visited, and neither are fixture directories:
+//! fixtures contain *seeded violations* and live outside any `src/`.
+
+use crate::engine::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under the scanned surfaces of `root`, paths
+/// workspace-relative with forward slashes, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect(root, &root.join(top), &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_entries(&crates_dir)? {
+            collect(root, &krate.join("src"), &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Directory entries of `dir`, sorted by file name for run-to-run stable
+/// output (readdir order is filesystem-dependent).
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in sorted_entries(dir)? {
+        if path.is_dir() {
+            collect(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel_path: rel,
+                src: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_this_workspace() {
+        // The crate sits at crates/hi-lint, so the workspace root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).unwrap();
+        let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        assert!(paths.contains(&"src/lib.rs"), "{paths:?}");
+        assert!(paths.contains(&"crates/pma/src/hi_pma.rs"));
+        assert!(paths.contains(&"tests/determinism.rs"));
+        assert!(paths.contains(&"examples/quickstart.rs"));
+        assert!(paths.iter().all(|p| !p.starts_with("vendor/")));
+        assert!(paths.iter().all(|p| !p.contains("fixtures")));
+        // Sorted and duplicate-free.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(paths, sorted);
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded `entropy` violations, linted under the pretend path
+//! `crates/pma/src/fixture.rs`: unseeded RNG construction and an OS entropy
+//! source in engine code. Defining a `from_entropy` escape hatch is fine —
+//! the rule bites at call sites, not definitions.
+
+fn from_entropy() -> u64 {
+    0
+}
+
+fn seed_source() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.next_u64()
+}
+
+fn os_coin() -> u64 {
+    let mut r = OsRng;
+    r.next_u64()
+}

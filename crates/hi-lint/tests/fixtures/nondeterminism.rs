@@ -1,0 +1,38 @@
+//! Seeded `nondeterminism` violations: every construct here makes layout
+//! depend on something other than *(contents, seed)*. The test lints this
+//! file under the pretend path `crates/pma/src/fixture.rs` so the rule's
+//! engine-crate scoping applies.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn order_dependent(keys: &[u64]) -> Vec<u64> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        m.insert(k, k);
+    }
+    m.into_keys().collect()
+}
+
+fn timed_tiebreak(started: Instant) -> bool {
+    started.elapsed().as_nanos() % 2 == 0
+}
+
+fn address_coin(v: &[u8]) -> usize {
+    v.as_ptr() as usize
+}
+
+fn thread_coin() -> bool {
+    thread::current().id() == MAIN_THREAD
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are out of scope: this HashSet must not be flagged.
+    use std::collections::HashSet;
+
+    #[test]
+    fn in_test_region() {
+        let _ = HashSet::<u64>::new();
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded `panic-surface` violations plus one justified site, linted under
+//! the pretend path `crates/pma/src/fixture.rs`. The justified `.unwrap()`
+//! must be suppressed by its inline annotation; the other three sites fire.
+
+fn fetch(m: &[u64], i: usize) -> u64 {
+    *m.get(i).unwrap()
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().expect("caller validated")
+}
+
+fn dispatch(kind: u8) -> u64 {
+    match kind {
+        0 => 0,
+        _ => unreachable!("kind is validated at the boundary"),
+    }
+}
+
+fn justified(m: &[u64]) -> u64 {
+    // hi-lint: allow(panic-surface): slice is non-empty by construction
+    *m.first().unwrap()
+}

@@ -1,0 +1,39 @@
+//! Seeded `persisted-history` violations, linted under the pretend path of
+//! the audited store file. Three distinct failure shapes:
+//!
+//! 1. `encode_header` persists `meta.generation` where the allowlist pins
+//!    the reserved zero — the exact leak the real store once had.
+//! 2. `encode_journal_header` appends an extra field beyond its allowlist.
+//! 3. A rogue `put_u64` outside any audited encoder body.
+
+fn put_u64(out: &mut [u8], field: usize, v: u64) {
+    out[field * 8..field * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta, sum: u64) {
+    put_u64(out, 0, MAGIC);
+    put_u64(out, 1, VERSION);
+    put_u64(out, 2, block_size);
+    put_u64(out, 3, meta.record_size);
+    put_u64(out, 4, meta.total_slots);
+    put_u64(out, 5, meta.len);
+    put_u64(out, 6, meta.seed);
+    put_u64(out, 7, meta.generation);
+    put_u64(out, 8, meta.fingerprint);
+    put_u64(out, 9, sum);
+}
+
+fn encode_journal_header(out: &mut [u8], block_size: u64, sum: u64) {
+    put_u64(out, 0, JMAGIC);
+    put_u64(out, 1, block_size);
+    put_u64(out, 2, 0);
+    put_u64(out, 3, count);
+    put_u64(out, 4, target_len);
+    put_u64(out, 5, payload_sum);
+    put_u64(out, 6, sum);
+    put_u64(out, 7, generation);
+}
+
+fn sneak_epoch(out: &mut [u8], epoch: u64) {
+    put_u64(out, 6, epoch);
+}

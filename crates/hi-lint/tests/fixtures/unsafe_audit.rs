@@ -1,0 +1,7 @@
+//! Seeded `unsafe-audit` violations: a crate root (pretend path
+//! `crates/pma/src/lib.rs`) with no `#![forbid(unsafe_code)]` attribute and
+//! an `unsafe` block in library code.
+
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

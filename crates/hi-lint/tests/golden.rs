@@ -1,0 +1,129 @@
+//! Golden-fixture tests: each rule gets a fixture file seeded with
+//! violations, and the full rendered report — paths, lines, columns, rule
+//! names, messages, suppression counts — is pinned against a checked-in
+//! `.expected` file. Any drift in a rule's matching or wording shows up as
+//! a readable diff here before it shows up as a confusing CI failure.
+//!
+//! Fixtures live in `tests/fixtures/` which the workspace walker never
+//! visits (it scans only `src/`, `crates/*/src/`, `tests/`, `examples/` at
+//! the workspace root), so the seeded violations cannot leak into the real
+//! gate.
+
+use hi_lint::{parse_toml, run, workspace_files, RuleId, SourceFile};
+use std::path::Path;
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints `fixtures/<name>.rs` under the pretend workspace path `rel_path`
+/// and compares the rendered report against `fixtures/<name>.expected`.
+fn check_golden(name: &str, rel_path: &str) {
+    let dir = fixture_dir();
+    let src = std::fs::read_to_string(dir.join(format!("{name}.rs"))).unwrap();
+    let expected = std::fs::read_to_string(dir.join(format!("{name}.expected"))).unwrap();
+    let report = run(
+        &[SourceFile {
+            rel_path: rel_path.to_string(),
+            src,
+        }],
+        &[],
+        false,
+    );
+    assert_eq!(
+        report.render(),
+        expected,
+        "fixture `{name}` drifted from its golden output; actual:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn golden_nondeterminism() {
+    check_golden("nondeterminism", "crates/pma/src/fixture.rs");
+}
+
+#[test]
+fn golden_unsafe_audit() {
+    check_golden("unsafe_audit", "crates/pma/src/lib.rs");
+}
+
+#[test]
+fn golden_persisted_history() {
+    check_golden("persisted_history", "crates/block-store/src/store.rs");
+}
+
+#[test]
+fn golden_panic_surface() {
+    check_golden("panic_surface", "crates/pma/src/fixture.rs");
+}
+
+#[test]
+fn golden_entropy() {
+    check_golden("entropy", "crates/pma/src/fixture.rs");
+}
+
+/// A `hi-lint.toml` entry that stops matching anything must itself become a
+/// diagnostic: the suppression file can only shrink by itself, never rot.
+#[test]
+fn stale_toml_suppression_fails_the_run() {
+    let sup = parse_toml(
+        "[[suppress]]\n\
+         rule = \"nondeterminism\"\n\
+         path = \"crates/pma/src/fixture.rs\"\n\
+         contains = \"HashMap\"\n\
+         reason = \"membership-only set, never iterated\"\n",
+    )
+    .unwrap();
+    // The file the entry excused was since fixed: nothing fires.
+    let clean = SourceFile {
+        rel_path: "crates/pma/src/fixture.rs".to_string(),
+        src: "use std::collections::BTreeMap;\nfn f() {}\n".to_string(),
+    };
+    let report = run(&[clean], &sup, false);
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::StaleSuppression);
+    assert_eq!(d.path, "hi-lint.toml");
+    assert!(d.message.contains("matches no diagnostic"), "{}", d.message);
+}
+
+/// The same entry against the *unfixed* file suppresses exactly one
+/// diagnostic and is not stale — the two outcomes bracket the mechanism.
+#[test]
+fn live_toml_suppression_is_consumed() {
+    let sup = parse_toml(
+        "[[suppress]]\n\
+         rule = \"nondeterminism\"\n\
+         path = \"crates/pma/src/fixture.rs\"\n\
+         contains = \"HashMap\"\n\
+         reason = \"membership-only set, never iterated\"\n",
+    )
+    .unwrap();
+    let dirty = SourceFile {
+        rel_path: "crates/pma/src/fixture.rs".to_string(),
+        src: "use std::collections::HashMap;\n".to_string(),
+    };
+    let report = run(&[dirty], &sup, false);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.suppressed, 1);
+}
+
+/// The real gate, run as a test: the whole workspace plus the real
+/// `hi-lint.toml` must be clean, with the audit anchors required. This is
+/// the same invocation `ci.sh` makes, so a violation fails `cargo test`
+/// before it fails CI.
+#[test]
+fn workspace_is_clean_under_the_real_suppression_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).unwrap();
+    assert!(
+        files.len() > 50,
+        "walker found suspiciously few files: {}",
+        files.len()
+    );
+    let toml_src = std::fs::read_to_string(root.join("hi-lint.toml")).unwrap();
+    let sup = parse_toml(&toml_src).unwrap();
+    let report = run(&files, &sup, true);
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod detmap;
 pub mod hi_alloc;
 pub mod layout;
 pub mod lru;

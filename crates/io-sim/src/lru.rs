@@ -5,10 +5,15 @@
 //! assumes an optimal or LRU replacement policy — LRU is within a factor of
 //! two of optimal with a cache of twice the size, by Sleator–Tarjan).
 //!
-//! Implemented as a hash map from block id to an intrusive doubly-linked list
-//! node kept in a slab, giving `O(1)` touch and eviction without unsafe code.
+//! Implemented as a map from block id to an intrusive doubly-linked list
+//! node kept in a slab, giving `O(1)` touch and eviction without unsafe
+//! code. The id map is a [`DetMap`], not a `std::collections::HashMap`:
+//! eviction order is driven by the list, never by map iteration, and the
+//! deterministic table makes that structural — the cache's entire behavior
+//! is a pure function of the access sequence, with no process-random hasher
+//! anywhere (the property the cross-run determinism batteries rely on).
 
-use std::collections::HashMap;
+use crate::detmap::DetMap;
 
 const NIL: usize = usize::MAX;
 
@@ -23,7 +28,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<u64, usize>,
+    map: DetMap,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -37,7 +42,7 @@ impl LruCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: DetMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -62,7 +67,7 @@ impl LruCache {
 
     /// Returns `true` if `block` is currently resident (without touching it).
     pub fn contains(&self, block: u64) -> bool {
-        self.map.contains_key(&block)
+        self.map.contains(block)
     }
 
     /// Touches `block`: returns `true` on a hit (block was resident) and
@@ -73,7 +78,7 @@ impl LruCache {
         if self.capacity == 0 {
             return false;
         }
-        if let Some(&idx) = self.map.get(&block) {
+        if let Some(idx) = self.map.get(block) {
             self.unlink(idx);
             self.push_front(idx);
             return true;
@@ -99,7 +104,7 @@ impl LruCache {
     /// Removes `block` from the cache if present (used to model explicit
     /// invalidation, e.g. freeing simulated disk space).
     pub fn invalidate(&mut self, block: u64) {
-        if let Some(idx) = self.map.remove(&block) {
+        if let Some(idx) = self.map.remove(block) {
             self.unlink(idx);
             self.free.push(idx);
         }
@@ -156,7 +161,7 @@ impl LruCache {
         debug_assert!(idx != NIL, "evicting from an empty cache");
         let block = self.slab[idx].block;
         self.unlink(idx);
-        self.map.remove(&block);
+        self.map.remove(block);
         self.free.push(idx);
     }
 }

@@ -7,8 +7,8 @@
 //! evicted (counted separately as writes; the paper's bounds count transfers
 //! in either direction, which is `reads + writes`).
 
+use crate::detmap::DetSet;
 use crate::lru::LruCache;
-use std::collections::HashSet;
 use std::fmt;
 
 /// A degenerate [`IoConfig`] rejected by [`IoConfig::validate`].
@@ -121,7 +121,10 @@ impl IoStats {
 pub struct IoModel {
     config: IoConfig,
     cache: LruCache,
-    dirty: HashSet<u64>,
+    // Deterministic set: membership-only bookkeeping, and `DetSet` exposes
+    // no iteration, so write-back accounting cannot silently start depending
+    // on a process-random hasher.
+    dirty: DetSet,
     stats: IoStats,
 }
 
@@ -131,7 +134,7 @@ impl IoModel {
         Self {
             config,
             cache: LruCache::new(config.memory_blocks),
-            dirty: HashSet::new(),
+            dirty: DetSet::new(),
             stats: IoStats::default(),
         }
     }
@@ -213,7 +216,7 @@ impl IoModel {
                 // dirty set due to eviction. Because `LruCache` does not
                 // report evict victims, dirty blocks are charged at flush()
                 // or when re-dirtied after falling out of cache.
-                if write && self.dirty.remove(&block) {
+                if write && self.dirty.remove(block) {
                     // Block fell out of the cache while dirty: charge the
                     // write-back that must have happened.
                     self.stats.writes += 1;

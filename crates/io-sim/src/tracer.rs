@@ -14,7 +14,16 @@
 //! threads; a disabled tracer stays a no-op with zero synchronization cost.
 
 use crate::model::{IoConfig, IoModel, IoStats};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks the shared model, recovering the guard if a panicking thread
+/// poisoned it. The model is an accounting ledger (counters plus an LRU
+/// residency set) that is consistent after every individual mutation, so
+/// taking it back and continuing to count is always sound — and one
+/// thread's panic never cascades through every engine sharing the ledger.
+fn locked(m: &Mutex<IoModel>) -> MutexGuard<'_, IoModel> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A cloneable handle for reporting memory accesses into a shared [`IoModel`].
 #[derive(Debug, Clone, Default)]
@@ -49,7 +58,7 @@ impl Tracer {
     #[inline]
     pub fn read(&self, addr: u64, len: u64) {
         if let Some(m) = &self.model {
-            m.lock().expect("io model lock poisoned").read(addr, len);
+            locked(m).read(addr, len);
         }
     }
 
@@ -57,7 +66,7 @@ impl Tracer {
     #[inline]
     pub fn write(&self, addr: u64, len: u64) {
         if let Some(m) = &self.model {
-            m.lock().expect("io model lock poisoned").write(addr, len);
+            locked(m).write(addr, len);
         }
     }
 
@@ -72,9 +81,7 @@ impl Tracer {
     #[inline]
     pub fn charge(&self, reads: u64, writes: u64) {
         if let Some(m) = &self.model {
-            m.lock()
-                .expect("io model lock poisoned")
-                .charge(reads, writes);
+            locked(m).charge(reads, writes);
         }
     }
 
@@ -82,35 +89,33 @@ impl Tracer {
     pub fn stats(&self) -> IoStats {
         self.model
             .as_ref()
-            .map(|m| m.lock().expect("io model lock poisoned").stats())
+            .map(|m| locked(m).stats())
             .unwrap_or_default()
     }
 
     /// The model configuration, if enabled.
     pub fn config(&self) -> Option<IoConfig> {
-        self.model
-            .as_ref()
-            .map(|m| m.lock().expect("io model lock poisoned").config())
+        self.model.as_ref().map(|m| locked(m).config())
     }
 
     /// Resets counters, keeping the cache warm.
     pub fn reset_stats(&self) {
         if let Some(m) = &self.model {
-            m.lock().expect("io model lock poisoned").reset_stats();
+            locked(m).reset_stats();
         }
     }
 
     /// Empties the cache and resets counters.
     pub fn reset_cold(&self) {
         if let Some(m) = &self.model {
-            m.lock().expect("io model lock poisoned").reset_cold();
+            locked(m).reset_cold();
         }
     }
 
     /// Flushes dirty blocks (charging write-backs).
     pub fn flush(&self) {
         if let Some(m) = &self.model {
-            m.lock().expect("io model lock poisoned").flush();
+            locked(m).flush();
         }
     }
 }

@@ -401,6 +401,7 @@ impl<T> BatchState<T> {
                 .runs
                 .partition_point(|run| run.start <= rec.group)
                 .checked_sub(1)
+                // hi-lint: allow(panic-surface): runs cover every recorded group starting at group 0, so partition_point >= 1
                 .expect("op recorded before the first run");
             debug_assert!(rec.group < self.runs[r].end, "op outside every run");
             self.record_runs.push(r as u32);
@@ -482,6 +483,7 @@ impl<T> BatchState<T> {
                     pos as usize,
                     self.pending[p as usize]
                         .take()
+                        // hi-lint: allow(panic-surface): each pending slot is spliced exactly once per commit
                         .expect("pending item spliced twice"),
                 ),
                 SpliceKind::Delete => {
@@ -521,6 +523,7 @@ impl<T> BatchState<T> {
                     out.push(
                         pending[v as usize]
                             .take()
+                            // hi-lint: allow(panic-surface): each pending slot is spliced exactly once per commit
                             .expect("pending item spliced twice"),
                     );
                 }

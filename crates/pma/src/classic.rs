@@ -270,12 +270,14 @@ impl<T: Clone> ClassicPma<T> {
             let (seg, within) = self
                 .seg_counts
                 .find_rank((self.len - 1) as u64)
+                // hi-lint: allow(panic-surface): len > 0 on this branch, so len - 1 is a valid rank
                 .expect("len - 1 is a valid rank");
             return (seg, within as usize + 1);
         }
         let (seg, within) = self
             .seg_counts
             .find_rank(rank as u64)
+            // hi-lint: allow(panic-surface): rank < len was checked by the branch above
             .expect("rank < len was checked");
         (seg, within as usize)
     }
@@ -747,6 +749,7 @@ impl<T: Clone> ClassicPma<T> {
                 let (mut lo, mut hi) = (0usize, self.len);
                 while lo < hi {
                     let mid = lo + (hi - lo) / 2;
+                    // hi-lint: allow(panic-surface): mid < len: the binary-search bounds maintain lo <= mid < hi <= len
                     let probe = self.get_rank_ref(mid).expect("mid < len");
                     if f(probe) == std::cmp::Ordering::Less {
                         lo = mid + 1;

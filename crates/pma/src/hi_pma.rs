@@ -151,6 +151,7 @@ impl<T: Clone> HiPma<T> {
     /// Creates an empty PMA drawing its coins from OS entropy.
     pub fn from_entropy() -> Self {
         Self::with_parts(
+            // hi-lint: allow(entropy): forwards to the audited RngSource intake; production PMAs need a seed the observer cannot know
             RngSource::from_entropy(),
             SharedCounters::new(),
             Tracer::disabled(),

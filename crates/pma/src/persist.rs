@@ -26,30 +26,97 @@ use hi_common::counters::SharedCounters;
 use hi_common::rng::RngSource;
 use hi_common::traits::{Occupancy, RankedSequence};
 use io_sim::Tracer;
+use std::fmt;
 use std::io;
 
 use crate::{ClassicPma, DensityBands, HiPma};
 
+/// A typed error from persisting or reopening a PMA.
+///
+/// Callers that stay on the facade's `io::Result` surface keep working: the
+/// `From` impl folds a `PersistError` back into an [`io::Error`] with the
+/// same message text. Callers that care can match on
+/// [`PersistError::FingerprintMismatch`] to distinguish "the image does not
+/// reproduce under `(contents, seed)`" from an ordinary storage failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying block store failed (I/O, corruption, injected crash).
+    Store(io::Error),
+    /// The layout rebuilt from the stored records and seed does not
+    /// reproduce the committed image's fingerprint — the image was flushed
+    /// non-canonically or the store's contents were tampered with.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the committed header.
+        committed: u64,
+        /// Fingerprint of the layout rebuilt by `bulk_load`.
+        rebuilt: u64,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Store(e) => e.fmt(f),
+            PersistError::FingerprintMismatch { committed, rebuilt } => write!(
+                f,
+                "rebuilt layout does not reproduce the committed fingerprint \
+                 (committed {committed:#018x}, rebuilt {rebuilt:#018x}; \
+                 was the image flushed non-canonically?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Store(e) => Some(e),
+            PersistError::FingerprintMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+impl From<PersistError> for io::Error {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Store(io) => io,
+            mismatch @ PersistError::FingerprintMismatch { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, mismatch.to_string())
+            }
+        }
+    }
+}
+
 /// Commits the sequence's current in-RAM layout. Steady-state calls are
 /// allocation-free; the image is weakly history independent (see module
 /// docs). Returns the committed generation.
-pub fn flush_layout<S, T>(seq: &S, seed: u64, store: &mut BlockStore) -> io::Result<u64>
+pub fn flush_layout<S, T>(seq: &S, seed: u64, store: &mut BlockStore) -> Result<u64, PersistError>
 where
     S: Occupancy + RankedSequence<Item = T>,
     T: Record + Clone,
 {
-    store.commit(
+    Ok(store.commit(
         seq.occupancy_words(),
         seq.slot_count() as u64,
         seq.len() as u64,
         seq.iter().cloned(),
         seed,
-    )
+    )?)
 }
 
 /// Re-draws the layout from *(contents, seed)* and commits it: the on-disk
 /// image becomes the pure function `f(contents, seed)`.
-pub fn flush_canonical<S, T>(seq: &mut S, seed: u64, store: &mut BlockStore) -> io::Result<u64>
+pub fn flush_canonical<S, T>(
+    seq: &mut S,
+    seed: u64,
+    store: &mut BlockStore,
+) -> Result<u64, PersistError>
 where
     S: Occupancy + RankedSequence<Item = T>,
     T: Record + Clone,
@@ -61,16 +128,15 @@ where
 
 /// Checks that a rebuilt layout reproduces the committed image's
 /// fingerprint — the recovery half of the `f(contents, seed)` contract.
-pub fn verify_layout<S: Occupancy>(seq: &S, meta: &StoreMeta) -> io::Result<()> {
+pub fn verify_layout<S: Occupancy>(seq: &S, meta: &StoreMeta) -> Result<(), PersistError> {
     let fp = layout_fingerprint(seq.occupancy_words(), seq.slot_count() as u64);
     if fp == meta.fingerprint {
         Ok(())
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "rebuilt layout does not reproduce the committed fingerprint \
-             (was the image flushed non-canonically?)",
-        ))
+        Err(PersistError::FingerprintMismatch {
+            committed: meta.fingerprint,
+            rebuilt: fp,
+        })
     }
 }
 
@@ -82,7 +148,7 @@ pub fn open_hi_pma<T>(
     counters: SharedCounters,
     tracer: Tracer,
     elem_size: u64,
-) -> io::Result<(HiPma<T>, StoreMeta)>
+) -> Result<(HiPma<T>, StoreMeta), PersistError>
 where
     T: Record + Clone,
 {
@@ -100,7 +166,7 @@ pub fn open_classic_pma<T>(
     counters: SharedCounters,
     tracer: Tracer,
     elem_size: u64,
-) -> io::Result<(ClassicPma<T>, StoreMeta)>
+) -> Result<(ClassicPma<T>, StoreMeta), PersistError>
 where
     T: Record + Clone,
 {

@@ -237,6 +237,7 @@ where
                     .collect();
                 handles
                     .into_iter()
+                    // hi-lint: allow(panic-surface): join fails only if the worker panicked; re-raising that panic is the intended behavior
                     .map(|h| h.join().expect("shard worker panicked"))
                     .sum()
             })
@@ -290,6 +291,7 @@ where
                 {
                     for (&i, v) in part
                         .iter()
+                        // hi-lint: allow(panic-surface): join fails only if the worker panicked; re-raising that panic is the intended behavior
                         .zip(handle.join().expect("shard worker panicked"))
                     {
                         out[i] = v;

@@ -74,6 +74,7 @@ where
                     None => Some(i),
                     // Strict `Less` keeps ties on the lowest shard index.
                     Some(b) => {
+                        // hi-lint: allow(panic-surface): best only ever indexes slots this loop observed as pending
                         let incumbent = self.pending[b].as_ref().expect("best is pending");
                         if (self.cmp)(item, incumbent) == Ordering::Less {
                             Some(i)
@@ -86,6 +87,7 @@ where
         }
         let b = best?;
         let item = self.pending[b].take();
+        // hi-lint: allow(panic-surface): pending[b] was Some, so iterator slot b is still filled
         self.pending[b] = self.iters[b].as_mut().expect("slot b is filled").next();
         item
     }

@@ -608,6 +608,7 @@ impl<K: Ord + Clone, V: Clone> ExternalSkipList<K, V> {
                 let last = prev_node
                     .arrays
                     .last_mut()
+                    // hi-lint: allow(panic-surface): node arrays are never empty: merges append and splits leave at least one array per node
                     .expect("nodes always hold at least one array");
                 last.entries.extend(first.entries);
                 let n = last.len();

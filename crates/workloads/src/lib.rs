@@ -61,6 +61,7 @@ impl Trace {
 /// Distinct uniformly random keys, in insertion order (Figure 2's workload).
 pub fn random_inserts(n: usize, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
+    // hi-lint: allow(nondeterminism): membership-only dedup — trace order comes from the seeded rng; the set is never iterated
     let mut seen = std::collections::HashSet::with_capacity(n);
     let mut ops = Vec::with_capacity(n);
     while ops.len() < n {

@@ -336,6 +336,7 @@ impl DictBuilder {
     /// (see [`Self::try_build`] for the fallible form).
     pub fn build<K: Ord + Clone, V: Clone>(self) -> DynDict<K, V> {
         self.try_build()
+            // hi-lint: allow(panic-surface): documented contract: this constructor panics on invalid config; validate() is the non-panicking path
             .unwrap_or_else(|e| panic!("invalid dictionary config: {e}"))
     }
 
@@ -440,6 +441,7 @@ impl DictBuilder {
         V: Clone,
     {
         self.try_build_sharded()
+            // hi-lint: allow(panic-surface): documented contract: this constructor panics on invalid config; validate() is the non-panicking path
             .unwrap_or_else(|e| panic!("invalid dictionary config: {e}"))
     }
 
@@ -509,7 +511,9 @@ impl DictBuilder {
             dict.bulk_load(records, meta.seed);
             let rebuilt = dict
                 .occupancy_words()
+                // hi-lint: allow(panic-surface): backends without a slot-array image were rejected with InvalidInput above
                 .expect("slot-array backend exposes occupancy");
+            // hi-lint: allow(panic-surface): backends without a slot-array image were rejected with InvalidInput above
             let fp = layout_fingerprint(rebuilt, dict.slot_count().unwrap() as u64);
             if fp != meta.fingerprint {
                 return Err(io::Error::new(
@@ -817,7 +821,9 @@ impl PersistentDict {
         let words = self
             .dict
             .occupancy_words()
+            // hi-lint: allow(panic-surface): PersistentDict is only built over slot-array backends (checked in build_persistent)
             .expect("slot-array backend exposes occupancy");
+        // hi-lint: allow(panic-surface): PersistentDict is only built over slot-array backends (checked in build_persistent)
         let slots = self.dict.slot_count().expect("slot-array backend") as u64;
         let len = self.dict.len() as u64;
         self.store
