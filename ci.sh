@@ -44,16 +44,24 @@ echo "==> smoke-run the block-store I/O harness (DAM-vs-device gate)"
 AP_BENCH_JSON=target/ci_blockstore_rows.json \
     cargo run --release --bin block_store_io -- --smoke >/dev/null
 
+echo "==> smoke-run the fault-overhead harness (checksum/scrub cost gate)"
+AP_BENCH_JSON=target/ci_fault_rows.json \
+    cargo run --release --bin fault_overhead -- --smoke >/dev/null
+
 echo "==> validate the bench JSON row dumps (malformed rows fail CI)"
 cargo run --release --quiet --bin json_check \
     target/ci_update_rows.json target/ci_shard_rows.json \
-    target/ci_batch_rows.json target/ci_blockstore_rows.json
+    target/ci_batch_rows.json target/ci_blockstore_rows.json \
+    target/ci_fault_rows.json BENCH_baseline.json
 
 echo "==> run the sharded HI / stress batteries explicitly"
 cargo test -q --test shard_history_independence --test shard_stress >/dev/null
 
 echo "==> run the crash-recovery battery explicitly (>=100 kill points)"
 cargo test -q --test block_store_crash >/dev/null
+
+echo "==> run the chaos soak battery (fixed seeds, smoke sweep)"
+CHAOS_SMOKE=1 cargo test -q --test chaos_soak >/dev/null
 
 echo "==> run every example (builder/DynDict API regressions fail here)"
 for example in quickstart range_query_engine secure_delete_audit io_model_explorer; do

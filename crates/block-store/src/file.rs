@@ -1,28 +1,35 @@
-//! Block-granular file I/O: aligned staging buffers, a crash-injection
-//! fuse, and transfer accounting that can feed the simulated DAM ledger.
+//! Block-granular file I/O: aligned staging buffers, scripted fault
+//! injection, bounded deterministic retry, and transfer accounting that can
+//! feed the simulated DAM ledger.
 
+use crate::fault::{FaultPlan, ReadEffect, WriteEffect};
+use crate::Fault;
 use io_sim::Tracer;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Alignment of the reusable scratch buffers: one page, matching what the
 /// kernel page cache works in. All block images are staged through buffers
 /// with this alignment before they touch the file.
 pub const PAGE_ALIGN: usize = 4096;
 
+/// Attempts per block transfer before a transient fault becomes a typed
+/// [`FileError::Transient`]. A fixed count — never a clock-based backoff —
+/// so retry behavior is a pure function of the fault script and hi-lint's
+/// nondeterminism rule has nothing to object to.
+pub const IO_RETRY_ATTEMPTS: u32 = 3;
+
 /// A typed error from block-granular file I/O.
 ///
 /// The interesting failure modes — an injected crash, a poisoned handle, a
-/// file that ends before the requested blocks — used to be stringly-typed
-/// `io::Error::other(…)` values that callers could only grep. They are now
-/// variants the crash-recovery batteries can match on. [`BlockStore`] and
-/// the facade keep their `io::Result` surface: the `From` impl below folds
-/// a `FileError` back into an [`io::Error`] (preserving the message text),
-/// so `?` propagation through the existing APIs is unchanged.
+/// file that ends before the requested blocks, a checksum that does not
+/// match, a transient error that outlived its retry budget, a full disk —
+/// are variants the recovery and chaos batteries can match on. [`BlockStore`]
+/// propagates them unchanged; the facade keeps its `io::Result` surface via
+/// the `From` impl below (preserving the message text), so `?` propagation
+/// through the existing APIs is unchanged.
 ///
 /// [`BlockStore`]: crate::BlockStore
 #[derive(Debug)]
@@ -30,8 +37,9 @@ pub enum FileError {
     /// The handle is poisoned: an injected crash fired earlier, and every
     /// subsequent mutation fails fast so a torn flush cannot be resumed.
     Poisoned,
-    /// An injected crash fired mid-stream: the [`WriteFuse`] tripped,
-    /// leaving the already-written prefix of the stream on disk.
+    /// An injected crash fired mid-stream (a [`Fault::TornWrite`] or
+    /// [`Fault::ShortWrite`]), leaving the already-written prefix of the
+    /// stream on disk.
     Crashed,
     /// A read hit end-of-file before filling the requested blocks.
     ShortRead {
@@ -39,6 +47,21 @@ pub enum FileError {
         block: u64,
         /// Bytes the read asked for.
         wanted: usize,
+    },
+    /// A transient error survived the whole bounded retry budget.
+    Transient {
+        /// Attempts made before giving up (= [`IO_RETRY_ATTEMPTS`]).
+        attempts: u32,
+    },
+    /// The device is out of space (`ENOSPC`, real or injected).
+    NoSpace,
+    /// A block's bytes do not match its recorded checksum, or a decoded
+    /// structure is internally inconsistent.
+    Corrupt {
+        /// The offending block id (0 = header).
+        block: u64,
+        /// What exactly failed to validate.
+        reason: &'static str,
     },
     /// An underlying operating-system error.
     Io(io::Error),
@@ -55,6 +78,14 @@ impl fmt::Display for FileError {
                 f,
                 "short read at block {block}: file ends before the {wanted} requested bytes"
             ),
+            FileError::Transient { attempts } => write!(
+                f,
+                "transient I/O error persisted through {attempts} attempts"
+            ),
+            FileError::NoSpace => write!(f, "no space left on device"),
+            FileError::Corrupt { block, reason } => {
+                write!(f, "corrupt block {block}: {reason}")
+            }
             FileError::Io(e) => e.fmt(f),
         }
     }
@@ -71,7 +102,12 @@ impl std::error::Error for FileError {
 
 impl From<io::Error> for FileError {
     fn from(e: io::Error) -> Self {
-        FileError::Io(e)
+        if e.raw_os_error() == Some(28) {
+            // ENOSPC gets its own variant whether real or injected.
+            FileError::NoSpace
+        } else {
+            FileError::Io(e)
+        }
     }
 }
 
@@ -81,6 +117,9 @@ impl From<FileError> for io::Error {
             FileError::Io(io) => io,
             short @ FileError::ShortRead { .. } => {
                 io::Error::new(io::ErrorKind::UnexpectedEof, short.to_string())
+            }
+            corrupt @ FileError::Corrupt { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string())
             }
             other => io::Error::other(other.to_string()),
         }
@@ -132,42 +171,39 @@ impl AlignedBuf {
     }
 }
 
-/// A write budget shared with a [`BlockFile`]: after `n` more block writes,
-/// every subsequent write fails with an injected I/O error, simulating a
-/// crash torn at a block boundary. Clones share the budget, so one fuse can
-/// arm a store's data and journal files together and the kill point lands
+/// The classic crash-at-a-block-boundary knob, now a thin constructor over
+/// [`FaultPlan`]: after `n` more block writes, every subsequent write fails
+/// with an injected crash. Clones share the budget, so one fuse can arm a
+/// store's data and journal files together and the kill point lands
 /// wherever the flush protocol happens to be after `n` physical writes.
 #[derive(Debug, Clone, Default)]
 pub struct WriteFuse {
-    budget: Option<Arc<AtomicU64>>,
+    plan: FaultPlan,
 }
 
 impl WriteFuse {
     /// A fuse that never trips (the default).
     pub fn unlimited() -> Self {
-        Self { budget: None }
+        Self {
+            plan: FaultPlan::none(),
+        }
     }
 
     /// A fuse that allows exactly `n` more block writes.
     pub fn after(n: u64) -> Self {
         Self {
-            budget: Some(Arc::new(AtomicU64::new(n))),
+            plan: FaultPlan::new([Fault::TornWrite { at: n }]),
         }
     }
 
     /// Remaining budget (`None` for an unlimited fuse).
     pub fn remaining(&self) -> Option<u64> {
-        self.budget.as_ref().map(|b| b.load(Ordering::SeqCst))
+        self.plan.write_budget_remaining()
     }
 
-    /// Consumes one unit of budget; `false` means the fuse has tripped.
-    fn tick(&self) -> bool {
-        match &self.budget {
-            None => true,
-            Some(b) => b
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-                .is_ok(),
-        }
+    /// The underlying fault plan (shares state with this fuse).
+    pub fn plan(&self) -> FaultPlan {
+        self.plan.clone()
     }
 }
 
@@ -184,16 +220,17 @@ pub struct FileStats {
 }
 
 /// Block-granular access to one file: every read and write moves whole
-/// blocks of a fixed size, the write path ticks a [`WriteFuse`] per block
-/// (so injected crashes tear at block boundaries), and transfers are counted
-/// in a [`FileStats`] ledger and optionally charged to an [`io_sim`]
-/// [`Tracer`].
+/// blocks of a fixed size, each block transfer consults a [`FaultPlan`] (so
+/// injected failures land deterministically at block granularity), transient
+/// errors are retried a fixed number of times ([`IO_RETRY_ATTEMPTS`]), and
+/// transfers are counted in a [`FileStats`] ledger and optionally charged to
+/// an [`io_sim`] [`Tracer`].
 #[derive(Debug)]
 pub struct BlockFile {
     file: File,
     path: PathBuf,
     block_size: usize,
-    fuse: WriteFuse,
+    plan: FaultPlan,
     tracer: Tracer,
     stats: FileStats,
     poisoned: bool,
@@ -215,7 +252,7 @@ impl BlockFile {
             file,
             path,
             block_size,
-            fuse: WriteFuse::unlimited(),
+            plan: FaultPlan::none(),
             tracer: Tracer::disabled(),
             stats: FileStats::default(),
             poisoned: false,
@@ -239,7 +276,12 @@ impl BlockFile {
 
     /// Arms (or disarms) the crash-injection fuse.
     pub fn set_fuse(&mut self, fuse: WriteFuse) {
-        self.fuse = fuse;
+        self.plan = fuse.plan();
+    }
+
+    /// Arms (or disarms, with [`FaultPlan::none`]) the fault script.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
     }
 
     /// Routes per-block transfer charges into a simulated-DAM ledger.
@@ -270,9 +312,9 @@ impl BlockFile {
     }
 
     /// Writes `data` (a multiple of the block size) starting at block
-    /// `first_block`, one block at a time. Each block ticks the fuse; a
-    /// tripped fuse aborts mid-stream with the already-written prefix on
-    /// disk — a crash torn at a block boundary.
+    /// `first_block`, one block at a time. Each block consults the fault
+    /// plan; an injected crash aborts mid-stream with the already-written
+    /// prefix on disk — a crash torn at a block (or half-block) boundary.
     pub fn write_blocks(&mut self, first_block: u64, data: &[u8]) -> Result<(), FileError> {
         self.check_poisoned()?;
         assert_eq!(
@@ -281,39 +323,142 @@ impl BlockFile {
             "write must be block-aligned"
         );
         for (block, chunk) in (first_block..).zip(data.chunks(self.block_size)) {
-            if !self.fuse.tick() {
-                self.poisoned = true;
-                return Err(FileError::Crashed);
-            }
-            self.file
-                .seek(SeekFrom::Start(block * self.block_size as u64))?;
-            self.file.write_all(chunk)?;
-            self.stats.blocks_written += 1;
-            self.tracer.charge(0, 1);
+            self.write_one(block, chunk)?;
         }
         Ok(())
     }
 
+    fn write_one(&mut self, block: u64, chunk: &[u8]) -> Result<(), FileError> {
+        let index = self.plan.begin_write();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.plan.write_effect(index) {
+                WriteEffect::Allow => {}
+                WriteEffect::Transient => {
+                    if attempts >= IO_RETRY_ATTEMPTS {
+                        return Err(FileError::Transient { attempts });
+                    }
+                    continue;
+                }
+                WriteEffect::Torn => {
+                    self.poisoned = true;
+                    return Err(FileError::Crashed);
+                }
+                WriteEffect::Short => {
+                    // Half the block lands, then the "power" goes: the torn
+                    // bytes stay on disk for recovery to detect.
+                    let half = &chunk[..chunk.len() / 2];
+                    self.file
+                        .seek(SeekFrom::Start(block * self.block_size as u64))?;
+                    self.file.write_all(half)?;
+                    self.poisoned = true;
+                    return Err(FileError::Crashed);
+                }
+                WriteEffect::NoSpace => return Err(FileError::NoSpace),
+            }
+            match self.raw_write(block, chunk) {
+                Ok(()) => {
+                    self.stats.blocks_written += 1;
+                    self.tracer.charge(0, 1);
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted && attempts < IO_RETRY_ATTEMPTS =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn raw_write(&mut self, block: u64, chunk: &[u8]) -> io::Result<()> {
+        self.file
+            .seek(SeekFrom::Start(block * self.block_size as u64))?;
+        self.file.write_all(chunk)
+    }
+
     /// Reads `buf.len()` bytes (a multiple of the block size) starting at
-    /// block `first_block`.
+    /// block `first_block`. With a fault plan armed the transfer runs block
+    /// by block so injected read failures and bit rot land per block.
     pub fn read_blocks(&mut self, first_block: u64, buf: &mut [u8]) -> Result<(), FileError> {
         assert_eq!(buf.len() % self.block_size, 0, "read must be block-aligned");
-        self.file
-            .seek(SeekFrom::Start(first_block * self.block_size as u64))?;
-        self.file.read_exact(buf).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                FileError::ShortRead {
-                    block: first_block,
-                    wanted: buf.len(),
+        if !self.plan.is_armed() {
+            // Fast path: one contiguous transfer, identical accounting.
+            self.file
+                .seek(SeekFrom::Start(first_block * self.block_size as u64))?;
+            self.file.read_exact(buf).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    FileError::ShortRead {
+                        block: first_block,
+                        wanted: buf.len(),
+                    }
+                } else {
+                    FileError::Io(e)
                 }
-            } else {
-                FileError::Io(e)
-            }
-        })?;
-        let blocks = (buf.len() / self.block_size) as u64;
-        self.stats.blocks_read += blocks;
-        self.tracer.charge(blocks, 0);
+            })?;
+            let blocks = (buf.len() / self.block_size) as u64;
+            self.stats.blocks_read += blocks;
+            self.tracer.charge(blocks, 0);
+            return Ok(());
+        }
+        for (block, chunk) in (first_block..).zip(buf.chunks_mut(self.block_size)) {
+            self.read_one(block, chunk)?;
+        }
         Ok(())
+    }
+
+    fn read_one(&mut self, block: u64, chunk: &mut [u8]) -> Result<(), FileError> {
+        let index = self.plan.begin_read();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.plan.read_effect(index, block) {
+                ReadEffect::Allow => {}
+                ReadEffect::Transient => {
+                    if attempts >= IO_RETRY_ATTEMPTS {
+                        return Err(FileError::Transient { attempts });
+                    }
+                    continue;
+                }
+                ReadEffect::Short => {
+                    return Err(FileError::ShortRead {
+                        block,
+                        wanted: chunk.len(),
+                    });
+                }
+                ReadEffect::Permanent => {
+                    return Err(FileError::Io(io::Error::other(format!(
+                        "injected permanent read error at block {block}"
+                    ))));
+                }
+            }
+            let seek = self
+                .file
+                .seek(SeekFrom::Start(block * self.block_size as u64));
+            let read = seek.and_then(|_| self.file.read_exact(chunk));
+            match read {
+                Ok(()) => {
+                    self.stats.blocks_read += 1;
+                    self.tracer.charge(1, 0);
+                    self.plan.rot(block, chunk);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(FileError::ShortRead {
+                        block,
+                        wanted: chunk.len(),
+                    });
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted && attempts < IO_RETRY_ATTEMPTS =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(FileError::Io(e)),
+            }
+        }
     }
 
     /// Flushes file contents and metadata to the device.
@@ -387,13 +532,126 @@ mod tests {
 
     #[test]
     fn fuse_clones_share_one_budget() {
+        let path_a = crate::temp_path("file-shared-a");
+        let path_b = crate::temp_path("file-shared-b");
+        let mut a = BlockFile::open(&path_a, 64).unwrap();
+        let mut b = BlockFile::open(&path_b, 64).unwrap();
         let fuse = WriteFuse::after(3);
-        let other = fuse.clone();
-        assert!(fuse.tick());
-        assert!(other.tick());
-        assert!(fuse.tick());
-        assert!(!other.tick());
+        a.set_fuse(fuse.clone());
+        b.set_fuse(fuse.clone());
+        let block = [1u8; 64];
+        a.write_blocks(0, &block).unwrap();
+        b.write_blocks(0, &block).unwrap();
+        a.write_blocks(1, &block).unwrap();
+        // The shared budget is spent: the other handle trips.
+        assert!(matches!(b.write_blocks(1, &block), Err(FileError::Crashed)));
         assert_eq!(fuse.remaining(), Some(0));
+        std::fs::remove_file(&path_a).unwrap();
+        std::fs::remove_file(&path_b).unwrap();
+    }
+
+    #[test]
+    fn short_write_tears_inside_a_block() {
+        let path = crate::temp_path("file-shortwrite");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.set_fault_plan(FaultPlan::new([Fault::ShortWrite { at: 1 }]));
+        let data = vec![0xCD; 2 * 64];
+        let err = f.write_blocks(0, &data).unwrap_err();
+        assert!(matches!(err, FileError::Crashed));
+        assert!(f.is_poisoned());
+        // One whole block plus half the second landed.
+        assert_eq!(f.len().unwrap(), 64 + 32);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_within_budget() {
+        let path = crate::temp_path("file-transient-ok");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.set_fault_plan(FaultPlan::new([Fault::WriteTransient {
+            at: 0,
+            times: IO_RETRY_ATTEMPTS - 1,
+        }]));
+        f.write_blocks(0, &[7u8; 64]).unwrap();
+        assert_eq!(f.stats().blocks_written, 1);
+        let mut back = [0u8; 64];
+        f.read_blocks(0, &mut back).unwrap();
+        assert_eq!(back, [7u8; 64]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_beyond_budget_fail_typed() {
+        let path = crate::temp_path("file-transient-fail");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.set_fault_plan(FaultPlan::new([Fault::WriteTransient {
+            at: 0,
+            times: IO_RETRY_ATTEMPTS,
+        }]));
+        let err = f.write_blocks(0, &[7u8; 64]).unwrap_err();
+        assert!(matches!(
+            err,
+            FileError::Transient {
+                attempts: IO_RETRY_ATTEMPTS
+            }
+        ));
+        // Not a crash: the handle stays usable.
+        assert!(!f.is_poisoned());
+        f.write_blocks(0, &[8u8; 64]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_nospace_is_typed_and_does_not_poison() {
+        let path = crate::temp_path("file-nospace");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.set_fault_plan(FaultPlan::new([Fault::NoSpace { at: 1 }]));
+        f.write_blocks(0, &[1u8; 64]).unwrap();
+        assert!(matches!(
+            f.write_blocks(1, &[2u8; 64]),
+            Err(FileError::NoSpace)
+        ));
+        assert!(!f.is_poisoned());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_read_faults_cover_the_read_universe() {
+        let path = crate::temp_path("file-readfaults");
+        let mut f = BlockFile::open(&path, 64).unwrap();
+        f.write_blocks(0, &[9u8; 4 * 64]).unwrap();
+        let mut buf = [0u8; 64];
+
+        // Transient, within budget: succeeds.
+        f.set_fault_plan(FaultPlan::new([Fault::ReadTransient { at: 0, times: 2 }]));
+        f.read_blocks(0, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 64]);
+
+        // Transient, beyond budget: typed failure.
+        f.set_fault_plan(FaultPlan::new([Fault::ReadTransient { at: 0, times: 9 }]));
+        assert!(matches!(
+            f.read_blocks(1, &mut buf),
+            Err(FileError::Transient { .. })
+        ));
+
+        // Permanent unreadable sector.
+        f.set_fault_plan(FaultPlan::new([Fault::ReadError { block: 2 }]));
+        f.read_blocks(1, &mut buf).unwrap();
+        let err = f.read_blocks(2, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("permanent read error"));
+
+        // Injected short read.
+        f.set_fault_plan(FaultPlan::new([Fault::ShortRead { at: 0 }]));
+        assert!(matches!(
+            f.read_blocks(0, &mut buf),
+            Err(FileError::ShortRead { block: 0, .. })
+        ));
+
+        // Bit rot: bytes come back changed, deterministically.
+        f.set_fault_plan(FaultPlan::new([Fault::BitRot { seed: 5, one_in: 1 }]));
+        f.read_blocks(3, &mut buf).unwrap();
+        assert_ne!(buf, [9u8; 64]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

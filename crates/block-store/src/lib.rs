@@ -11,9 +11,14 @@
 //! that makes the claim testable end to end:
 //!
 //! * [`BlockFile`] — block-granular reads and writes over [`std::fs::File`],
-//!   staged through a page-aligned scratch buffer, with a [`WriteFuse`] that
-//!   can kill the write stream after an arbitrary number of blocks (the
-//!   crash-injection hook the recovery battery fuzzes).
+//!   staged through a page-aligned scratch buffer, with a scripted
+//!   [`FaultPlan`] that injects the storage fault universe — torn and short
+//!   writes, transient and permanent read errors, short reads, disk-full,
+//!   seeded bit rot — deterministically at block granularity (the
+//!   [`WriteFuse`] of the original crash battery is now one plan kind).
+//!   Transient faults are retried a fixed [`IO_RETRY_ATTEMPTS`] times —
+//!   count-based, never clock-based, so behavior stays a pure function of
+//!   the fault script.
 //! * [`BlockStore`] — a checkpointed image of a slot-array structure (header
 //!   block, occupancy-bitmap region, fixed-size-record slot region) with a
 //!   journaled, atomic commit protocol: a torn flush either rolls back to
@@ -42,13 +47,17 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod fault;
 mod file;
 mod record;
 mod store;
 
-pub use file::{AlignedBuf, BlockFile, FileError, FileStats, WriteFuse, PAGE_ALIGN};
+pub use fault::{Fault, FaultPlan};
+pub use file::{
+    AlignedBuf, BlockFile, FileError, FileStats, WriteFuse, IO_RETRY_ATTEMPTS, PAGE_ALIGN,
+};
 pub use record::Record;
-pub use store::{layout_fingerprint, BlockStore, StoreMeta, StoreOptions, StoreStats};
+pub use store::{layout_fingerprint, BlockStore, ScrubReport, StoreMeta, StoreOptions, StoreStats};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -6,9 +6,12 @@
 //! data file:      block 0                header: magic, version, block size,
 //!                                        record size, total slots, len, seed,
 //!                                        reserved (zero), layout fingerprint,
-//!                                        checksum
-//!                 blocks 1..1+BM         occupancy bitmap words (zero padded)
-//!                 blocks 1+BM..D         slot region: slot s at byte
+//!                                        checksum root, checksum
+//!                 blocks 1..1+C          checksum region: one FNV-1a word
+//!                                        per payload block, in block order
+//!                                        (zero padded)
+//!                 blocks 1+C..1+C+BM     occupancy bitmap words (zero padded)
+//!                 blocks 1+C+BM..D       slot region: slot s at byte
 //!                                        s*record_size; occupied slots hold
 //!                                        the encoded record, vacant slots
 //!                                        are zeros
@@ -20,11 +23,22 @@
 //!                 blocks 1+I..1+I+count  dirty block images
 //! ```
 //!
+//! Every byte of the image sits under a checksum: the header checks itself
+//! (last field), the header's `checksum_root` covers the checksum region,
+//! and the region's words cover the bitmap and slot blocks — so any bit of
+//! rot anywhere surfaces as a typed [`FileError::Corrupt`] instead of a
+//! silent misread. The per-block words are the same FNV-1a hashes the
+//! incremental-commit dirty gate computes anyway, so checksumming adds no
+//! extra hashing to a flush — only the (tiny) region itself.
+//!
 //! ## Commit protocol
 //!
-//! 1. Regenerate every data block of the new image in a page-aligned scratch
-//!    buffer, hashing each; blocks whose hash differs from the committed
-//!    image are appended (id + image) to the journal staging buffers.
+//! 1. Regenerate every payload (bitmap + slot) block of the new image in a
+//!    page-aligned scratch buffer, hashing each; blocks whose hash differs
+//!    from the committed image are appended (id + image) to the journal
+//!    staging buffers. Then generate the checksum region from those hashes
+//!    and the header from the region's running root, staging dirty ones the
+//!    same way.
 //! 2. Write the journal payload, sync, then write the journal header and
 //!    sync again — the single-block header write is the commit point.
 //! 3. Write the dirty blocks into the data file in place (resizing it first
@@ -37,16 +51,17 @@
 //! is exactly one committed image — never a blend, and never a byte of a
 //! record that is not in the image.
 
-use crate::file::{AlignedBuf, BlockFile, FileStats, WriteFuse};
+use crate::file::{AlignedBuf, BlockFile, FileError, FileStats, WriteFuse};
 use crate::record::Record;
+use crate::FaultPlan;
 use io_sim::Tracer;
 use std::io;
 use std::path::{Path, PathBuf};
 
 const MAGIC: u64 = u64::from_le_bytes(*b"APBSTOR1");
 const JMAGIC: u64 = u64::from_le_bytes(*b"APBSJRN1");
-const VERSION: u64 = 1;
-const HEADER_FIELDS: usize = 10;
+const VERSION: u64 = 2;
+const HEADER_FIELDS: usize = 11;
 const JHEADER_FIELDS: usize = 7;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -85,8 +100,8 @@ fn get_u64(buf: &[u8], field: usize) -> u64 {
     u64::from_le_bytes(word)
 }
 
-fn invalid(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+fn corrupt(block: u64, reason: &'static str) -> FileError {
+    FileError::Corrupt { block, reason }
 }
 
 /// Tuning of a [`BlockStore`].
@@ -96,8 +111,8 @@ pub struct StoreOptions {
     /// this many bytes. Must be a multiple of 8 and at least 128.
     pub block_size: usize,
     /// Whether to `fsync` between commit phases. Disabling keeps the
-    /// *injected*-crash guarantees (the fuse respects write order) but not
-    /// real power-loss durability; tests disable it for speed.
+    /// *injected*-crash guarantees (the fault plan respects write order)
+    /// but not real power-loss durability; tests disable it for speed.
     pub sync: bool,
 }
 
@@ -116,15 +131,15 @@ impl StoreOptions {
         self
     }
 
-    fn validate(&self) -> io::Result<()> {
+    fn validate(&self) -> Result<(), FileError> {
         if self.block_size < 128 || !self.block_size.is_multiple_of(8) {
-            return Err(io::Error::new(
+            return Err(FileError::Io(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!(
                     "block size must be a multiple of 8 and at least 128, got {}",
                     self.block_size
                 ),
-            ));
+            )));
         }
         Ok(())
     }
@@ -154,6 +169,10 @@ pub struct StoreMeta {
     pub generation: u64,
     /// [`layout_fingerprint`] of the committed bitmap.
     pub fingerprint: u64,
+    /// FNV-1a hash of the checksum region's bytes — the root of the image's
+    /// integrity chain (header checks itself, root checks the region, the
+    /// region's words check every payload block).
+    pub checksum_root: u64,
 }
 
 /// Physical transfer counters of both backing files.
@@ -177,12 +196,30 @@ impl StoreStats {
     }
 }
 
+/// The result of a [`BlockStore::scrub`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Blocks the sweep examined (the whole image).
+    pub blocks_checked: u64,
+    /// Blocks whose bytes failed their checksum (or could not be read),
+    /// in ascending block order.
+    pub corrupt: Vec<u64>,
+}
+
+impl ScrubReport {
+    /// `true` when every block verified.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
 /// Derived block layout of one image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Geometry {
     block_size: u64,
     record_size: u64,
     total_slots: u64,
+    checksum_blocks: u64,
     bitmap_blocks: u64,
     slot_blocks: u64,
 }
@@ -191,12 +228,15 @@ impl Geometry {
     fn new(block_size: u64, record_size: u64, total_slots: u64) -> Self {
         let bitmap_bytes = total_slots.div_ceil(64) * 8;
         let slot_bytes = total_slots * record_size;
+        let bitmap_blocks = bitmap_bytes.div_ceil(block_size);
+        let slot_blocks = slot_bytes.div_ceil(block_size);
         Self {
             block_size,
             record_size,
             total_slots,
-            bitmap_blocks: bitmap_bytes.div_ceil(block_size),
-            slot_blocks: slot_bytes.div_ceil(block_size),
+            checksum_blocks: ((bitmap_blocks + slot_blocks) * 8).div_ceil(block_size),
+            bitmap_blocks,
+            slot_blocks,
         }
     }
 
@@ -204,8 +244,18 @@ impl Geometry {
         self.total_slots.div_ceil(64)
     }
 
+    /// Blocks covered by per-block checksums: bitmap plus slot region.
+    fn payload_blocks(&self) -> u64 {
+        self.bitmap_blocks + self.slot_blocks
+    }
+
+    /// First payload block id (header and checksum region precede it).
+    fn payload_first(&self) -> u64 {
+        1 + self.checksum_blocks
+    }
+
     fn data_blocks(&self) -> u64 {
-        1 + self.bitmap_blocks + self.slot_blocks
+        1 + self.checksum_blocks + self.bitmap_blocks + self.slot_blocks
     }
 
     fn file_len(&self) -> u64 {
@@ -250,7 +300,7 @@ impl<'a, T: Record, I: Iterator<Item = T>> SlotStream<'a, T, I> {
 
     /// Fills the next block of the slot region into `out` (zeroed by the
     /// caller, length = block size).
-    fn fill_block(&mut self, out: &mut [u8]) -> io::Result<()> {
+    fn fill_block(&mut self, out: &mut [u8]) -> Result<(), FileError> {
         let end = self.pos + out.len() as u64;
         if self.carry_len > 0 {
             out[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
@@ -270,7 +320,7 @@ impl<'a, T: Record, I: Iterator<Item = T>> SlotStream<'a, T, I> {
             let rec = self
                 .records
                 .next()
-                .ok_or_else(|| invalid("record iterator ended before the bitmap's set bits"))?;
+                .ok_or_else(|| corrupt(0, "record iterator ended before the bitmap's set bits"))?;
             self.consumed += 1;
             let mut tmp = [0u8; 64];
             rec.encode(&mut tmp[..self.record_size]);
@@ -286,12 +336,12 @@ impl<'a, T: Record, I: Iterator<Item = T>> SlotStream<'a, T, I> {
         Ok(())
     }
 
-    fn finish(mut self, expected: u64) -> io::Result<()> {
+    fn finish(mut self, expected: u64) -> Result<(), FileError> {
         if self.consumed != expected {
-            return Err(invalid("bitmap popcount and record count disagree"));
+            return Err(corrupt(0, "bitmap popcount and record count disagree"));
         }
         if self.records.next().is_some() {
-            return Err(invalid("record iterator outlived the bitmap's set bits"));
+            return Err(corrupt(0, "record iterator outlived the bitmap's set bits"));
         }
         Ok(())
     }
@@ -303,6 +353,14 @@ fn fill_bitmap_block(out: &mut [u8], words: &[u64], block_in_region: u64) {
         let w = words.get(first_word + i).copied().unwrap_or(0);
         chunk.copy_from_slice(&w.to_le_bytes());
     }
+}
+
+/// Audited encoder for one checksum-region word: word `k` of a region block
+/// holds the FNV hash of one payload block's bytes. The hash is a pure
+/// function of the committed image — which is itself `f(contents, seed)` —
+/// so persisting it adds integrity without adding history.
+fn encode_checksum_word(out: &mut [u8], k: usize, word: u64) {
+    put_u64(out, k, word);
 }
 
 fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
@@ -319,6 +377,7 @@ fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
     // history — the image must be a function of (contents, seed) alone.
     put_u64(out, 7, 0);
     put_u64(out, 8, meta.fingerprint);
+    put_u64(out, 9, meta.checksum_root);
     let sum = fnv1a(FNV_OFFSET, &out[..(HEADER_FIELDS - 1) * 8]);
     put_u64(out, HEADER_FIELDS - 1, sum);
 }
@@ -346,26 +405,28 @@ fn encode_journal_header(
     put_u64(out, JHEADER_FIELDS - 1, sum);
 }
 
-fn decode_header(buf: &[u8], expect_block_size: u64) -> io::Result<StoreMeta> {
+fn decode_header(buf: &[u8], expect_block_size: u64) -> Result<StoreMeta, FileError> {
     if get_u64(buf, 0) != MAGIC || get_u64(buf, 1) != VERSION {
-        return Err(invalid("bad store header magic/version"));
+        return Err(corrupt(0, "bad store header magic/version"));
     }
     let sum = fnv1a(FNV_OFFSET, &buf[..(HEADER_FIELDS - 1) * 8]);
     if get_u64(buf, HEADER_FIELDS - 1) != sum {
-        return Err(invalid("store header checksum mismatch"));
+        return Err(corrupt(0, "store header checksum mismatch"));
     }
     if get_u64(buf, 2) != expect_block_size {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "store was written with block size {}, opened with {}",
-                get_u64(buf, 2),
-                expect_block_size
-            ),
+        return Err(corrupt(
+            0,
+            "store header block size disagrees with the open options",
         ));
     }
     if get_u64(buf, 7) != 0 {
-        return Err(invalid("store header reserved field must be zero"));
+        return Err(corrupt(0, "store header reserved field must be zero"));
+    }
+    // The checksum covers the fields; the rest of the block is structural
+    // padding that a canonical image always zeroes. Enforcing that closes
+    // the one header region a bit flip could otherwise hide in.
+    if buf[HEADER_FIELDS * 8..].iter().any(|&b| b != 0) {
+        return Err(corrupt(0, "store header padding not zeroed"));
     }
     Ok(StoreMeta {
         record_size: get_u64(buf, 3),
@@ -374,6 +435,7 @@ fn decode_header(buf: &[u8], expect_block_size: u64) -> io::Result<StoreMeta> {
         seed: get_u64(buf, 6),
         generation: 0,
         fingerprint: get_u64(buf, 8),
+        checksum_root: get_u64(buf, 9),
     })
 }
 
@@ -407,8 +469,11 @@ pub struct BlockStore {
 
 impl BlockStore {
     /// Opens (creating if absent) the store at `path`, replaying a pending
-    /// journal first if a previous process crashed mid-commit.
-    pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Self> {
+    /// journal first if a previous process crashed mid-commit. Never
+    /// panics on a malformed file: a zero-length file is simply
+    /// uninitialized, a truncated header is a typed [`FileError::ShortRead`],
+    /// and a mangled one is a typed [`FileError::Corrupt`].
+    pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Self, FileError> {
         opts.validate()?;
         let path = path.as_ref();
         let data = BlockFile::open(path, opts.block_size)?;
@@ -471,6 +536,13 @@ impl BlockStore {
         self.journal.set_fuse(fuse);
     }
 
+    /// Arms a fault script on both files (one shared state, so injection
+    /// indices count the store's global transfer stream).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.data.set_fault_plan(plan.clone());
+        self.journal.set_fault_plan(plan);
+    }
+
     /// Routes both files' physical transfers into a simulated-DAM ledger.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.data.set_tracer(tracer.clone());
@@ -478,7 +550,8 @@ impl BlockStore {
     }
 
     /// `true` once an injected crash or I/O error has fired mid-commit; the
-    /// store must be reopened (which replays or discards the journal).
+    /// store must be reopened (which replays or discards the journal) or
+    /// repaired from a replica.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
@@ -499,9 +572,9 @@ impl BlockStore {
         len: u64,
         records: impl IntoIterator<Item = T>,
         seed: u64,
-    ) -> io::Result<u64> {
+    ) -> Result<u64, FileError> {
         if self.poisoned {
-            return Err(io::Error::other("store poisoned by earlier failed commit"));
+            return Err(FileError::Poisoned);
         }
         let result = self.commit_inner(words, total_slots, len, records.into_iter(), seed);
         if result.is_err() {
@@ -517,7 +590,7 @@ impl BlockStore {
         len: u64,
         records: impl Iterator<Item = T>,
         seed: u64,
-    ) -> io::Result<u64> {
+    ) -> Result<u64, FileError> {
         let bs = self.opts.block_size;
         let b = bs as u64;
         assert!(T::SIZE > 0 && T::SIZE <= T::MAX_SIZE, "record size invalid");
@@ -530,7 +603,7 @@ impl BlockStore {
         );
         let popcount: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
         if popcount != len {
-            return Err(invalid("bitmap popcount and len disagree"));
+            return Err(corrupt(0, "bitmap popcount and len disagree"));
         }
 
         let data_blocks = geo.data_blocks() as usize;
@@ -545,15 +618,16 @@ impl BlockStore {
         self.ids_buf
             .reserve(((data_blocks as u64 * 8).div_ceil(b) * b) as usize);
 
-        // Phase 1: regenerate the image (skipping the header for now), hash
-        // each block, stage the dirty ones for the journal.
+        // Phase 1a: regenerate the payload (bitmap + slot) blocks, hash
+        // each, stage the dirty ones for the journal.
+        let first = geo.payload_first();
         let mut payload_len = 0usize;
         let mut stream = SlotStream::new(words, total_slots, records);
-        for block in 1..data_blocks as u64 {
+        for block in first..data_blocks as u64 {
             let buf = self.block_buf.get_mut(bs);
             buf.fill(0);
-            if block <= geo.bitmap_blocks {
-                fill_bitmap_block(buf, words, block - 1);
+            if block < first + geo.bitmap_blocks {
+                fill_bitmap_block(buf, words, block - first);
             } else {
                 stream.fill_block(buf)?;
             }
@@ -567,6 +641,30 @@ impl BlockStore {
         }
         stream.finish(len)?;
 
+        // Phase 1b: the checksum region persists the very hashes the dirty
+        // gate just computed, one word per payload block; the running FNV
+        // over the region's bytes becomes the header's checksum root.
+        let words_per_block = bs / 8;
+        let mut checksum_root = FNV_OFFSET;
+        for block in 1..first {
+            let buf = self.block_buf.get_mut(bs);
+            buf.fill(0);
+            let base = (block - 1) as usize * words_per_block;
+            for k in 0..words_per_block {
+                if ((base + k) as u64) < geo.payload_blocks() {
+                    encode_checksum_word(buf, k, self.scratch_hashes[first as usize + base + k]);
+                }
+            }
+            checksum_root = fnv1a(checksum_root, buf);
+            let hash = fnv1a(FNV_OFFSET, buf);
+            self.scratch_hashes[block as usize] = hash;
+            if full || self.block_hashes[block as usize] != hash {
+                self.ids.push(block);
+                self.payload.get_mut(payload_len + bs)[payload_len..].copy_from_slice(buf);
+                payload_len += bs;
+            }
+        }
+
         let fingerprint = layout_fingerprint(words, total_slots);
         let prev = self.meta;
         let unchanged = StoreMeta {
@@ -576,6 +674,7 @@ impl BlockStore {
             seed,
             generation: prev.map_or(0, |m| m.generation),
             fingerprint,
+            checksum_root,
         };
         if self.ids.is_empty() && prev == Some(unchanged) {
             return Ok(unchanged.generation);
@@ -654,37 +753,51 @@ impl BlockStore {
     }
 
     /// Reads the committed image back: the bitmap words and the records in
-    /// slot (= rank) order. Validates the header checksum, the fingerprint,
-    /// the popcount, and that every vacant byte of the image is zero (the
-    /// anti-persistence invariant). Also primes the incremental-commit block
-    /// hashes, so a commit following a load only writes changed blocks.
-    pub fn load<T: Record>(&mut self) -> io::Result<(StoreMeta, Vec<u64>, Vec<T>)> {
+    /// slot (= rank) order. Verifies the whole integrity chain — header
+    /// checksum, checksum root, every payload block's checksum — plus the
+    /// fingerprint, the popcount, and that every vacant byte of the image
+    /// is zero (the anti-persistence invariant). Also primes the
+    /// incremental-commit block hashes, so a commit following a load only
+    /// writes changed blocks.
+    pub fn load<T: Record>(&mut self) -> Result<(StoreMeta, Vec<u64>, Vec<T>), FileError> {
         let meta = self
             .meta
-            .ok_or_else(|| invalid("store holds no committed image"))?;
+            .ok_or_else(|| corrupt(0, "store holds no committed image"))?;
         if meta.record_size != T::SIZE as u64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "store holds {}-byte records, asked to decode {}-byte ones",
-                    meta.record_size,
-                    T::SIZE
-                ),
+            return Err(corrupt(
+                0,
+                "store holds records of a different size than requested",
             ));
         }
         let bs = self.opts.block_size;
         let b = bs as u64;
         let geo = Geometry::new(b, meta.record_size, meta.total_slots);
+        let first = geo.payload_first() as usize;
         let mut hashes = vec![0u64; geo.data_blocks() as usize];
 
         let header = self.block_buf.get_mut(bs);
         self.data.read_blocks(0, header)?;
         hashes[0] = fnv1a(FNV_OFFSET, header);
 
-        let mut bitmap_bytes = vec![0u8; (geo.bitmap_blocks * b) as usize];
-        self.data.read_blocks(1, &mut bitmap_bytes)?;
-        for (i, chunk) in bitmap_bytes.chunks(bs).enumerate() {
+        let mut region = vec![0u8; (geo.checksum_blocks * b) as usize];
+        self.data.read_blocks(1, &mut region)?;
+        if fnv1a(FNV_OFFSET, &region) != meta.checksum_root {
+            return Err(corrupt(1, "checksum region does not match header root"));
+        }
+        for (i, chunk) in region.chunks(bs).enumerate() {
             hashes[1 + i] = fnv1a(FNV_OFFSET, chunk);
+        }
+
+        let mut bitmap_bytes = vec![0u8; (geo.bitmap_blocks * b) as usize];
+        self.data.read_blocks(first as u64, &mut bitmap_bytes)?;
+        for (i, chunk) in bitmap_bytes.chunks(bs).enumerate() {
+            if fnv1a(FNV_OFFSET, chunk) != get_u64(&region, i) {
+                return Err(corrupt(
+                    (first + i) as u64,
+                    "bitmap block checksum mismatch",
+                ));
+            }
+            hashes[first + i] = fnv1a(FNV_OFFSET, chunk);
         }
         let words: Vec<u64> = (0..geo.bitmap_words() as usize)
             .map(|w| get_u64(&bitmap_bytes, w))
@@ -693,28 +806,40 @@ impl BlockStore {
             .iter()
             .any(|&x| x != 0)
         {
-            return Err(invalid("bitmap padding not zeroed"));
+            return Err(corrupt(first as u64, "bitmap padding not zeroed"));
         }
         if meta.total_slots % 64 != 0
             && words
                 .last()
                 .is_some_and(|w| w >> (meta.total_slots % 64) != 0)
         {
-            return Err(invalid("bitmap bits beyond total_slots not zeroed"));
+            return Err(corrupt(
+                first as u64,
+                "bitmap bits beyond total_slots not zeroed",
+            ));
         }
         let popcount: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
         if popcount != meta.len {
-            return Err(invalid("bitmap popcount and header len disagree"));
+            return Err(corrupt(
+                first as u64,
+                "bitmap popcount and header len disagree",
+            ));
         }
         if layout_fingerprint(&words, meta.total_slots) != meta.fingerprint {
-            return Err(invalid("layout fingerprint mismatch"));
+            return Err(corrupt(first as u64, "layout fingerprint mismatch"));
         }
 
+        let slot_first = first + geo.bitmap_blocks as usize;
         let mut slot_bytes = vec![0u8; (geo.slot_blocks * b) as usize];
-        self.data
-            .read_blocks(1 + geo.bitmap_blocks, &mut slot_bytes)?;
+        self.data.read_blocks(slot_first as u64, &mut slot_bytes)?;
         for (i, chunk) in slot_bytes.chunks(bs).enumerate() {
-            hashes[1 + geo.bitmap_blocks as usize + i] = fnv1a(FNV_OFFSET, chunk);
+            if fnv1a(FNV_OFFSET, chunk) != get_u64(&region, geo.bitmap_blocks as usize + i) {
+                return Err(corrupt(
+                    (slot_first + i) as u64,
+                    "slot block checksum mismatch",
+                ));
+            }
+            hashes[slot_first + i] = fnv1a(FNV_OFFSET, chunk);
         }
         let rs = meta.record_size as usize;
         let mut records = Vec::with_capacity(meta.len as usize);
@@ -723,14 +848,17 @@ impl BlockStore {
             if words[(slot / 64) as usize] >> (slot % 64) & 1 != 0 {
                 records.push(T::decode(bytes));
             } else if bytes.iter().any(|&x| x != 0) {
-                return Err(invalid("vacant slot holds nonzero bytes"));
+                return Err(corrupt(
+                    slot_first as u64,
+                    "vacant slot holds nonzero bytes",
+                ));
             }
         }
         if slot_bytes[(meta.total_slots * meta.record_size) as usize..]
             .iter()
             .any(|&x| x != 0)
         {
-            return Err(invalid("slot-region padding not zeroed"));
+            return Err(corrupt(slot_first as u64, "slot-region padding not zeroed"));
         }
 
         self.block_hashes = hashes;
@@ -738,16 +866,145 @@ impl BlockStore {
         Ok((meta, words, records))
     }
 
+    /// Sweeps the whole committed image, verifying every block against the
+    /// integrity chain, and reports all blocks that fail — without decoding
+    /// a single record, and without stopping at the first hit. A block that
+    /// cannot be read at all also counts as corrupt. An uninitialized store
+    /// scrubs clean trivially.
+    pub fn scrub(&mut self) -> Result<ScrubReport, FileError> {
+        let Some(meta) = self.meta else {
+            return Ok(ScrubReport::default());
+        };
+        let bs = self.opts.block_size;
+        let b = bs as u64;
+        let geo = Geometry::new(b, meta.record_size, meta.total_slots);
+        let first = geo.payload_first();
+        let mut report = ScrubReport {
+            blocks_checked: geo.data_blocks(),
+            corrupt: Vec::new(),
+        };
+
+        // Header: must read, decode, and agree with the metadata this
+        // handle opened with.
+        let header_ok = {
+            let buf = self.block_buf.get_mut(bs);
+            match self.data.read_blocks(0, buf) {
+                Ok(()) => decode_header(buf, b).is_ok_and(|m| {
+                    StoreMeta {
+                        generation: meta.generation,
+                        ..m
+                    } == meta
+                }),
+                Err(_) => false,
+            }
+        };
+        if !header_ok {
+            report.corrupt.push(0);
+        }
+
+        // Checksum region: its running FNV must match the header's root.
+        // A mismatch cannot be isolated below region granularity, so every
+        // region block is reported (repair rewrites only what differs).
+        let mut region = vec![0u8; (geo.checksum_blocks * b) as usize];
+        let region_ok = match self.data.read_blocks(1, &mut region) {
+            Ok(()) => fnv1a(FNV_OFFSET, &region) == meta.checksum_root,
+            Err(_) => false,
+        };
+        if !region_ok {
+            report.corrupt.extend(1..first);
+        }
+
+        // Payload blocks, each against its region word (best effort even
+        // when the region itself is suspect).
+        for i in 0..geo.payload_blocks() {
+            let block = first + i;
+            let buf = self.block_buf.get_mut(bs);
+            let ok = match self.data.read_blocks(block, buf) {
+                Ok(()) => fnv1a(FNV_OFFSET, buf) == get_u64(&region, i as usize),
+                Err(_) => false,
+            };
+            if !ok {
+                report.corrupt.push(block);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Like [`Self::scrub`], but strict: `Ok(())` only when every block of
+    /// the image verifies, otherwise the first corrupt block as a typed
+    /// error.
+    pub fn verify_all(&mut self) -> Result<(), FileError> {
+        let report = self.scrub()?;
+        match report.corrupt.first() {
+            None => Ok(()),
+            Some(&block) => Err(corrupt(block, "scrub found a checksum mismatch")),
+        }
+    }
+
+    /// Repairs this store from a replica holding the same committed
+    /// contents: every block whose bytes differ from `source` is rewritten
+    /// from it, and the result is re-verified. Returns the number of blocks
+    /// rewritten.
+    ///
+    /// History independence is what makes this a byte-level repair: any
+    /// replica that committed the same *(contents, seed)* — regardless of
+    /// the operation history that produced it — holds a byte-identical
+    /// image, so a clean peer is always a valid source.
+    pub fn repair_from(&mut self, source: &mut BlockStore) -> Result<u64, FileError> {
+        if self.opts.block_size != source.opts.block_size {
+            return Err(corrupt(0, "repair source has a different block size"));
+        }
+        source.verify_all()?;
+        let smeta = source
+            .meta
+            .ok_or_else(|| corrupt(0, "repair source holds no committed image"))?;
+        let bs = self.opts.block_size;
+        let b = bs as u64;
+        let geo = Geometry::new(b, smeta.record_size, smeta.total_slots);
+        self.data.set_len(geo.file_len())?;
+        let mut mine = vec![0u8; bs];
+        let mut repaired = 0u64;
+        for block in 0..geo.data_blocks() {
+            let theirs = self.block_buf.get_mut(bs);
+            source.data.read_blocks(block, theirs)?;
+            // A block of ours that cannot be read at all is simply treated
+            // as differing.
+            let same = self
+                .data
+                .read_blocks(block, &mut mine)
+                .is_ok_and(|()| mine == *theirs);
+            if !same {
+                self.data.write_blocks(block, theirs)?;
+                repaired += 1;
+            }
+        }
+        if self.opts.sync {
+            self.data.sync()?;
+        }
+        self.clear_journal()?;
+        self.meta = Some(StoreMeta {
+            generation: self.meta.map_or(0, |m| m.generation),
+            ..smeta
+        });
+        self.geo = Some(geo);
+        // Force the next commit to rewrite from scratch rather than trust
+        // hashes from before the repair.
+        self.block_hashes.clear();
+        self.verify_all()?;
+        self.poisoned = false;
+        Ok(repaired)
+    }
+
     /// The raw bytes of the data file and the journal file, for audits that
     /// scan persistent storage for traces of deleted records.
-    pub fn raw_bytes(&self) -> io::Result<(Vec<u8>, Vec<u8>)> {
+    pub fn raw_bytes(&self) -> Result<(Vec<u8>, Vec<u8>), FileError> {
         Ok((
             std::fs::read(self.data.path())?,
             std::fs::read(self.journal.path())?,
         ))
     }
 
-    fn read_meta(&mut self) -> io::Result<()> {
+    fn read_meta(&mut self) -> Result<(), FileError> {
         let bs = self.opts.block_size;
         let len = self.data.len()?;
         if len == 0 {
@@ -755,14 +1012,22 @@ impl BlockStore {
             return Ok(());
         }
         if len < bs as u64 {
-            return Err(invalid("data file shorter than one block"));
+            // Truncated mid-header: typed, recoverable by repair, never a
+            // panic.
+            return Err(FileError::ShortRead {
+                block: 0,
+                wanted: bs,
+            });
         }
         let buf = self.block_buf.get_mut(bs);
         self.data.read_blocks(0, buf)?;
         let meta = decode_header(buf, bs as u64)?;
         let geo = Geometry::new(bs as u64, meta.record_size, meta.total_slots);
         if len != geo.file_len() {
-            return Err(invalid("data file length disagrees with header geometry"));
+            return Err(corrupt(
+                0,
+                "data file length disagrees with header geometry",
+            ));
         }
         self.meta = Some(meta);
         Ok(())
@@ -770,7 +1035,7 @@ impl BlockStore {
 
     /// Replays a valid pending journal (crash after the commit point) or
     /// discards a torn one (crash before it).
-    fn recover(&mut self) -> io::Result<()> {
+    fn recover(&mut self) -> Result<(), FileError> {
         let bs = self.opts.block_size;
         let b = bs as u64;
         let jlen = self.journal.len()?;
@@ -820,7 +1085,7 @@ impl BlockStore {
         self.clear_journal()
     }
 
-    fn clear_journal(&mut self) -> io::Result<()> {
+    fn clear_journal(&mut self) -> Result<(), FileError> {
         let bs = self.opts.block_size;
         if self.journal.len()? >= bs as u64 {
             let buf = self.block_buf.get_mut(bs);
@@ -868,6 +1133,37 @@ mod tests {
         let store = BlockStore::open(&path, opts()).unwrap();
         assert!(!store.is_initialized());
         assert!(store.meta().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_tolerates_a_pre_created_zero_length_file() {
+        let path = temp_path("store-zerolen");
+        std::fs::write(&path, b"").unwrap();
+        let store = BlockStore::open(&path, opts()).unwrap();
+        assert!(!store.is_initialized());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_rejects_a_file_truncated_mid_header() {
+        let path = temp_path("store-midheader");
+        std::fs::write(&path, vec![0xAAu8; B / 2]).unwrap();
+        let err = BlockStore::open(&path, opts()).unwrap_err();
+        assert!(matches!(err, FileError::ShortRead { block: 0, .. }));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_rejects_a_mismatched_block_size_typed() {
+        let path = temp_path("store-badbs");
+        {
+            let mut store = BlockStore::open(&path, opts()).unwrap();
+            let words = words_for(64, &[0]);
+            store.commit(&words, 64, 1, [7u64], 0).unwrap();
+        }
+        let err = BlockStore::open(&path, StoreOptions::new(256).no_sync()).unwrap_err();
+        assert!(matches!(err, FileError::Corrupt { block: 0, .. }));
         cleanup(&path);
     }
 
@@ -927,10 +1223,11 @@ mod tests {
             .unwrap();
         let full_writes = store.stats().blocks_written();
 
-        // Change one record's value: one slot block plus the header differ
-        // (two data writes), journaled as ids + two payload blocks + the
-        // journal header, plus the zero block that retires the journal —
-        // seven block writes instead of a full image.
+        // Change one record's value: one slot block, its checksum-region
+        // block, and the header differ (three data writes), journaled as
+        // ids + three payload blocks + the journal header, plus the zero
+        // block that retires the journal — nine block writes instead of a
+        // full image.
         let mut records2 = records.clone();
         records2[10] = 999_999;
         store
@@ -938,7 +1235,7 @@ mod tests {
             .unwrap();
         let delta = store.stats().blocks_written() - full_writes;
         assert!(
-            delta <= 7,
+            delta <= 9,
             "one-record change should touch a handful of blocks, wrote {delta}"
         );
         let gen = store.meta().unwrap().generation;
@@ -1106,12 +1403,13 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_wrong_record_size() {
+    fn load_rejects_wrong_record_size_typed() {
         let path = temp_path("store-recsize");
         let mut store = BlockStore::open(&path, opts()).unwrap();
         let words = words_for(64, &[0]);
         store.commit(&words, 64, 1, [7u64], 0).unwrap();
-        assert!(store.load::<(u64, u64)>().is_err());
+        let err = store.load::<(u64, u64)>().unwrap_err();
+        assert!(matches!(err, FileError::Corrupt { block: 0, .. }));
         cleanup(&path);
     }
 
@@ -1134,5 +1432,125 @@ mod tests {
         let (_, journal_bytes) = store.raw_bytes().unwrap();
         assert!(journal_bytes.is_empty());
         cleanup(&path);
+    }
+
+    #[test]
+    fn load_catches_a_flipped_slot_byte() {
+        // Before per-block checksums a flipped bit inside an occupied slot
+        // was a silent misread; now it is a typed corruption.
+        let path = temp_path("store-flip");
+        let total = 256u64;
+        let set: Vec<u64> = (0..total).step_by(2).collect();
+        let words = words_for(total, &set);
+        {
+            let mut store = BlockStore::open(&path, opts()).unwrap();
+            store
+                .commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+                .unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        let err = store.load::<u64>().unwrap_err();
+        assert!(matches!(err, FileError::Corrupt { .. }), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn scrub_reports_exactly_the_corrupt_blocks() {
+        let path = temp_path("store-scrub");
+        let total = 512u64;
+        let set: Vec<u64> = (0..total).step_by(3).collect();
+        let words = words_for(total, &set);
+        let mut store = BlockStore::open(&path, opts()).unwrap();
+        store
+            .commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+            .unwrap();
+        assert!(store.scrub().unwrap().is_clean());
+        assert!(store.verify_all().is_ok());
+
+        // Flip one byte in the last block.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = (bytes.len() / B - 1) as u64;
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = store.scrub().unwrap();
+        assert_eq!(report.corrupt, vec![last]);
+        assert_eq!(report.blocks_checked, bytes.len() as u64 / B as u64);
+        assert!(matches!(
+            store.verify_all(),
+            Err(FileError::Corrupt { block, .. }) if block == last
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn repair_from_a_replica_restores_byte_identity() {
+        // Two stores reach the same contents through different histories;
+        // HI makes their images byte-identical, so either is a valid
+        // repair source for the other.
+        let total = 512u64;
+        let set: Vec<u64> = (0..total).step_by(3).collect();
+        let words = words_for(total, &set);
+        let path_a = temp_path("store-repair-a");
+        let path_b = temp_path("store-repair-b");
+        let mut a = BlockStore::open(&path_a, opts()).unwrap();
+        a.commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+            .unwrap();
+        let mut b = BlockStore::open(&path_b, opts()).unwrap();
+        let half: Vec<u64> = set.iter().copied().take(set.len() / 2).collect();
+        let hwords = words_for(total, &half);
+        b.commit(&hwords, total, half.len() as u64, half.iter().copied(), 4)
+            .unwrap();
+        b.commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+            .unwrap();
+
+        // Corrupt three scattered blocks of A, including the header.
+        let mut bytes = std::fs::read(&path_a).unwrap();
+        let blocks = bytes.len() / B;
+        for block in [0, blocks / 2, blocks - 1] {
+            bytes[block * B + 17] ^= 0xFF;
+        }
+        std::fs::write(&path_a, &bytes).unwrap();
+        assert_eq!(a.scrub().unwrap().corrupt.len(), 3);
+
+        let repaired = a.repair_from(&mut b).unwrap();
+        assert_eq!(repaired, 3, "only the corrupt blocks are rewritten");
+        assert!(a.verify_all().is_ok());
+        let (raw_a, _) = a.raw_bytes().unwrap();
+        let (raw_b, _) = b.raw_bytes().unwrap();
+        assert_eq!(raw_a, raw_b, "repair restores byte identity");
+        let (_, w, r) = a.load::<u64>().unwrap();
+        assert_eq!(w, words);
+        assert_eq!(r, set);
+        cleanup(&path_a);
+        cleanup(&path_b);
+    }
+
+    #[test]
+    fn repair_refuses_a_dirty_source() {
+        let total = 128u64;
+        let set: Vec<u64> = (0..total).step_by(2).collect();
+        let words = words_for(total, &set);
+        let path_a = temp_path("store-repair-dirty-a");
+        let path_b = temp_path("store-repair-dirty-b");
+        let mut a = BlockStore::open(&path_a, opts()).unwrap();
+        a.commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+            .unwrap();
+        let mut b = BlockStore::open(&path_b, opts()).unwrap();
+        b.commit(&words, total, set.len() as u64, set.iter().copied(), 4)
+            .unwrap();
+        let mut bytes = std::fs::read(&path_b).unwrap();
+        bytes[B + 3] ^= 0x10;
+        std::fs::write(&path_b, &bytes).unwrap();
+        assert!(matches!(
+            a.repair_from(&mut b),
+            Err(FileError::Corrupt { .. })
+        ));
+        cleanup(&path_a);
+        cleanup(&path_b);
     }
 }

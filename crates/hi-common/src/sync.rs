@@ -1,4 +1,5 @@
-//! The workspace's poisoned-lock policy, in one place.
+//! The workspace's panic-containment policy, in one place: how poisoned
+//! locks are recovered and how captured panic payloads are rendered.
 //!
 //! A `Mutex` poisons when a thread panics while holding it, and the common
 //! reflex — `lock().expect("poisoned")` — turns one thread's panic into a
@@ -21,10 +22,38 @@ pub fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Renders a captured panic payload (from [`std::panic::catch_unwind`] or a
+/// failed [`std::thread::JoinHandle::join`]) as a human-readable message.
+///
+/// `panic!("…")` payloads are `&str` or `String`; anything else (a custom
+/// `panic_any` value) gets a fixed placeholder. Used by containment layers —
+/// the sharded service quarantines a shard whose worker panicked and carries
+/// this text in the typed error instead of re-raising the panic.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn renders_str_and_string_payloads() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("literal message")).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "literal message");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "opaque panic payload");
+    }
 
     #[test]
     fn locks_normally() {

@@ -168,7 +168,16 @@ pub const PERSISTED_ALLOWLIST: &[(&str, &[&str])] = &[
             "meta.seed",
             "0", // reserved: the commit generation must stay RAM-only
             "meta.fingerprint",
+            "meta.checksum_root", // FNV over the checksum region: integrity, not history
             "sum",
+        ],
+    ),
+    (
+        "encode_checksum_word",
+        &[
+            // One FNV word per payload block — a pure function of the
+            // committed image bytes, which are themselves f(contents, seed).
+            "word",
         ],
     ),
     (
@@ -742,7 +751,11 @@ fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
     put_u64(out, 6, meta.seed);
     put_u64(out, 7, 0);
     put_u64(out, 8, meta.fingerprint);
+    put_u64(out, 9, meta.checksum_root);
     put_u64(out, HEADER_FIELDS - 1, sum);
+}
+fn encode_checksum_word(out: &mut [u8], k: usize, word: u64) {
+    put_u64(out, k, word);
 }
 fn encode_journal_header(out: &mut [u8]) {
     put_u64(out, 0, JMAGIC);
@@ -771,7 +784,11 @@ fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta) {
     put_u64(out, 6, meta.seed);
     put_u64(out, 7, meta.generation);
     put_u64(out, 8, meta.fingerprint);
+    put_u64(out, 9, meta.checksum_root);
     put_u64(out, HEADER_FIELDS - 1, sum);
+}
+fn encode_checksum_word(out: &mut [u8], k: usize, word: u64) {
+    put_u64(out, k, word);
 }
 fn encode_journal_header(out: &mut [u8]) {
     put_u64(out, 0, JMAGIC);
@@ -792,7 +809,7 @@ fn encode_journal_header(out: &mut [u8]) {
     fn persisted_history_catches_rogue_writes_and_missing_anchors() {
         let rogue = "fn sneak(out: &mut [u8]) { put_u64(out, 0, counter); }\n";
         let m = msgs(AUDITED_STORE_PATH, rogue);
-        // Two missing anchors plus the rogue write.
-        assert_eq!(m.len(), 3, "{m:?}");
+        // Three missing anchors plus the rogue write.
+        assert_eq!(m.len(), 4, "{m:?}");
     }
 }

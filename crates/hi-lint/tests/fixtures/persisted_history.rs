@@ -20,7 +20,12 @@ fn encode_header(out: &mut [u8], block_size: u64, meta: &StoreMeta, sum: u64) {
     put_u64(out, 6, meta.seed);
     put_u64(out, 7, meta.generation);
     put_u64(out, 8, meta.fingerprint);
-    put_u64(out, 9, sum);
+    put_u64(out, 9, meta.checksum_root);
+    put_u64(out, 10, sum);
+}
+
+fn encode_checksum_word(out: &mut [u8], k: usize, word: u64) {
+    put_u64(out, k, word);
 }
 
 fn encode_journal_header(out: &mut [u8], block_size: u64, sum: u64) {

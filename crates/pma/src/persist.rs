@@ -21,7 +21,7 @@
 //! reopened structure is `f(contents, seed)` regardless of how the previous
 //! process built it.
 
-use block_store::{layout_fingerprint, BlockStore, Record, StoreMeta};
+use block_store::{layout_fingerprint, BlockStore, FileError, Record, StoreMeta};
 use hi_common::counters::SharedCounters;
 use hi_common::rng::RngSource;
 use hi_common::traits::{Occupancy, RankedSequence};
@@ -35,13 +35,30 @@ use crate::{ClassicPma, DensityBands, HiPma};
 ///
 /// Callers that stay on the facade's `io::Result` surface keep working: the
 /// `From` impl folds a `PersistError` back into an [`io::Error`] with the
-/// same message text. Callers that care can match on
-/// [`PersistError::FingerprintMismatch`] to distinguish "the image does not
-/// reproduce under `(contents, seed)`" from an ordinary storage failure.
+/// same message text. Callers that care can match the typed variants —
+/// [`PersistError::Corrupt`] for a failed checksum,
+/// [`PersistError::Transient`] for an error that outlived the retry budget,
+/// [`PersistError::NoSpace`] for a full disk,
+/// [`PersistError::FingerprintMismatch`] for an image that does not
+/// reproduce under `(contents, seed)` — instead of grepping message text.
 #[derive(Debug)]
 pub enum PersistError {
-    /// The underlying block store failed (I/O, corruption, injected crash).
+    /// The underlying block store failed (I/O, injected crash, poisoned
+    /// handle — everything without a more specific variant below).
     Store(io::Error),
+    /// A block of the image failed its checksum, or a decoded structure is
+    /// internally inconsistent.
+    Corrupt {
+        /// The offending block id (0 = header).
+        block: u64,
+    },
+    /// A transient storage error survived the whole bounded retry budget.
+    Transient {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The device is out of space.
+    NoSpace,
     /// The layout rebuilt from the stored records and seed does not
     /// reproduce the committed image's fingerprint — the image was flushed
     /// non-canonically or the store's contents were tampered with.
@@ -57,6 +74,14 @@ impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Store(e) => e.fmt(f),
+            PersistError::Corrupt { block } => {
+                write!(f, "persisted image corrupt at block {block}")
+            }
+            PersistError::Transient { attempts } => write!(
+                f,
+                "transient storage error persisted through {attempts} attempts"
+            ),
+            PersistError::NoSpace => write!(f, "no space left on device"),
             PersistError::FingerprintMismatch { committed, rebuilt } => write!(
                 f,
                 "rebuilt layout does not reproduce the committed fingerprint \
@@ -71,7 +96,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Store(e) => Some(e),
-            PersistError::FingerprintMismatch { .. } => None,
+            _ => None,
         }
     }
 }
@@ -82,13 +107,28 @@ impl From<io::Error> for PersistError {
     }
 }
 
+impl From<FileError> for PersistError {
+    fn from(e: FileError) -> Self {
+        match e {
+            FileError::Corrupt { block, .. } => PersistError::Corrupt { block },
+            FileError::Transient { attempts } => PersistError::Transient { attempts },
+            FileError::NoSpace => PersistError::NoSpace,
+            other => PersistError::Store(other.into()),
+        }
+    }
+}
+
 impl From<PersistError> for io::Error {
     fn from(e: PersistError) -> Self {
         match e {
             PersistError::Store(io) => io,
+            corrupt @ PersistError::Corrupt { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string())
+            }
             mismatch @ PersistError::FingerprintMismatch { .. } => {
                 io::Error::new(io::ErrorKind::InvalidData, mismatch.to_string())
             }
+            other => io::Error::other(other.to_string()),
         }
     }
 }

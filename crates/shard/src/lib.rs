@@ -33,6 +33,26 @@
 //! threshold. Global range scans k-way-merge the shards' lazy iterators
 //! without allocating ([`merge::KWayMerge`]). Per-shard instrumentation
 //! rolls up through the [`Instrumented`] trait.
+//!
+//! ## Graceful degradation
+//!
+//! A service front-end must survive one shard going bad without dropping the
+//! other `S − 1`. Two failure sources exist at this layer: a worker panic
+//! (an engine bug or a poisoned invariant surfacing mid-batch) and a
+//! shard-local storage error reported by the owner of that shard's
+//! persistence (the facade's `PersistentDict`). Either one **quarantines**
+//! the shard: it is taken out of every read and write path, the service
+//! keeps answering from the healthy shards, and the failure is available as
+//! a typed [`ShardError::Degraded`] through the fallible surface
+//! ([`ShardedDict::try_get`], [`ShardedDict::try_insert`],
+//! [`ShardedDict::try_remove`], [`ShardedDict::health`]). The infallible
+//! [`Dictionary`] surface degrades by omission — a quarantined shard's keys
+//! read as absent and writes routed to it are dropped — which is the
+//! documented trade for keeping the trait's signatures. A quarantined shard
+//! rejoins after its contents are rebuilt ([`Dictionary::bulk_load`] /
+//! [`ShardedDict::bulk_load_parallel`] re-admit every shard they rebuild
+//! successfully) or after an explicit [`ShardedDict::restore_shard`] by a
+//! caller that repaired the underlying storage.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,17 +62,96 @@ pub mod merge;
 pub mod router;
 
 use std::cmp::Ordering;
+use std::fmt;
 use std::hash::Hash;
 use std::ops::RangeBounds;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::thread;
 
 use hi_common::batch::BatchOp;
 use hi_common::counters::OpCounters;
+use hi_common::sync::{locked, panic_message};
 use hi_common::traits::{cloned_bounds, Dictionary, KeyValue};
 use io_sim::IoStats;
 
 pub use merge::KWayMerge;
 pub use router::{derive_seed, SeededHasher, ShardRouter, MAX_SHARDS};
+
+/// A typed failure from the sharded service's fallible surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard the operation routed to is quarantined: a worker panicked
+    /// on it or its storage failed, and it has not been restored since.
+    /// The healthy shards are unaffected.
+    Degraded {
+        /// Index of the quarantined shard.
+        shard: usize,
+        /// Why it was quarantined (panic message or storage error text).
+        reason: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Degraded { shard, reason } => {
+                write!(f, "shard {shard} is quarantined: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Interior-mutable per-shard quarantine ledger. Lives behind a [`Mutex`]
+/// because read-only entry points (`multi_get` takes `&self`) must be able
+/// to quarantine a shard whose worker panicked; the lock guards a plain
+/// `Vec<Option<String>>` that is consistent after every single mutation, so
+/// the workspace's poisoned-lock recovery policy ([`locked`]) applies.
+#[derive(Debug)]
+struct Quarantine {
+    down: Mutex<Vec<Option<String>>>,
+}
+
+impl Quarantine {
+    fn new(shards: usize) -> Self {
+        Self {
+            down: Mutex::new(vec![None; shards]),
+        }
+    }
+
+    fn reason(&self, shard: usize) -> Option<String> {
+        locked(&self.down)[shard].clone()
+    }
+
+    fn is_down(&self, shard: usize) -> bool {
+        locked(&self.down)[shard].is_some()
+    }
+
+    /// Records the first failure; later failures on an already-down shard
+    /// keep the original reason (the root cause, not the cascade).
+    fn put_down(&self, shard: usize, reason: String) {
+        let mut down = locked(&self.down);
+        down[shard].get_or_insert(reason);
+    }
+
+    fn restore(&self, shard: usize) {
+        locked(&self.down)[shard] = None;
+    }
+
+    fn snapshot(&self) -> Vec<Option<String>> {
+        locked(&self.down).clone()
+    }
+}
+
+impl Clone for Quarantine {
+    fn clone(&self) -> Self {
+        Self {
+            down: Mutex::new(self.snapshot()),
+        }
+    }
+}
 
 /// Batches smaller than this run inline instead of spawning worker threads;
 /// the result is identical either way, so the threshold is purely a
@@ -82,6 +181,7 @@ pub struct ShardedDict<D> {
     router: ShardRouter,
     shards: Vec<D>,
     parallel_threshold: usize,
+    quarantine: Quarantine,
 }
 
 impl<D: Dictionary> ShardedDict<D>
@@ -95,10 +195,12 @@ where
             router.shard_count(),
             "shard vector length must match the router's shard count"
         );
+        let quarantine = Quarantine::new(shards.len());
         Self {
             router,
             shards,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            quarantine,
         }
     }
 
@@ -145,6 +247,86 @@ where
     /// is not a layout side channel).
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
+    }
+
+    /// Per-shard health: `None` for a serving shard, `Some(error)` for a
+    /// quarantined one.
+    pub fn health(&self) -> Vec<Option<ShardError>> {
+        self.quarantine
+            .snapshot()
+            .into_iter()
+            .enumerate()
+            .map(|(shard, reason)| reason.map(|reason| ShardError::Degraded { shard, reason }))
+            .collect()
+    }
+
+    /// Number of quarantined shards (0 = fully healthy).
+    pub fn degraded_count(&self) -> usize {
+        self.quarantine
+            .snapshot()
+            .iter()
+            .filter(|r| r.is_some())
+            .count()
+    }
+
+    /// The typed error for `shard` if it is quarantined.
+    pub fn shard_status(&self, shard: usize) -> Option<ShardError> {
+        self.quarantine
+            .reason(shard)
+            .map(|reason| ShardError::Degraded { shard, reason })
+    }
+
+    /// Quarantines `shard` by hand — the hook for shard-local *storage*
+    /// failures, which surface at whatever layer owns the shard's
+    /// persistence (this crate's engines are storage-agnostic). A shard
+    /// already down keeps its original reason.
+    pub fn quarantine_shard(&self, shard: usize, reason: impl Into<String>) {
+        assert!(shard < self.shards.len(), "shard index out of range");
+        self.quarantine.put_down(shard, reason.into());
+    }
+
+    /// Returns `shard` to service. Takes `&mut self` deliberately: restoring
+    /// is only sound after the shard's state has been repaired — rebuilt via
+    /// [`Dictionary::bulk_load`] (which restores automatically) or its
+    /// storage repaired by the persistence owner — and requiring exclusive
+    /// access keeps a restore from racing in-flight readers' assumptions.
+    pub fn restore_shard(&mut self, shard: usize) {
+        assert!(shard < self.shards.len(), "shard index out of range");
+        self.quarantine.restore(shard);
+    }
+
+    /// Fallible lookup: `Err(ShardError::Degraded)` when the key routes to a
+    /// quarantined shard, instead of the infallible surface's silent `None`.
+    pub fn try_get(&self, key: &D::Key) -> Result<Option<D::Value>, ShardError> {
+        let shard = self.router.route(key);
+        match self.quarantine.reason(shard) {
+            Some(reason) => Err(ShardError::Degraded { shard, reason }),
+            None => Ok(self.shards[shard].get(key)),
+        }
+    }
+
+    /// Fallible insert: refuses (typed) instead of dropping the write when
+    /// the key routes to a quarantined shard.
+    pub fn try_insert(
+        &mut self,
+        key: D::Key,
+        value: D::Value,
+    ) -> Result<Option<D::Value>, ShardError> {
+        let shard = self.router.route(&key);
+        match self.quarantine.reason(shard) {
+            Some(reason) => Err(ShardError::Degraded { shard, reason }),
+            None => Ok(self.shards[shard].insert(key, value)),
+        }
+    }
+
+    /// Fallible remove: refuses (typed) instead of silently missing when the
+    /// key routes to a quarantined shard.
+    pub fn try_remove(&mut self, key: &D::Key) -> Result<Option<D::Value>, ShardError> {
+        let shard = self.router.route(key);
+        match self.quarantine.reason(shard) {
+            Some(reason) => Err(ShardError::Degraded { shard, reason }),
+            None => Ok(self.shards[shard].remove(key)),
+        }
     }
 
     /// Groups `pairs` by destination shard, preserving relative order.
@@ -220,11 +402,26 @@ where
         // subsequences are ever buffered.
         let parts = self.partition_ops(ops);
         let total: usize = parts.iter().map(Vec::len).sum();
+        let quarantine = &self.quarantine;
         if total < self.parallel_threshold.max(1) || self.shards.len() == 1 {
             self.shards
                 .iter_mut()
                 .zip(parts)
-                .map(|(shard, part)| shard.apply_batch(part))
+                .enumerate()
+                .map(|(i, (shard, part))| {
+                    if part.is_empty() || quarantine.is_down(i) {
+                        return 0;
+                    }
+                    // A panicking engine is contained, not propagated: the
+                    // shard is quarantined and the rest of the batch runs.
+                    match catch_unwind(AssertUnwindSafe(|| shard.apply_batch(part))) {
+                        Ok(hits) => hits,
+                        Err(payload) => {
+                            quarantine.put_down(i, panic_message(payload.as_ref()));
+                            0
+                        }
+                    }
+                })
                 .sum()
         } else {
             thread::scope(|s| {
@@ -232,13 +429,22 @@ where
                     .shards
                     .iter_mut()
                     .zip(parts)
-                    .filter(|(_, part)| !part.is_empty())
-                    .map(|(shard, part)| s.spawn(move || shard.apply_batch(part)))
+                    .enumerate()
+                    .filter(|(i, (_, part))| !part.is_empty() && !quarantine.is_down(*i))
+                    .map(|(i, (shard, part))| (i, s.spawn(move || shard.apply_batch(part))))
                     .collect();
                 handles
                     .into_iter()
-                    // hi-lint: allow(panic-surface): join fails only if the worker panicked; re-raising that panic is the intended behavior
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    // A worker panic degrades its shard only: the join error
+                    // carries the payload, the shard is quarantined, and the
+                    // healthy shards' results still count.
+                    .map(|(i, h)| match h.join() {
+                        Ok(hits) => hits,
+                        Err(payload) => {
+                            quarantine.put_down(i, panic_message(payload.as_ref()));
+                            0
+                        }
+                    })
                     .sum()
             })
         }
@@ -264,14 +470,21 @@ where
         let probe_keys =
             |part: &[usize]| -> Vec<D::Key> { part.iter().map(|&i| keys[i].clone()).collect() };
         let probe_keys = &probe_keys;
+        let quarantine = &self.quarantine;
         if keys.len() < self.parallel_threshold.max(1) || self.shards.len() == 1 {
-            for (shard, part) in self.shards.iter().zip(&parts) {
-                if part.is_empty() {
+            for (i, (shard, part)) in self.shards.iter().zip(&parts).enumerate() {
+                if part.is_empty() || quarantine.is_down(i) {
                     continue;
                 }
-                let values = shard.get_many(&probe_keys(part));
-                for (&i, v) in part.iter().zip(values) {
-                    out[i] = v;
+                // Contain a panicking engine: its probes stay `None`, the
+                // shard is quarantined, the rest of the scatter proceeds.
+                match catch_unwind(AssertUnwindSafe(|| shard.get_many(&probe_keys(part)))) {
+                    Ok(values) => {
+                        for (&i, v) in part.iter().zip(values) {
+                            out[i] = v;
+                        }
+                    }
+                    Err(payload) => quarantine.put_down(i, panic_message(payload.as_ref())),
                 }
             }
         } else {
@@ -280,21 +493,23 @@ where
                     .shards
                     .iter()
                     .zip(&parts)
-                    .filter(|(_, part)| !part.is_empty())
-                    .map(|(shard, part)| s.spawn(move || shard.get_many(&probe_keys(part))))
+                    .enumerate()
+                    .filter(|(i, (_, part))| !part.is_empty() && !quarantine.is_down(*i))
+                    .map(|(i, (shard, part))| {
+                        (i, part, s.spawn(move || shard.get_many(&probe_keys(part))))
+                    })
                     .collect();
                 // Scatter each worker's results straight into `out` — no
-                // intermediate flattened buffer.
-                for (handle, part) in handles
-                    .into_iter()
-                    .zip(parts.iter().filter(|p| !p.is_empty()))
-                {
-                    for (&i, v) in part
-                        .iter()
-                        // hi-lint: allow(panic-surface): join fails only if the worker panicked; re-raising that panic is the intended behavior
-                        .zip(handle.join().expect("shard worker panicked"))
-                    {
-                        out[i] = v;
+                // intermediate flattened buffer. A panicked worker degrades
+                // its shard only: its probes stay `None`.
+                for (i, part, handle) in handles {
+                    match handle.join() {
+                        Ok(values) => {
+                            for (&i, v) in part.iter().zip(values) {
+                                out[i] = v;
+                            }
+                        }
+                        Err(payload) => quarantine.put_down(i, panic_message(payload.as_ref())),
                     }
                 }
             });
@@ -306,15 +521,35 @@ where
     /// rebuilds every shard concurrently, each from coins derived as a pure
     /// function of `(seed, shard index)`. Bit-identical to the sequential
     /// trait method for the same `(contents, seed, S)`.
+    ///
+    /// A rebuild replaces a shard's state wholesale, so every shard that
+    /// loads successfully — quarantined or not — returns to service; a shard
+    /// whose rebuild panics is (re-)quarantined.
     pub fn bulk_load_parallel(
         &mut self,
         pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>,
         seed: u64,
     ) {
         let parts = self.partition_pairs(pairs);
+        let quarantine = &self.quarantine;
         thread::scope(|s| {
-            for (i, (shard, part)) in self.shards.iter_mut().zip(parts).enumerate() {
-                s.spawn(move || shard.bulk_load(part, derive_seed(seed, i)));
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .enumerate()
+                .map(|(i, (shard, part))| {
+                    (
+                        i,
+                        s.spawn(move || shard.bulk_load(part, derive_seed(seed, i))),
+                    )
+                })
+                .collect();
+            for (i, handle) in handles {
+                match handle.join() {
+                    Ok(()) => quarantine.restore(i),
+                    Err(payload) => quarantine.put_down(i, panic_message(payload.as_ref())),
+                }
             }
         });
     }
@@ -327,36 +562,63 @@ where
     type Key = D::Key;
     type Value = D::Value;
 
+    /// Sums the *serving* shards; a quarantined shard's keys read as absent
+    /// on the infallible surface (see the module docs on degradation).
     fn len(&self) -> usize {
-        self.shards.iter().map(Dictionary::len).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.quarantine.is_down(*i))
+            .map(|(_, s)| s.len())
+            .sum()
     }
 
+    /// Writes routed to a quarantined shard are dropped (returning `None`);
+    /// [`ShardedDict::try_insert`] is the refusing, typed form.
     fn insert(&mut self, key: D::Key, value: D::Value) -> Option<D::Value> {
         let shard = self.router.route(&key);
+        if self.quarantine.is_down(shard) {
+            return None;
+        }
         self.shards[shard].insert(key, value)
     }
 
+    /// Removes routed to a quarantined shard are dropped (returning `None`);
+    /// [`ShardedDict::try_remove`] is the refusing, typed form.
     fn remove(&mut self, key: &D::Key) -> Option<D::Value> {
-        self.shards[self.router.route(key)].remove(key)
+        let shard = self.router.route(key);
+        if self.quarantine.is_down(shard) {
+            return None;
+        }
+        self.shards[shard].remove(key)
     }
 
+    /// Keys on a quarantined shard read as absent;
+    /// [`ShardedDict::try_get`] is the refusing, typed form.
     fn get_ref(&self, key: &D::Key) -> Option<&D::Value> {
-        self.shards[self.router.route(key)].get_ref(key)
+        let shard = self.router.route(key);
+        if self.quarantine.is_down(shard) {
+            return None;
+        }
+        self.shards[shard].get_ref(key)
     }
 
-    /// Merges the shards' lazy range iterators into one ascending stream —
-    /// allocation-free after the iterator is constructed, and snapshot
-    /// consistent (the `&self` borrow excludes writers for the scan's whole
-    /// lifetime).
+    /// Merges the *serving* shards' lazy range iterators into one ascending
+    /// stream — allocation-free after the iterator is constructed, and
+    /// snapshot consistent (the `&self` borrow excludes writers for the
+    /// scan's whole lifetime). Quarantined shards' keys are omitted.
     fn range_iter<R: RangeBounds<D::Key>>(
         &self,
         range: R,
     ) -> impl Iterator<Item = (&D::Key, &D::Value)> {
         let (start, end) = cloned_bounds(&range);
+        let quarantine = &self.quarantine;
         KWayMerge::new(
             self.shards
                 .iter()
-                .map(move |s| s.range_iter((start.clone(), end.clone()))),
+                .enumerate()
+                .filter(move |(i, _)| !quarantine.is_down(*i))
+                .map(move |(_, s)| s.range_iter((start.clone(), end.clone()))),
             |a: &(&D::Key, &D::Value), b: &(&D::Key, &D::Value)| a.0.cmp(b.0),
         )
     }
@@ -364,14 +626,18 @@ where
     fn successor(&self, key: &D::Key) -> Option<KeyValue<D::Key, D::Value>> {
         self.shards
             .iter()
-            .filter_map(|s| s.successor(key))
+            .enumerate()
+            .filter(|(i, _)| !self.quarantine.is_down(*i))
+            .filter_map(|(_, s)| s.successor(key))
             .min_by(|a, b| a.0.cmp(&b.0))
     }
 
     fn predecessor(&self, key: &D::Key) -> Option<KeyValue<D::Key, D::Value>> {
         self.shards
             .iter()
-            .filter_map(|s| s.predecessor(key))
+            .enumerate()
+            .filter(|(i, _)| !self.quarantine.is_down(*i))
+            .filter_map(|(_, s)| s.predecessor(key))
             .max_by(|a, b| a.0.cmp(&b.0))
     }
 
@@ -381,6 +647,10 @@ where
     /// of everything the structure held before.
     /// [`ShardedDict::bulk_load_parallel`] is the multi-threaded form and
     /// produces bit-identical shards.
+    ///
+    /// A rebuild replaces each shard's state wholesale, so every shard that
+    /// loads successfully returns to service; a shard whose rebuild panics
+    /// is (re-)quarantined and the others still load.
     fn bulk_load(
         &mut self,
         pairs: impl IntoIterator<Item = KeyValue<D::Key, D::Value>>,
@@ -388,7 +658,12 @@ where
     ) {
         let parts = self.partition_pairs(pairs);
         for (i, (shard, part)) in self.shards.iter_mut().zip(parts).enumerate() {
-            shard.bulk_load(part, derive_seed(seed, i));
+            match catch_unwind(AssertUnwindSafe(|| {
+                shard.bulk_load(part, derive_seed(seed, i))
+            })) {
+                Ok(()) => self.quarantine.restore(i),
+                Err(payload) => self.quarantine.put_down(i, panic_message(payload.as_ref())),
+            }
         }
     }
 
@@ -398,10 +673,23 @@ where
     /// produces bit-identical shards).
     fn apply_batch(&mut self, ops: Vec<BatchOp<D::Key, D::Value>>) -> usize {
         let parts = self.partition_ops(ops);
+        let quarantine = &self.quarantine;
         self.shards
             .iter_mut()
             .zip(parts)
-            .map(|(shard, part)| shard.apply_batch(part))
+            .enumerate()
+            .map(|(i, (shard, part))| {
+                if part.is_empty() || quarantine.is_down(i) {
+                    return 0;
+                }
+                match catch_unwind(AssertUnwindSafe(|| shard.apply_batch(part))) {
+                    Ok(hits) => hits,
+                    Err(payload) => {
+                        quarantine.put_down(i, panic_message(payload.as_ref()));
+                        0
+                    }
+                }
+            })
             .sum()
     }
 
@@ -411,8 +699,8 @@ where
             parts[self.router.route(k)].push(i);
         }
         let mut out: Vec<Option<D::Value>> = (0..keys.len()).map(|_| None).collect();
-        for (shard, part) in self.shards.iter().zip(&parts) {
-            if part.is_empty() {
+        for (shard_idx, (shard, part)) in self.shards.iter().zip(&parts).enumerate() {
+            if part.is_empty() || self.quarantine.is_down(shard_idx) {
                 continue;
             }
             let probe: Vec<D::Key> = part.iter().map(|&i| keys[i].clone()).collect();
@@ -546,6 +834,214 @@ mod tests {
         ShardedDict::build_with(ShardRouter::new(0xFACADE, shards), |_, _| {
             MapDict::default()
         })
+    }
+
+    /// An engine with a seeded bug: touching the poison key panics — the
+    /// stand-in for a shard-local invariant violation surfacing mid-batch.
+    #[derive(Debug, Clone)]
+    struct FlakyDict {
+        inner: MapDict,
+        poison: u64,
+    }
+
+    impl FlakyDict {
+        fn new(poison: u64) -> Self {
+            Self {
+                inner: MapDict::default(),
+                poison,
+            }
+        }
+    }
+
+    impl Dictionary for FlakyDict {
+        type Key = u64;
+        type Value = u64;
+
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+            if key == self.poison {
+                panic!("engine bug: poison key {key}");
+            }
+            self.inner.insert(key, value)
+        }
+
+        fn remove(&mut self, key: &u64) -> Option<u64> {
+            self.inner.remove(key)
+        }
+
+        fn get_ref(&self, key: &u64) -> Option<&u64> {
+            if *key == self.poison {
+                panic!("engine bug: poison probe {key}");
+            }
+            self.inner.get_ref(key)
+        }
+
+        fn range_iter<R: RangeBounds<u64>>(&self, range: R) -> impl Iterator<Item = (&u64, &u64)> {
+            self.inner.range_iter(range)
+        }
+
+        fn successor(&self, key: &u64) -> Option<(u64, u64)> {
+            self.inner.successor(key)
+        }
+
+        fn predecessor(&self, key: &u64) -> Option<(u64, u64)> {
+            self.inner.predecessor(key)
+        }
+
+        fn bulk_load(&mut self, pairs: impl IntoIterator<Item = (u64, u64)>, seed: u64) {
+            let pairs: Vec<(u64, u64)> = pairs.into_iter().collect();
+            if pairs.iter().any(|(k, _)| *k == self.poison) {
+                panic!("engine bug: poison key in bulk load");
+            }
+            self.inner.bulk_load(pairs, seed);
+        }
+    }
+
+    const POISON: u64 = 666;
+
+    fn flaky(shards: usize) -> ShardedDict<FlakyDict> {
+        ShardedDict::build_with(ShardRouter::new(0xFACADE, shards), |_, _| {
+            FlakyDict::new(POISON)
+        })
+    }
+
+    #[test]
+    fn a_worker_panic_quarantines_only_its_shard() {
+        let mut d = flaky(4);
+        d.set_parallel_threshold(0); // force worker threads
+        let bad = d.shard_of(&POISON);
+        let mut batch: Vec<(u64, u64)> = (0..400u64).map(|k| (k, k + 1)).collect();
+        batch.push((POISON, 0));
+        d.multi_put(batch);
+
+        assert_eq!(d.degraded_count(), 1);
+        match d.shard_status(bad) {
+            Some(ShardError::Degraded { shard, reason }) => {
+                assert_eq!(shard, bad);
+                assert!(reason.contains("engine bug"), "{reason}");
+            }
+            None => panic!("poisoned shard must be quarantined"),
+        }
+        // The healthy shards keep serving; the degraded shard's keys read
+        // as absent on the infallible surface.
+        for k in 0..400u64 {
+            if d.shard_of(&k) == bad {
+                assert_eq!(d.get(&k), None, "key {k}");
+            } else {
+                assert_eq!(d.get(&k), Some(k + 1), "key {k}");
+            }
+        }
+        // …and as a typed error on the fallible one.
+        match d.try_get(&POISON) {
+            Err(ShardError::Degraded { shard, .. }) => assert_eq!(shard, bad),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // Aggregates quantify over serving shards only.
+        let healthy: Vec<u64> = (0..400u64).filter(|k| d.shard_of(k) != bad).collect();
+        assert_eq!(d.len(), healthy.len());
+        let scanned: Vec<u64> = d.range_iter(..).map(|(k, _)| *k).collect();
+        assert_eq!(scanned, healthy);
+    }
+
+    #[test]
+    fn an_inline_batch_panic_is_contained_too() {
+        let mut d = flaky(4); // default threshold keeps this batch inline
+        let bad = d.shard_of(&POISON);
+        d.multi_put(vec![(1, 10), (POISON, 0), (2, 20)]);
+        assert_eq!(d.degraded_count(), 1);
+        assert!(d.shard_status(bad).is_some());
+        for (k, v) in [(1u64, 10u64), (2, 20)] {
+            if d.shard_of(&k) != bad {
+                assert_eq!(d.get(&k), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn a_reader_panic_degrades_its_probes_to_none() {
+        let mut d = flaky(4);
+        d.multi_put((0..100u64).map(|k| (k, k * 2)));
+        assert_eq!(d.degraded_count(), 0);
+        d.set_parallel_threshold(0);
+        let bad = d.shard_of(&POISON);
+        let keys: Vec<u64> = vec![1, 2, POISON, 3];
+        let got = d.multi_get(&keys);
+        assert_eq!(d.degraded_count(), 1);
+        for (k, v) in keys.iter().zip(got) {
+            if d.shard_of(k) == bad {
+                assert_eq!(v, None, "probe {k} rode the panicked worker");
+            } else {
+                assert_eq!(v, Some(k * 2), "probe {k} on a healthy shard");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_readmits_a_quarantined_shard() {
+        let mut d = flaky(4);
+        d.set_parallel_threshold(0);
+        d.multi_put(vec![(POISON, 0)]);
+        assert_eq!(d.degraded_count(), 1);
+        // A wholesale rebuild with clean contents re-validates every shard.
+        d.bulk_load((0..100u64).map(|k| (k, k)), 9);
+        assert_eq!(d.degraded_count(), 0);
+        assert_eq!(d.len(), 100);
+        // The parallel form readmits the same way.
+        d.multi_put(vec![(POISON, 0)]);
+        assert_eq!(d.degraded_count(), 1);
+        d.bulk_load_parallel((0..100u64).map(|k| (k, k)), 9);
+        assert_eq!(d.degraded_count(), 0);
+    }
+
+    #[test]
+    fn manual_quarantine_refuses_typed_and_restore_readmits() {
+        let mut d = sharded(3);
+        d.multi_put((0..30u64).map(|k| (k, k)));
+        d.quarantine_shard(1, "storage: checksum mismatch at block 7");
+        let k = (0..30u64)
+            .find(|k| d.shard_of(k) == 1)
+            .expect("some key routes to shard 1");
+        let err = d
+            .try_insert(k, 99)
+            .expect_err("quarantined shard must refuse");
+        assert_eq!(
+            err,
+            ShardError::Degraded {
+                shard: 1,
+                reason: "storage: checksum mismatch at block 7".into()
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "shard 1 is quarantined: storage: checksum mismatch at block 7"
+        );
+        assert!(d.try_get(&k).is_err());
+        assert!(d.try_remove(&k).is_err());
+        // The infallible surface drops instead of refusing.
+        assert_eq!(d.insert(k, 99), None);
+        assert_eq!(d.get(&k), None);
+        d.restore_shard(1);
+        assert_eq!(d.degraded_count(), 0);
+        // The dropped write really was dropped; the pre-quarantine value
+        // survives untouched.
+        assert_eq!(d.get(&k), Some(k));
+        assert_eq!(d.try_insert(k, 7).expect("restored shard serves"), Some(k));
+    }
+
+    #[test]
+    fn a_cloned_service_carries_the_quarantine_ledger() {
+        let mut d = flaky(4);
+        d.set_parallel_threshold(0);
+        d.multi_put(vec![(POISON, 0)]);
+        let cloned = d.clone();
+        assert_eq!(cloned.degraded_count(), 1);
+        assert_eq!(
+            cloned.shard_status(d.shard_of(&POISON)),
+            d.shard_status(d.shard_of(&POISON))
+        );
     }
 
     #[test]

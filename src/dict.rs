@@ -51,6 +51,7 @@ use hi_common::counters::{OpCounters, SharedCounters};
 use hi_common::rng::RngSource;
 use hi_common::traits::{Dictionary, Occupancy, RankedDict};
 use io_sim::{IoConfig, IoStats, Tracer};
+use pma::persist::PersistError;
 use pma::{ClassicPma, DensityBands, HiPma};
 use shard::{Instrumented, ShardRouter, ShardedDict};
 use skiplist::{ExternalSkipList, SkipParams};
@@ -812,7 +813,12 @@ impl PersistentDict {
     /// store's page-aligned staging buffers, so once those have grown to
     /// the working-set size a flush performs no heap allocation
     /// (`tests/alloc_regression.rs` pins this).
-    pub fn flush(&mut self) -> io::Result<u64> {
+    ///
+    /// Errors are typed ([`PersistError`]): corruption, a transient fault
+    /// that outlived the retry budget, and disk-full each get their own
+    /// variant, and all of them still fold into [`io::Error`] for callers
+    /// on the facade's `io::Result` surface.
+    pub fn flush(&mut self) -> Result<u64, PersistError> {
         self.scratch.clear();
         self.scratch.extend(self.dict.iter().map(|(k, v)| (*k, *v)));
         // Re-draw the canonical layout: after this the image is a pure
@@ -826,8 +832,34 @@ impl PersistentDict {
         // hi-lint: allow(panic-surface): PersistentDict is only built over slot-array backends (checked in build_persistent)
         let slots = self.dict.slot_count().expect("slot-array backend") as u64;
         let len = self.dict.len() as u64;
-        self.store
-            .commit(words, slots, len, self.scratch.iter().copied(), self.seed)
+        Ok(self
+            .store
+            .commit(words, slots, len, self.scratch.iter().copied(), self.seed)?)
+    }
+
+    /// Sweeps the committed image's integrity chain block by block and
+    /// reports every block that fails its checksum (see
+    /// [`BlockStore::scrub`]).
+    pub fn scrub(&mut self) -> Result<block_store::ScrubReport, PersistError> {
+        Ok(self.store.scrub()?)
+    }
+
+    /// Strict form of [`Self::scrub`]: `Ok(())` only when every block of
+    /// the committed image verifies.
+    pub fn verify(&mut self) -> Result<(), PersistError> {
+        Ok(self.store.verify_all()?)
+    }
+
+    /// Repairs this dictionary's file from a replica holding the same
+    /// committed contents (history independence makes any such replica
+    /// byte-identical); returns the number of blocks rewritten. The in-RAM
+    /// dictionary is rebuilt from the repaired image.
+    pub fn repair_from(&mut self, source: &mut PersistentDict) -> Result<u64, PersistError> {
+        let repaired = self.store.repair_from(&mut source.store)?;
+        let (meta, _words, records) = self.store.load::<(u64, u64)>()?;
+        self.seed = meta.seed;
+        self.dict.bulk_load(records, meta.seed);
+        Ok(repaired)
     }
 
     /// The secret coins this dictionary's layouts are drawn with (for a

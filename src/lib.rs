@@ -204,7 +204,10 @@ pub mod prelude {
     pub use crate::dict::{
         Backend, Dict, DictBuilder, DictConfig, DictConfigError, DynDict, PersistentDict,
     };
-    pub use block_store::{layout_fingerprint, BlockStore, StoreMeta, StoreOptions, WriteFuse};
+    pub use block_store::{
+        layout_fingerprint, BlockStore, Fault, FaultPlan, FileError, ScrubReport, StoreMeta,
+        StoreOptions, WriteFuse, IO_RETRY_ATTEMPTS,
+    };
     pub use btree::BTree;
     pub use cob_btree::CobBTree;
     pub use hi_common::capacity::HiCapacity;
@@ -212,8 +215,9 @@ pub mod prelude {
     pub use hi_common::rng::RngSource;
     pub use hi_common::traits::{Dictionary, Occupancy, RankedDict, RankedSequence};
     pub use io_sim::{IoConfig, IoConfigError, IoModel, Tracer};
+    pub use pma::persist::PersistError;
     pub use pma::{ClassicPma, HiPma};
-    pub use shard::{Instrumented, KWayMerge, ShardRouter, ShardedDict};
+    pub use shard::{Instrumented, KWayMerge, ShardError, ShardRouter, ShardedDict};
     pub use skiplist::{ExternalSkipList, SkipParams};
 }
 
