@@ -48,17 +48,38 @@ echo "==> smoke-run the fault-overhead harness (checksum/scrub cost gate)"
 AP_BENCH_JSON=target/ci_fault_rows.json \
     cargo run --release --bin fault_overhead -- --smoke >/dev/null
 
+echo "==> smoke-run dict-server + dict-loadgen (network front-end gate)"
+rm -f target/ci_dict_server_addr
+cargo run --release --quiet --bin dict-server -- \
+    --addr 127.0.0.1:0 --addr-file target/ci_dict_server_addr >/dev/null &
+DICT_SERVER_PID=$!
+trap 'kill "${DICT_SERVER_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s target/ci_dict_server_addr ] && break
+    sleep 0.1
+done
+[ -s target/ci_dict_server_addr ] || { echo "dict-server never bound"; exit 1; }
+AP_BENCH_JSON=target/ci_loadgen_rows.json \
+    cargo run --release --quiet --bin dict-loadgen -- \
+    --smoke --addr "$(cat target/ci_dict_server_addr)" >/dev/null
+kill "${DICT_SERVER_PID}" 2>/dev/null || true
+trap - EXIT
+
 echo "==> validate the bench JSON row dumps (malformed rows fail CI)"
 cargo run --release --quiet --bin json_check \
     target/ci_update_rows.json target/ci_shard_rows.json \
     target/ci_batch_rows.json target/ci_blockstore_rows.json \
-    target/ci_fault_rows.json BENCH_baseline.json
+    target/ci_fault_rows.json target/ci_loadgen_rows.json \
+    BENCH_baseline.json
 
 echo "==> run the sharded HI / stress batteries explicitly"
 cargo test -q --test shard_history_independence --test shard_stress >/dev/null
 
 echo "==> run the crash-recovery battery explicitly (>=100 kill points)"
 cargo test -q --test block_store_crash >/dev/null
+
+echo "==> run the network protocol + determinism batteries explicitly"
+cargo test -q --test server_protocol --test server_determinism >/dev/null
 
 echo "==> run the chaos soak battery (fixed seeds, smoke sweep)"
 CHAOS_SMOKE=1 cargo test -q --test chaos_soak >/dev/null

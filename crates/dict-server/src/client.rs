@@ -1,0 +1,152 @@
+//! A small blocking client: one TCP connection, synchronous
+//! request/response plus a split send/recv surface for pipelining (the
+//! load generator and the protocol batteries both drive it).
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, Frame, Request, Response};
+
+/// A connected client. Requests may be pipelined: `send` any number of
+/// requests, then `recv` exactly that many responses — the server answers
+/// in arrival order per connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects (TCP, `NODELAY`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Writes one request frame into the send buffer (pipelining form —
+    /// call [`Self::flush`] or [`Self::recv`] to push it out).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.writer, &req.encode())
+    }
+
+    /// Flushes buffered request frames to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Reads one response frame (flushing pending sends first, so a plain
+    /// send/recv pair never deadlocks on a buffered request).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Frame::Body(body) => {
+                Response::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.0))
+            }
+            Frame::Eof => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            )),
+            Frame::Oversized(len) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server sent an oversized frame ({len} bytes)"),
+            )),
+        }
+    }
+
+    /// One synchronous round trip.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Point lookup: `Ok(Some(v))` on a hit, `Ok(None)` on a miss; any
+    /// non-answer (degraded, overloaded, …) surfaces as a typed
+    /// [`io::Error`] naming the response.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<u64>> {
+        match self.request(&Request::Get { key })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Upsert.
+    pub fn put(&mut self, key: u64, value: u64) -> io::Result<()> {
+        match self.request(&Request::Put { key, value })? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Delete (acknowledged whether or not the key existed).
+    pub fn del(&mut self, key: u64) -> io::Result<()> {
+        match self.request(&Request::Del { key })? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Smallest entry with key ≥ `key`.
+    pub fn successor(&mut self, key: u64) -> io::Result<Option<(u64, u64)>> {
+        match self.request(&Request::Succ { key })? {
+            Response::Entry(k, v) => Ok(Some((k, v))),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Largest entry with key ≤ `key`.
+    pub fn predecessor(&mut self, key: u64) -> io::Result<Option<(u64, u64)>> {
+        match self.request(&Request::Pred { key })? {
+            Response::Entry(k, v) => Ok(Some((k, v))),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&mut self) -> io::Result<u64> {
+        match self.request(&Request::Len)? {
+            Response::Count(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Whether the served dictionary is empty.
+    pub fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Commits the at-rest image; returns the committed generation.
+    pub fn flush_store(&mut self) -> io::Result<u64> {
+        match self.request(&Request::Flush)? {
+            Response::Generation(g) => Ok(g),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Shard-health snapshot: `(shard_count, [(shard, reason)…])`.
+    #[allow(clippy::type_complexity)]
+    pub fn health(&mut self) -> io::Result<(u64, Vec<(u64, String)>)> {
+        match self.request(&Request::Health)? {
+            Response::Health { shards, degraded } => Ok((shards, degraded)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::other(format!("server answered {resp:?}"))
+}

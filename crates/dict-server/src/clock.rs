@@ -1,0 +1,39 @@
+//! The server's single clock access point.
+//!
+//! Wall-clock readings are *I/O policy* — epoch deadlines, socket
+//! timeouts — and must never become layout input: the dictionary's at-rest
+//! bytes are `f(contents, seed)` and timing only decides *when* batches
+//! drain, never *what* they contain or in which arrival order. Confining
+//! every `Instant` to this module keeps that auditable: hi-lint's
+//! nondeterminism rule carves out exactly this file (see `hi-lint.toml`),
+//! so a clock read creeping into routing or layout code anywhere else in
+//! the crate still fails CI.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process's first call to this function.
+///
+/// A monotonic process-relative reading (never wall time): enough to
+/// measure epoch ages and nothing else, so the value is useless as an
+/// entropy or layout input even by accident.
+pub fn now_micros() -> u64 {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    Instant::now().duration_since(anchor).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_process_relative() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_micros() > a);
+    }
+}

@@ -1,0 +1,28 @@
+//! Network front-end for the sharded history-independent dictionary.
+//!
+//! Three layers, one crate:
+//!
+//! - [`protocol`] — the hand-rolled length-prefixed binary wire format
+//!   (`std::io` only; see the module docs for the full grammar).
+//! - [`server`] — the TCP server: thread-per-connection framing feeding an
+//!   epoch group-commit pipeline that drains through the sharded batch
+//!   engine and responds in arrival order, with bounded queues
+//!   (shed-on-overload) and typed degradation for quarantined shards.
+//! - [`client`] — a small blocking client used by the load generator and
+//!   the protocol/determinism batteries.
+//!
+//! The load-bearing invariant is stated and argued in `server`'s module
+//! docs and pinned by `tests/server_determinism.rs`: request interleaving,
+//! client count and epoch timing can shift *when* batches commit, but the
+//! at-rest bytes stay the pure function `f(contents, seed)`.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+mod clock;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Frame, Request, Response, MAX_FRAME};
+pub use server::{Server, ServerOptions};

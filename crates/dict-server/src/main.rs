@@ -1,0 +1,124 @@
+//! `dict-server`: serve a sharded HI dictionary over TCP.
+//!
+//! ```text
+//! dict-server [--addr 127.0.0.1:0] [--addr-file PATH]
+//!             [--backend hi-pma] [--seed N] [--shards N]
+//!             [--epoch-micros N] [--epoch-ops N] [--queue-bound N]
+//!             [--acceptors N] [--parallel-threshold N]
+//!             [--persist PATH]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints the bound
+//! address on stdout as `listening on ADDR`, optionally writes the bare
+//! address to `--addr-file` (how `ci.sh` discovers the port), then serves
+//! until the process is killed. With `--persist`, the `FLUSH` operation
+//! canonicalizes the served contents into the given block-store file.
+
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use anti_persistence::dict::{Backend, Dict, DictConfig};
+use dict_server::{Server, ServerOptions};
+
+struct Args {
+    addr: String,
+    addr_file: Option<String>,
+    persist: Option<String>,
+    config: DictConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        addr_file: None,
+        persist: None,
+        config: DictConfig {
+            backend: Backend::HiPma,
+            seed: 7,
+            shards: 4,
+            ..DictConfig::default()
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--persist" => args.persist = Some(value("--persist")?),
+            "--backend" => {
+                args.config.backend = Backend::from_str(&value("--backend")?)?;
+            }
+            "--seed" => args.config.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--shards" => {
+                args.config.shards = parse_num::<usize>(&value("--shards")?, "--shards")?;
+            }
+            "--epoch-micros" => {
+                args.config.server.epoch_micros =
+                    parse_num(&value("--epoch-micros")?, "--epoch-micros")?;
+            }
+            "--epoch-ops" => {
+                args.config.server.epoch_ops = parse_num(&value("--epoch-ops")?, "--epoch-ops")?;
+            }
+            "--queue-bound" => {
+                args.config.server.queue_bound =
+                    parse_num(&value("--queue-bound")?, "--queue-bound")?;
+            }
+            "--acceptors" => {
+                args.config.server.acceptors = parse_num(&value("--acceptors")?, "--acceptors")?;
+            }
+            "--parallel-threshold" => {
+                args.config.parallel_threshold =
+                    parse_num(&value("--parallel-threshold")?, "--parallel-threshold")?;
+            }
+            other => return Err(format!("unknown flag {other:?} (see the crate docs)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: {raw:?} is not a valid number"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let persist = match &args.persist {
+        Some(path) => Some(
+            Dict::builder()
+                .backend(args.config.backend)
+                .seed(args.config.seed)
+                .build_persistent(path)
+                .map_err(|e| format!("--persist {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let server = Server::spawn(
+        &args.addr,
+        ServerOptions {
+            config: args.config,
+            persist,
+        },
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    println!("listening on {}", server.addr());
+    if let Some(path) = &args.addr_file {
+        std::fs::write(path, server.addr().to_string())
+            .map_err(|e| format!("--addr-file {path}: {e}"))?;
+    }
+    // Serve until killed; the worker threads own all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dict-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

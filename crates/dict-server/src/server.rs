@@ -1,0 +1,784 @@
+//! The TCP front-end: thread-per-connection framing on `std::net` around an
+//! **epoch group-commit pipeline**.
+//!
+//! # Architecture
+//!
+//! ```text
+//! acceptor threads ──▶ per-connection reader ──▶ bounded per-shard queues
+//!   (one listener,        (parse frame,             (seq-stamped tickets,
+//!    N acceptors)          route by shard,           shed when full)
+//!                          shed/refuse typed)              │
+//!                                                          ▼ epoch boundary
+//! per-connection writer ◀── response slots ◀── engine thread (drain all
+//!   (emits responses in      (one per request)    queues, merge by seq,
+//!    arrival order)                                segment walk, apply_batch)
+//! ```
+//!
+//! Requests accumulate in bounded per-shard queues for at most
+//! `epoch_micros` microseconds or `epoch_ops` operations, whichever first.
+//! The engine then drains *every* queue, merges the tickets by their global
+//! arrival sequence number, and walks them in that one order: point writes
+//! accumulate into a batch (plus a this-epoch overlay so a pipelined `GET`
+//! after a `PUT` on one connection observes its own write), point reads
+//! answer from the overlay or from one batched [`ShardedDict::multi_get`]
+//! against the pre-batch state, and order-sensitive operations (`SUCC`,
+//! `PRED`, `LEN`, `FLUSH`) are *barriers*: the pending batch commits
+//! through [`ShardedDict::multi_apply`] first, then the barrier runs on the
+//! committed state.
+//!
+//! ## Why this preserves both correctness and history independence
+//!
+//! *Correctness*: no response is issued until the engine fills its slot, so
+//! every operation in an epoch is concurrent in real time and any single
+//! serial order is a valid linearization; the engine's order is global
+//! arrival (seq) order, which also embeds each connection's program order,
+//! so pipelined streams read their own writes (the oracle battery in
+//! `tests/server_protocol.rs` pins this against `BTreeMap`).
+//!
+//! *History independence*: the engine only ever touches the dictionary
+//! through `multi_get`/`multi_apply`/`bulk_load` — the batch engine whose
+//! layout is invariant under batch partitioning (PR 5's pinned property).
+//! Timing decides only *where epoch boundaries fall*, i.e. how the one
+//! arrival-ordered stream is partitioned into batches — exactly the degree
+//! of freedom the layout is invariant under — so scheduling, client count,
+//! and epoch knobs cannot leak into the at-rest bytes. The determinism
+//! battery (`tests/server_determinism.rs`) verifies the flushed image after
+//! a concurrent multi-client run byte-for-byte against a single-threaded
+//! rebuild of the same contents.
+//!
+//! *Degradation*: a quarantined shard refuses typed — reads and writes
+//! that route to it answer `DEGRADED`, navigation that it could own goes
+//! through [`ShardedDict::try_successor`] and
+//! [`ShardedDict::try_predecessor`], and `FLUSH`
+//! refuses rather than persist partial contents. Never a silent wrong
+//! answer.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use anti_persistence::dict::{DictBuilder, DictConfig, DynDict, PersistentDict, ServerConfig};
+use hi_common::batch::BatchOp;
+use hi_common::sync::locked;
+use hi_common::traits::Dictionary;
+use shard::{ShardError, ShardedDict};
+
+use crate::clock;
+use crate::protocol::{write_frame, Request, Response, MAX_FRAME};
+
+/// The concrete dictionary this front-end serves.
+pub type ServedDict = ShardedDict<DynDict<u64, u64>>;
+
+/// How long a blocked socket read waits before re-checking the shutdown
+/// flag. Latency of *shutdown*, not of requests — reads that have data
+/// return immediately.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Engine idle poll when no request is queued (shutdown-latency bound).
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Everything the server hands to [`Server::spawn`] besides the address.
+pub struct ServerOptions {
+    /// Dictionary + epoch/backpressure configuration (validated up front;
+    /// see `DictConfig::validate`).
+    pub config: DictConfig,
+    /// When present, `FLUSH` canonicalizes the served contents into this
+    /// store; when `None`, `FLUSH` answers `UNAVAILABLE`. Passing the
+    /// dictionary in (rather than a path) lets crash batteries arm
+    /// `block_store::WriteFuse` / fault plans before the server starts.
+    pub persist: Option<PersistentDict>,
+}
+
+/// One in-flight request's response cell: filled exactly once by whichever
+/// stage answers (reader shed, inline admin, or the engine), awaited by the
+/// connection's writer in arrival order.
+struct Slot {
+    resp: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            resp: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, resp: Response) {
+        *locked(&self.resp) = Some(resp);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut guard = locked(&self.resp);
+        loop {
+            if let Some(resp) = guard.take() {
+                return resp;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A queued operation: its global arrival sequence number, the request,
+/// and the response slot its connection's writer is waiting on.
+struct Ticket {
+    seq: u64,
+    req: Request,
+    slot: Arc<Slot>,
+}
+
+/// One bounded shard queue (the last queue holds the order-sensitive
+/// operations that need the global view).
+struct Queue {
+    ops: VecDeque<Ticket>,
+    /// Set by the engine's final drain: no ticket enqueued after this can
+    /// ever be drained, so enqueue refuses instead.
+    closed: bool,
+}
+
+/// Epoch pacing state guarded by one mutex with a condvar: how many
+/// operations are queued across all queues and when the open epoch began.
+struct Pacing {
+    queued: usize,
+    epoch_open_micros: u64,
+}
+
+struct Shared {
+    dict: RwLock<ServedDict>,
+    /// `None` once [`Server::into_persist`] has taken it back (or when the
+    /// server was started without persistence) — `FLUSH` answers
+    /// `UNAVAILABLE` then.
+    persist: Mutex<Option<PersistentDict>>,
+    /// `shard_count + 1` queues: one per shard, plus the barrier queue.
+    queues: Vec<Mutex<Queue>>,
+    seq: AtomicU64,
+    pacing: Mutex<Pacing>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    cfg: ServerConfig,
+}
+
+fn degraded(err: ShardError) -> Response {
+    let ShardError::Degraded { shard, reason } = err;
+    Response::Degraded {
+        shard: shard as u64,
+        reason,
+    }
+}
+
+/// `RwLock` variants of [`hi_common::sync::locked`], same policy: shard
+/// panics are already contained (the quarantine ledger marks the shard
+/// down before the panic unwinds out of `multi_apply`), so a poisoned
+/// service lock carries no torn state worth cascading over.
+fn read_locked<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_locked<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    /// Queue index for a data operation on `key`.
+    fn shard_queue(&self, key: u64) -> usize {
+        read_locked(&self.dict).shard_of(&key)
+    }
+
+    /// Queue index for order-sensitive (barrier) operations.
+    fn barrier_queue(&self) -> usize {
+        self.queues.len() - 1
+    }
+
+    /// Stamps, bounds-checks and enqueues one operation; fills the slot
+    /// immediately with the typed shed/refusal response when the queue is
+    /// full or closed.
+    fn enqueue(&self, queue: usize, req: Request, slot: &Arc<Slot>) {
+        let mut q = locked(&self.queues[queue]);
+        if q.closed {
+            slot.fill(Response::Unavailable("server is shutting down".into()));
+            return;
+        }
+        if q.ops.len() >= self.cfg.queue_bound {
+            slot.fill(Response::Overloaded);
+            return;
+        }
+        // The global sequence is drawn under the queue lock, so each
+        // queue's tickets are seq-sorted and the engine's merge by seq
+        // reconstructs one total arrival order.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        q.ops.push_back(Ticket {
+            seq,
+            req,
+            slot: Arc::clone(slot),
+        });
+        drop(q);
+        let mut pacing = locked(&self.pacing);
+        if pacing.queued == 0 {
+            pacing.epoch_open_micros = clock::now_micros();
+        }
+        pacing.queued += 1;
+        // Wake the engine when an epoch opens (so its deadline timer
+        // starts) and when the op budget fills (so it closes early).
+        let wake = pacing.queued == 1 || pacing.queued >= self.cfg.epoch_ops;
+        drop(pacing);
+        if wake {
+            self.wake.notify_one();
+        }
+    }
+}
+
+/// A handle to a running server: its bound address and the threads behind
+/// it. [`Server::shutdown`] (also run on drop) drains queued work, answers
+/// every in-flight request, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine: Option<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stopped: bool,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), validates the
+    /// configuration, builds the sharded dictionary, and spawns the accept
+    /// loop and the epoch engine.
+    pub fn spawn(addr: impl ToSocketAddrs, opts: ServerOptions) -> io::Result<Server> {
+        opts.config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let cfg = opts.config.server;
+        let dict: ServedDict = DictBuilder::from_config(opts.config)
+            .try_build_sharded()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let shard_count = dict.shard_count();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            dict: RwLock::new(dict),
+            persist: Mutex::new(opts.persist),
+            queues: (0..=shard_count)
+                .map(|_| {
+                    Mutex::new(Queue {
+                        ops: VecDeque::new(),
+                        closed: false,
+                    })
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            pacing: Mutex::new(Pacing {
+                queued: 0,
+                epoch_open_micros: 0,
+            }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let engine = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || engine_loop(&shared))
+        };
+        let mut acceptors = Vec::with_capacity(cfg.acceptors);
+        for _ in 0..cfg.acceptors {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(&shared, &listener, &conns)
+            }));
+        }
+        Ok(Server {
+            addr: local,
+            shared,
+            engine: Some(engine),
+            acceptors,
+            conns,
+            stopped: false,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains and answers everything queued, and joins
+    /// every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_one();
+        // One nudge connection per acceptor unblocks every accept() call.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        let handles: Vec<JoinHandle<()>> = locked(&self.conns).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Takes the persistence layer back out of a stopped server — the
+    /// crash batteries reopen the store to assert whole-old/whole-new.
+    pub fn into_persist(mut self) -> Option<PersistentDict> {
+        self.shutdown();
+        locked(&self.shared.persist).take()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and per-connection threads
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let (tx, rx) = mpsc::channel::<Arc<Slot>>();
+                let reader = {
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || connection_reader(&shared, stream, &tx))
+                };
+                let writer = std::thread::spawn(move || connection_writer(write_half, &rx));
+                let mut guard = locked(conns);
+                guard.push(reader);
+                guard.push(writer);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly instead of spinning.
+                std::thread::sleep(READ_POLL);
+            }
+        }
+    }
+}
+
+/// What one attempt to read a full frame observed.
+enum Wire {
+    Body(Vec<u8>),
+    /// Clean close between frames.
+    Eof,
+    /// The peer vanished with a partial prefix or body on the wire.
+    MidFrameCut,
+    /// Length prefix of zero or beyond [`MAX_FRAME`]; body unread.
+    Oversized(u32),
+    /// The server is shutting down.
+    Shutdown,
+    /// Hard socket error.
+    Dead,
+}
+
+/// Fills `buf` completely, tolerating read timeouts (used to poll the
+/// shutdown flag) and preserving partial progress across them.
+fn fill_buf(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared, at_boundary: bool) -> Wire {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Wire::Eof
+                } else {
+                    Wire::MidFrameCut
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Wire::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Wire::Dead,
+        }
+    }
+    Wire::Body(Vec::new())
+}
+
+fn read_wire_frame(stream: &mut TcpStream, shared: &Shared) -> Wire {
+    let mut prefix = [0u8; 4];
+    match fill_buf(stream, &mut prefix, shared, true) {
+        Wire::Body(_) => {}
+        other => return other,
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len == 0 || len as usize > MAX_FRAME {
+        return Wire::Oversized(len);
+    }
+    let mut body = vec![0u8; len as usize];
+    match fill_buf(stream, &mut body, shared, false) {
+        Wire::Body(_) => Wire::Body(body),
+        other => other,
+    }
+}
+
+fn connection_reader(shared: &Arc<Shared>, mut stream: TcpStream, tx: &Sender<Arc<Slot>>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let body = match read_wire_frame(&mut stream, shared) {
+            Wire::Body(body) => body,
+            // A clean close, a mid-frame disconnect, or a dead socket all
+            // end the connection silently — there is no peer left to tell.
+            Wire::Eof | Wire::MidFrameCut | Wire::Dead | Wire::Shutdown => return,
+            Wire::Oversized(len) => {
+                // Refuse before reading a single body byte, then close:
+                // a hostile prefix cannot make the server stage memory.
+                let slot = Slot::new();
+                slot.fill(Response::BadRequest(format!(
+                    "frame length {len} outside 1..={MAX_FRAME}"
+                )));
+                let _ = tx.send(slot);
+                return;
+            }
+        };
+        let req = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(e) => {
+                let slot = Slot::new();
+                slot.fill(Response::BadRequest(e.0));
+                let _ = tx.send(slot);
+                return;
+            }
+        };
+        let slot = Slot::new();
+        match req {
+            // Data operations ride the epoch pipeline, routed by shard.
+            Request::Get { key } | Request::Put { key, .. } | Request::Del { key } => {
+                let queue = shared.shard_queue(key);
+                shared.enqueue(queue, req, &slot);
+            }
+            // Order-sensitive operations are barriers in the engine.
+            Request::Succ { .. } | Request::Pred { .. } | Request::Len | Request::Flush => {
+                shared.enqueue(shared.barrier_queue(), req, &slot);
+            }
+            // Health management answers inline under a *read* lock: the
+            // quarantine ledger is interior-mutable and both transitions
+            // take `&self`, so re-admitting a repaired shard never needs
+            // exclusive ownership of the service (satellite contract —
+            // see ShardedDict::restore_shard).
+            Request::Health => {
+                let dict = read_locked(&shared.dict);
+                let degraded_shards = dict
+                    .health()
+                    .into_iter()
+                    .flatten()
+                    .map(|e| {
+                        let ShardError::Degraded { shard, reason } = e;
+                        (shard as u64, reason)
+                    })
+                    .collect();
+                slot.fill(Response::Health {
+                    shards: dict.shard_count() as u64,
+                    degraded: degraded_shards,
+                });
+            }
+            Request::Quarantine { shard, reason } => {
+                let dict = read_locked(&shared.dict);
+                if (shard as usize) < dict.shard_count() {
+                    dict.quarantine_shard(shard as usize, reason);
+                    slot.fill(Response::Done);
+                } else {
+                    slot.fill(Response::BadRequest(format!(
+                        "shard {shard} out of range ({} shards)",
+                        dict.shard_count()
+                    )));
+                }
+            }
+            Request::Restore { shard } => {
+                let dict = read_locked(&shared.dict);
+                if (shard as usize) < dict.shard_count() {
+                    dict.restore_shard(shard as usize);
+                    slot.fill(Response::Done);
+                } else {
+                    slot.fill(Response::BadRequest(format!(
+                        "shard {shard} out of range ({} shards)",
+                        dict.shard_count()
+                    )));
+                }
+            }
+            Request::Ping => slot.fill(Response::Done),
+        }
+        if tx.send(slot).is_err() {
+            // Writer died (peer stopped reading); no point parsing more.
+            return;
+        }
+    }
+}
+
+fn connection_writer(stream: TcpStream, rx: &Receiver<Arc<Slot>>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok(slot) = rx.recv() {
+        let resp = slot.wait();
+        if write_frame(&mut out, &resp.encode()).is_err() || out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The epoch engine
+// ---------------------------------------------------------------------------
+
+fn engine_loop(shared: &Arc<Shared>) {
+    loop {
+        let shutting = wait_for_epoch(shared);
+        let epoch = drain_epoch(shared, shutting);
+        if !epoch.is_empty() {
+            process_epoch(shared, epoch);
+        }
+        if shutting {
+            // Final sweep: `closed` is now set under every queue lock, so
+            // nothing can slip in after this drain.
+            let tail = drain_epoch(shared, true);
+            if !tail.is_empty() {
+                process_epoch(shared, tail);
+            }
+            return;
+        }
+    }
+}
+
+/// Blocks until the open epoch is due (first-op age ≥ window, or op budget
+/// reached) or shutdown begins. Returns whether the server is shutting
+/// down.
+fn wait_for_epoch(shared: &Arc<Shared>) -> bool {
+    let mut pacing = locked(&shared.pacing);
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting {
+            pacing.queued = 0;
+            return true;
+        }
+        if pacing.queued >= shared.cfg.epoch_ops {
+            pacing.queued = 0;
+            return false;
+        }
+        if pacing.queued > 0 {
+            let age = clock::now_micros().saturating_sub(pacing.epoch_open_micros);
+            if age >= shared.cfg.epoch_micros {
+                pacing.queued = 0;
+                return false;
+            }
+            let remaining = Duration::from_micros(shared.cfg.epoch_micros - age);
+            pacing = shared
+                .wake
+                .wait_timeout(pacing, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        } else {
+            pacing = shared
+                .wake
+                .wait_timeout(pacing, IDLE_POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Drains every queue and merges the tickets into one global
+/// arrival-ordered stream. During shutdown the queues are closed under
+/// their locks first, so no later enqueue can be stranded unanswered.
+fn drain_epoch(shared: &Arc<Shared>, closing: bool) -> Vec<Ticket> {
+    let mut epoch: Vec<Ticket> = Vec::new();
+    for queue in &shared.queues {
+        let mut q = locked(queue);
+        if closing {
+            q.closed = true;
+        }
+        epoch.extend(q.ops.drain(..));
+    }
+    // Each queue was seq-sorted (stamps drawn under the queue lock); the
+    // merge re-establishes the one total arrival order.
+    epoch.sort_by_key(|t| t.seq);
+    epoch
+}
+
+/// One epoch's worth of point operations between two barriers: the batch
+/// in arrival order plus an overlay so later reads in the same segment
+/// observe earlier writes, and the deferred reads that missed the overlay.
+#[derive(Default)]
+struct Segment {
+    overlay: BTreeMap<u64, Option<u64>>,
+    /// `(key, slot)` of every write, in arrival order.
+    writes: Vec<(u64, Arc<Slot>)>,
+    batch: Vec<BatchOp<u64, u64>>,
+    /// Reads that hit the overlay: `(key, observed value, slot)` — answered
+    /// only after the batch commits, so a shard that panics mid-apply
+    /// degrades them instead of letting them claim an uncommitted write.
+    overlay_reads: Vec<(u64, Option<u64>, Arc<Slot>)>,
+    /// Reads that missed the overlay, answered from the pre-batch state.
+    deferred_reads: Vec<(u64, Arc<Slot>)>,
+}
+
+impl Segment {
+    fn push_read(&mut self, key: u64, slot: Arc<Slot>) {
+        match self.overlay.get(&key) {
+            Some(v) => self.overlay_reads.push((key, *v, slot)),
+            None => self.deferred_reads.push((key, slot)),
+        }
+    }
+
+    fn push_write(&mut self, key: u64, value: Option<u64>, slot: Arc<Slot>) {
+        self.overlay.insert(key, value);
+        self.batch.push(match value {
+            Some(v) => BatchOp::Put(key, v),
+            None => BatchOp::Remove(key),
+        });
+        self.writes.push((key, slot));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.batch.is_empty() && self.overlay_reads.is_empty() && self.deferred_reads.is_empty()
+    }
+
+    /// Commits the segment: deferred reads answer from the pre-batch
+    /// state, the batch drains through `multi_apply`, and every response
+    /// is checked against post-apply shard health so nothing a quarantined
+    /// shard owned is reported as a clean answer.
+    fn commit(&mut self, dict: &mut ServedDict) {
+        if self.is_empty() {
+            return;
+        }
+        let keys: Vec<u64> = self.deferred_reads.iter().map(|(k, _)| *k).collect();
+        let values = dict.multi_get(&keys);
+        let deferred: Vec<(u64, Option<u64>, Arc<Slot>)> = self
+            .deferred_reads
+            .drain(..)
+            .zip(values)
+            .map(|((key, slot), value)| (key, value, slot))
+            .collect();
+        dict.multi_apply(std::mem::take(&mut self.batch));
+        for (key, value, slot) in deferred.into_iter().chain(self.overlay_reads.drain(..)) {
+            match dict.shard_status(dict.shard_of(&key)) {
+                Some(err) => slot.fill(degraded(err)),
+                None => slot.fill(match value {
+                    Some(v) => Response::Value(v),
+                    None => Response::NotFound,
+                }),
+            }
+        }
+        for (key, slot) in self.writes.drain(..) {
+            match dict.shard_status(dict.shard_of(&key)) {
+                Some(err) => slot.fill(degraded(err)),
+                None => slot.fill(Response::Done),
+            }
+        }
+        self.overlay.clear();
+    }
+}
+
+fn process_epoch(shared: &Arc<Shared>, epoch: Vec<Ticket>) {
+    let mut dict = write_locked(&shared.dict);
+    let mut segment = Segment::default();
+    for ticket in epoch {
+        match ticket.req {
+            Request::Get { key } => {
+                // A read on a quarantined shard refuses before joining the
+                // segment — `multi_get`'s silent omission never becomes a
+                // silent NOT_FOUND.
+                match dict.shard_status(dict.shard_of(&key)) {
+                    Some(err) => ticket.slot.fill(degraded(err)),
+                    None => segment.push_read(key, ticket.slot),
+                }
+            }
+            Request::Put { key, value } => match dict.shard_status(dict.shard_of(&key)) {
+                Some(err) => ticket.slot.fill(degraded(err)),
+                None => segment.push_write(key, Some(value), ticket.slot),
+            },
+            Request::Del { key } => match dict.shard_status(dict.shard_of(&key)) {
+                Some(err) => ticket.slot.fill(degraded(err)),
+                None => segment.push_write(key, None, ticket.slot),
+            },
+            barrier => {
+                segment.commit(&mut dict);
+                let resp = barrier_response(shared, &mut dict, barrier);
+                ticket.slot.fill(resp);
+            }
+        }
+    }
+    segment.commit(&mut dict);
+}
+
+fn barrier_response(shared: &Shared, dict: &mut ServedDict, req: Request) -> Response {
+    match req {
+        Request::Succ { key } => match dict.try_successor(&key) {
+            Ok(Some((k, v))) => Response::Entry(k, v),
+            Ok(None) => Response::NotFound,
+            Err(err) => degraded(err),
+        },
+        Request::Pred { key } => match dict.try_predecessor(&key) {
+            Ok(Some((k, v))) => Response::Entry(k, v),
+            Ok(None) => Response::NotFound,
+            Err(err) => degraded(err),
+        },
+        Request::Len => Response::Count(dict.len() as u64),
+        Request::Flush => flush_response(shared, dict),
+        // Admin and data ops never reach the barrier path (readers answer
+        // admin inline and route data ops by shard); refuse defensively
+        // instead of panicking inside the engine.
+        _ => Response::BadRequest("operation is not a barrier".into()),
+    }
+}
+
+/// Canonicalizes the served contents into the persistent store. Refuses
+/// typed while any shard is quarantined: the quarantined shard's entries
+/// are unreadable, and flushing without them would persist a silently
+/// partial image.
+fn flush_response(shared: &Shared, dict: &ServedDict) -> Response {
+    if let Some(err) = dict.health().into_iter().flatten().next() {
+        return degraded(err);
+    }
+    let mut guard = locked(&shared.persist);
+    let Some(p) = guard.as_mut() else {
+        return Response::Unavailable("no persistent store configured (--persist)".into());
+    };
+    let contents = dict.to_sorted_vec();
+    let seed = p.seed();
+    p.bulk_load(contents, seed);
+    match p.flush() {
+        Ok(generation) => Response::Generation(generation),
+        Err(e) => Response::Unavailable(format!("flush failed: {e}")),
+    }
+}

@@ -104,6 +104,12 @@ impl fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
+/// Result of a fallible navigation probe ([`ShardedDict::try_successor`] /
+/// [`ShardedDict::try_predecessor`]): the merged entry when it is provably
+/// complete, or the first quarantined shard's error when that shard could
+/// own the true answer.
+pub type NavResult<K, V> = Result<Option<KeyValue<K, V>>, ShardError>;
+
 /// Interior-mutable per-shard quarantine ledger. Lives behind a [`Mutex`]
 /// because read-only entry points (`multi_get` takes `&self`) must be able
 /// to quarantine a shard whose worker panicked; the lock guards a plain
@@ -285,14 +291,72 @@ where
         self.quarantine.put_down(shard, reason.into());
     }
 
-    /// Returns `shard` to service. Takes `&mut self` deliberately: restoring
-    /// is only sound after the shard's state has been repaired — rebuilt via
-    /// [`Dictionary::bulk_load`] (which restores automatically) or its
-    /// storage repaired by the persistence owner — and requiring exclusive
-    /// access keeps a restore from racing in-flight readers' assumptions.
-    pub fn restore_shard(&mut self, shard: usize) {
+    /// Returns `shard` to service. Takes `&self`, matching
+    /// [`Self::quarantine_shard`]: both are transitions of the interior-
+    /// mutable quarantine ledger (a `Mutex`-guarded vector that is consistent
+    /// after every single mutation), not of shard *data*. Repairing the data
+    /// still requires `&mut self` (via [`Dictionary::bulk_load`], which
+    /// restores automatically) or goes through the persistence owner outside
+    /// this type; by the time `restore_shard` is called the shard's contents
+    /// are valid by contract, so a reader racing the restore observes either
+    /// a typed refusal (pre-restore) or a correct answer from the repaired
+    /// shard (post-restore) — never torn state. The symmetric `&self`
+    /// contract is what lets a server's health-management thread re-admit a
+    /// repaired shard through a shared reference while batch traffic keeps
+    /// draining, instead of demanding exclusive ownership of the whole
+    /// service (see `DESIGN.md` §network front-end).
+    pub fn restore_shard(&self, shard: usize) {
         assert!(shard < self.shards.len(), "shard index out of range");
         self.quarantine.restore(shard);
+    }
+
+    /// The lowest-indexed quarantined shard's typed error, if any shard is
+    /// down — the refusal the fallible navigation surface reports when a
+    /// quarantined shard could own an answer.
+    fn first_degraded(&self) -> Option<ShardError> {
+        self.quarantine
+            .snapshot()
+            .into_iter()
+            .enumerate()
+            .find_map(|(shard, reason)| reason.map(|reason| ShardError::Degraded { shard, reason }))
+    }
+
+    /// Fallible [`Dictionary::successor`]: refuses with
+    /// `Err(ShardError::Degraded)` when a quarantined shard *could* own the
+    /// answer, instead of the infallible surface's silent omission.
+    ///
+    /// The healthy shards' merged answer is provably complete in exactly one
+    /// case: it is the probe key itself. Every key lives on exactly one
+    /// shard, and no key can be strictly closer to `key` from above than
+    /// `key`, so an exact hit cannot be beaten by anything a quarantined
+    /// shard holds. In every other case the quarantined shard's keys —
+    /// arbitrary under seeded hashing — could include one strictly between
+    /// `key` and the best healthy answer, and the service refuses rather
+    /// than return a silently wrong successor.
+    pub fn try_successor(&self, key: &D::Key) -> NavResult<D::Key, D::Value> {
+        let answer = self.successor(key);
+        match self.first_degraded() {
+            Some(err) => match &answer {
+                Some((k, _)) if k == key => Ok(answer),
+                _ => Err(err),
+            },
+            None => Ok(answer),
+        }
+    }
+
+    /// Fallible [`Dictionary::predecessor`]: refuses with
+    /// `Err(ShardError::Degraded)` when a quarantined shard could own the
+    /// answer (see [`Self::try_successor`] — the exact-hit argument is
+    /// symmetric from below).
+    pub fn try_predecessor(&self, key: &D::Key) -> NavResult<D::Key, D::Value> {
+        let answer = self.predecessor(key);
+        match self.first_degraded() {
+            Some(err) => match &answer {
+                Some((k, _)) if k == key => Ok(answer),
+                _ => Err(err),
+            },
+            None => Ok(answer),
+        }
     }
 
     /// Fallible lookup: `Err(ShardError::Degraded)` when the key routes to a
@@ -1029,6 +1093,61 @@ mod tests {
         // survives untouched.
         assert_eq!(d.get(&k), Some(k));
         assert_eq!(d.try_insert(k, 7).expect("restored shard serves"), Some(k));
+    }
+
+    #[test]
+    fn try_navigation_refuses_when_a_quarantined_shard_could_answer() {
+        let mut d = sharded(4);
+        d.multi_put((0..400u64).map(|k| (k, k * 10)));
+        // Healthy service: the fallible surface agrees with the infallible
+        // one everywhere.
+        for k in [0u64, 7, 199, 399, 400, 1_000] {
+            assert_eq!(d.try_successor(&k).expect("healthy"), d.successor(&k));
+            assert_eq!(d.try_predecessor(&k).expect("healthy"), d.predecessor(&k));
+        }
+        d.quarantine_shard(2, "injected: scrub failure");
+        let expected = ShardError::Degraded {
+            shard: 2,
+            reason: "injected: scrub failure".into(),
+        };
+        // An exact hit on a healthy shard is provably complete — keys live
+        // on exactly one shard, and nothing can be strictly closer to k
+        // than k itself.
+        let healthy_key = (0..400u64)
+            .find(|k| d.shard_of(k) != 2)
+            .expect("some key routes to a healthy shard");
+        assert_eq!(
+            d.try_successor(&healthy_key).expect("exact hit is safe"),
+            Some((healthy_key, healthy_key * 10))
+        );
+        assert_eq!(
+            d.try_predecessor(&healthy_key).expect("exact hit is safe"),
+            Some((healthy_key, healthy_key * 10))
+        );
+        // A probe whose exact key lives on the down shard can't produce an
+        // exact hit, so it must refuse rather than return the silently
+        // wrong neighbour the infallible surface yields.
+        let down_key = (0..400u64)
+            .find(|k| d.shard_of(k) == 2)
+            .expect("some key routes to shard 2");
+        assert_eq!(d.try_successor(&down_key).expect_err("refuses"), expected);
+        assert_eq!(d.try_predecessor(&down_key).expect_err("refuses"), expected);
+        // Probes past both ends miss every shard — the down shard could
+        // still own the answer from the probe's perspective, so refuse.
+        assert_eq!(d.try_successor(&10_000).expect_err("refuses"), expected);
+        assert_eq!(d.try_predecessor(&10_000), Err(expected.clone()));
+        // Restoring through a shared reference re-admits the shard: the
+        // ledger is interior-mutable, symmetric with quarantine_shard.
+        let shared: &ShardedDict<MapDict> = &d;
+        shared.restore_shard(2);
+        assert_eq!(
+            d.try_successor(&down_key).expect("healthy again"),
+            Some((down_key, down_key * 10))
+        );
+        assert_eq!(
+            d.try_predecessor(&down_key).expect("healthy again"),
+            Some((down_key, down_key * 10))
+        );
     }
 
     #[test]

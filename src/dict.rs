@@ -53,7 +53,7 @@ use hi_common::traits::{Dictionary, Occupancy, RankedDict};
 use io_sim::{IoConfig, IoStats, Tracer};
 use pma::persist::PersistError;
 use pma::{ClassicPma, DensityBands, HiPma};
-use shard::{Instrumented, ShardRouter, ShardedDict};
+use shard::{Instrumented, ShardRouter, ShardedDict, DEFAULT_PARALLEL_THRESHOLD};
 use skiplist::{ExternalSkipList, SkipParams};
 
 /// The dictionary engines a [`DictBuilder`] can construct.
@@ -156,6 +156,52 @@ pub struct DictConfig {
     /// Shard count for [`DictBuilder::build_sharded`] (`1..=64`). Ignored by
     /// the single-shard [`DictBuilder::build`].
     pub shards: usize,
+    /// Batch size at which [`ShardedDict`] fans out to worker threads
+    /// (`≥ 1`). Zero is rejected at validation: the service itself clamps a
+    /// zero threshold to "thread every non-empty batch" as a deliberate
+    /// test hook, but as a *configuration* it only ever means the operator
+    /// wanted inline processing and got a thread spawn per batch instead —
+    /// refuse it with a named knob rather than silently burn schedulers.
+    pub parallel_threshold: usize,
+    /// Epoch group-commit and backpressure knobs for the network front-end
+    /// (`dict-server`). Ignored by the in-process builders.
+    pub server: ServerConfig,
+}
+
+/// Epoch group-commit and backpressure knobs consumed by the `dict-server`
+/// front-end: an epoch closes after `epoch_micros` microseconds or
+/// `epoch_ops` queued operations, whichever comes first, and each shard
+/// queue sheds load (typed `Overloaded` response) beyond `queue_bound`
+/// waiting operations.
+///
+/// All four knobs live here — not as server CLI flags alone — so
+/// [`DictConfig::validate`] can reject the degenerate values *before* a
+/// thread is spawned: a 0 µs / 0 op epoch is a busy-spin that drains empty
+/// batches forever, and a queue bound of 0 sheds every request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Epoch window in microseconds (`≥ 1`): the longest a queued request
+    /// waits before its epoch is forced closed.
+    pub epoch_micros: u64,
+    /// Epoch budget in operations (`≥ 1`): an epoch closes early once this
+    /// many operations are queued across shards.
+    pub epoch_ops: usize,
+    /// Per-shard queue bound (`≥ 1`): operations beyond this shed with a
+    /// typed overload response instead of queueing unboundedly.
+    pub queue_bound: usize,
+    /// Accept-loop thread count (`≥ 1`).
+    pub acceptors: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            epoch_micros: 200,
+            epoch_ops: 512,
+            queue_bound: 4096,
+            acceptors: 2,
+        }
+    }
 }
 
 impl Default for DictConfig {
@@ -169,6 +215,8 @@ impl Default for DictConfig {
             elem_size: 16,
             io: None,
             shards: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            server: ServerConfig::default(),
         }
     }
 }
@@ -195,6 +243,20 @@ pub enum DictConfigError {
     ZeroElemSize,
     /// Shard count outside `1..=64`.
     ShardsOutOfRange(usize),
+    /// Inline/threaded cut-over of zero: every non-empty batch would spawn
+    /// worker threads, which is a test hook, not a configuration.
+    ZeroParallelThreshold,
+    /// Epoch window of 0 µs: the server's commit loop would busy-spin
+    /// closing empty epochs.
+    ZeroEpochWindow,
+    /// Epoch budget of 0 operations: every epoch would close before
+    /// admitting a single request.
+    ZeroEpochOps,
+    /// Per-shard queue bound of 0: every request would shed as overloaded.
+    ZeroQueueBound,
+    /// Accept-loop thread count of 0: the server could never accept a
+    /// connection.
+    ZeroAcceptors,
 }
 
 impl fmt::Display for DictConfigError {
@@ -213,6 +275,24 @@ impl fmt::Display for DictConfigError {
             DictConfigError::ZeroElemSize => write!(f, "elem_size must be positive"),
             DictConfigError::ShardsOutOfRange(v) => {
                 write!(f, "shards must lie in 1..=64, got {v}")
+            }
+            DictConfigError::ZeroParallelThreshold => {
+                write!(
+                    f,
+                    "parallel_threshold must be at least 1 (0 is the test-only force-threads hook)"
+                )
+            }
+            DictConfigError::ZeroEpochWindow => {
+                write!(f, "server.epoch_micros must be at least 1")
+            }
+            DictConfigError::ZeroEpochOps => {
+                write!(f, "server.epoch_ops must be at least 1")
+            }
+            DictConfigError::ZeroQueueBound => {
+                write!(f, "server.queue_bound must be at least 1")
+            }
+            DictConfigError::ZeroAcceptors => {
+                write!(f, "server.acceptors must be at least 1")
             }
         }
     }
@@ -242,6 +322,21 @@ impl DictConfig {
         }
         if self.shards == 0 || self.shards > 64 {
             return Err(DictConfigError::ShardsOutOfRange(self.shards));
+        }
+        if self.parallel_threshold == 0 {
+            return Err(DictConfigError::ZeroParallelThreshold);
+        }
+        if self.server.epoch_micros == 0 {
+            return Err(DictConfigError::ZeroEpochWindow);
+        }
+        if self.server.epoch_ops == 0 {
+            return Err(DictConfigError::ZeroEpochOps);
+        }
+        if self.server.queue_bound == 0 {
+            return Err(DictConfigError::ZeroQueueBound);
+        }
+        if self.server.acceptors == 0 {
+            return Err(DictConfigError::ZeroAcceptors);
         }
         Ok(())
     }
@@ -325,6 +420,22 @@ impl DictBuilder {
     /// Sets the shard count consumed by [`Self::build_sharded`].
     pub fn shards(mut self, shards: usize) -> Self {
         self.config.shards = shards;
+        self
+    }
+
+    /// Sets the batch size at which the sharded service fans out to worker
+    /// threads (`≥ 1`; zero is rejected by [`DictConfig::validate`] — the
+    /// force-threads hook is [`ShardedDict::set_parallel_threshold`], a
+    /// test affordance, not a configuration).
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.config.parallel_threshold = threshold;
+        self
+    }
+
+    /// Sets the network front-end's epoch/backpressure knobs (consumed by
+    /// `dict-server`; validated by [`DictConfig::validate`]).
+    pub fn server(mut self, server: ServerConfig) -> Self {
+        self.config.server = server;
         self
     }
 
@@ -456,11 +567,13 @@ impl DictBuilder {
         self.config.validate()?;
         let c = self.config;
         let router = ShardRouter::new(c.seed, c.shards);
-        Ok(ShardedDict::build_with(router, |_, shard_seed| {
+        let mut service = ShardedDict::build_with(router, |_, shard_seed| {
             let mut shard_config = c.clone();
             shard_config.seed = shard_seed;
             DictBuilder::from_config(shard_config).build()
-        }))
+        });
+        service.set_parallel_threshold(c.parallel_threshold);
+        Ok(service)
     }
 
     /// Opens (or creates) a file-backed [`PersistentDict`] at `path` with
@@ -1115,6 +1228,72 @@ mod tests {
         ));
         // The happy path still works through the fallible doors.
         assert!(Dict::builder().try_build::<u64, u64>().is_ok());
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_server_and_batching_knobs() {
+        // A zero cut-over as *configuration* would thread every batch; the
+        // test-only force-threads hook stays on the service setter.
+        assert!(matches!(
+            Dict::builder()
+                .parallel_threshold(0)
+                .try_build_sharded::<u64, u64>()
+                .map(|_| ()),
+            Err(DictConfigError::ZeroParallelThreshold)
+        ));
+        // Degenerate epoch/backpressure knobs are refused before the server
+        // could busy-spin (0 µs window), stall (0-op budget), or shed every
+        // request (0-length queues).
+        for (server, expected) in [
+            (
+                ServerConfig {
+                    epoch_micros: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroEpochWindow,
+            ),
+            (
+                ServerConfig {
+                    epoch_ops: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroEpochOps,
+            ),
+            (
+                ServerConfig {
+                    queue_bound: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroQueueBound,
+            ),
+            (
+                ServerConfig {
+                    acceptors: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroAcceptors,
+            ),
+        ] {
+            let err = Dict::builder()
+                .server(server)
+                .try_build_sharded::<u64, u64>()
+                .map(|_| ())
+                .unwrap_err();
+            assert_eq!(err, expected, "{server:?}");
+            assert!(!err.to_string().is_empty());
+        }
+        // A validated threshold really reaches the service.
+        let service = Dict::builder()
+            .shards(3)
+            .parallel_threshold(7)
+            .try_build_sharded::<u64, u64>()
+            .unwrap();
+        assert_eq!(service.parallel_threshold(), 7);
+        // Defaults remain valid end to end.
+        assert!(Dict::builder()
+            .server(ServerConfig::default())
+            .try_build_sharded::<u64, u64>()
+            .is_ok());
     }
 
     #[test]

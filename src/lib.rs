@@ -203,6 +203,7 @@ pub use workloads;
 pub mod prelude {
     pub use crate::dict::{
         Backend, Dict, DictBuilder, DictConfig, DictConfigError, DynDict, PersistentDict,
+        ServerConfig,
     };
     pub use block_store::{
         layout_fingerprint, BlockStore, Fault, FaultPlan, FileError, ScrubReport, StoreMeta,

@@ -1,0 +1,390 @@
+//! Protocol battery for the `dict-server` front-end.
+//!
+//! Three layers of abuse, all against a live server on a loopback port:
+//!
+//! * **wire fuzz** — truncated frames, oversized length prefixes, garbage
+//!   opcodes, and mid-frame disconnects must each produce a typed
+//!   `BAD_REQUEST` (or a clean connection close), never a panic, a hang, or
+//!   damage to *other* connections;
+//! * **oracle** — pipelined mixed get/put/del streams, plus the barrier
+//!   operations (`SUCC`/`PRED`/`LEN`), are replayed against a `BTreeMap`
+//!   and every response must match — including reads of writes earlier in
+//!   the same pipeline;
+//! * **degradation** — a quarantined shard answers `DEGRADED` for point
+//!   ops it owns and navigation it *could* own (the `try_successor` /
+//!   `try_predecessor` routing), and recovers after `RESTORE`; a saturated
+//!   queue sheds with `OVERLOADED`. Typed refusals, never silent wrong
+//!   answers.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use anti_persistence::dict::{Backend, DictConfig, ServerConfig};
+use dict_server::{Client, Request, Response, Server, ServerOptions, MAX_FRAME};
+
+fn config() -> DictConfig {
+    DictConfig {
+        backend: Backend::HiPma,
+        seed: 0xD1C7,
+        shards: 4,
+        ..DictConfig::default()
+    }
+}
+
+fn spawn(config: DictConfig) -> Server {
+    Server::spawn(
+        "127.0.0.1:0",
+        ServerOptions {
+            config,
+            persist: None,
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Reads everything until EOF; the server must close, not hang.
+fn drain(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read to EOF");
+    buf
+}
+
+/// A raw frame: length prefix plus body.
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = (body.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}
+
+const STATUS_BAD_REQUEST: u8 = 0x12;
+
+/// The malformed-input sweep: every abusive byte stream gets its own fresh
+/// connection; afterwards a well-formed client still works, proving the
+/// abuse never took the server down.
+#[test]
+fn wire_fuzz_never_panics_and_never_poisons_other_connections() {
+    let mut server = spawn(config());
+    let addr = server.addr();
+
+    // Mid-frame disconnects: cut a valid PUT frame at every byte boundary.
+    let put = frame(&Request::Put { key: 9, value: 9 }.encode());
+    for cut in 0..put.len() {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&put[..cut]).expect("partial write");
+        drop(s); // disconnect mid-frame
+    }
+
+    // Truncated body: the length prefix promises more bytes than ever
+    // arrive, then the write side shuts down. The server must give up on
+    // the connection (EOF/close), not block forever waiting for the rest.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&frame(&[0x01u8; 32])[..20]).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        drain(&mut s);
+    }
+
+    // Oversized length prefix: rejected typed *without* reading the body.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&((MAX_FRAME as u32) * 16).to_be_bytes())
+            .expect("write");
+        let reply = drain(&mut s);
+        assert!(reply.len() >= 5, "typed reply expected, got {reply:?}");
+        assert_eq!(reply[4], STATUS_BAD_REQUEST, "reply {reply:?}");
+    }
+
+    // Garbage opcodes and malformed bodies: typed BAD_REQUEST, then close.
+    let mut state = 0xF00Du64;
+    for len in [0usize, 1, 2, 7, 9, 17, 64] {
+        let body: Vec<u8> = (0..len).map(|_| (lcg(&mut state) | 0x40) as u8).collect();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&frame(&body)).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        let reply = drain(&mut s);
+        assert!(reply.len() >= 5, "typed reply expected for {body:?}");
+        assert_eq!(reply[4], STATUS_BAD_REQUEST, "body {body:?}");
+    }
+
+    // The server survived all of it.
+    let mut c = Client::connect(addr).expect("connect");
+    c.ping().expect("ping after fuzz");
+    c.put(1, 2).expect("put after fuzz");
+    assert_eq!(c.get(1).expect("get after fuzz"), Some(2));
+    server.shutdown();
+}
+
+/// Pipelined mixed streams vs a `BTreeMap` oracle, one connection: the
+/// responses must arrive in request order and every read must observe all
+/// earlier writes on the same connection, across epoch boundaries.
+#[test]
+fn pipelined_mixed_stream_matches_btreemap_oracle() {
+    let mut cfg = config();
+    // A tiny epoch forces many ops to share a batch; the oracle then
+    // checks reads-of-this-epoch-writes through the overlay path.
+    cfg.server = ServerConfig {
+        epoch_micros: 100,
+        epoch_ops: 64,
+        ..cfg.server
+    };
+    let mut server = spawn(cfg);
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut expected: Vec<Response> = Vec::new();
+    let mut state = 0x5EEDu64;
+    for i in 0..4_000u64 {
+        let k = lcg(&mut state) % 257;
+        let req = match lcg(&mut state) % 10 {
+            0..=4 => {
+                expected.push(match oracle.get(&k) {
+                    Some(&v) => Response::Value(v),
+                    None => Response::NotFound,
+                });
+                Request::Get { key: k }
+            }
+            5..=7 => {
+                oracle.insert(k, i);
+                expected.push(Response::Done);
+                Request::Put { key: k, value: i }
+            }
+            8 => {
+                oracle.remove(&k);
+                expected.push(Response::Done);
+                Request::Del { key: k }
+            }
+            _ => {
+                // Barriers mixed into the pipeline: SUCC/PRED/LEN commit
+                // the pending batch first, so they see every prior write.
+                // successor = smallest key ≥ probe, predecessor = largest ≤.
+                match lcg(&mut state) % 3 {
+                    0 => {
+                        expected.push(match oracle.range(k..).next() {
+                            Some((&sk, &sv)) => Response::Entry(sk, sv),
+                            None => Response::NotFound,
+                        });
+                        Request::Succ { key: k }
+                    }
+                    1 => {
+                        expected.push(match oracle.range(..=k).next_back() {
+                            Some((&pk, &pv)) => Response::Entry(pk, pv),
+                            None => Response::NotFound,
+                        });
+                        Request::Pred { key: k }
+                    }
+                    _ => {
+                        expected.push(Response::Count(oracle.len() as u64));
+                        Request::Len
+                    }
+                }
+            }
+        };
+        c.send(&req).expect("send");
+        // Partial drains keep the pipeline deep but bounded.
+        if i % 512 == 511 {
+            c.flush().expect("flush");
+            for (j, want) in expected.drain(..).enumerate() {
+                let got = c.recv().expect("recv");
+                assert_eq!(got, want, "op {} of this drain", j);
+            }
+        }
+    }
+    c.flush().expect("flush");
+    for want in expected.drain(..) {
+        assert_eq!(c.recv().expect("recv"), want);
+    }
+    server.shutdown();
+}
+
+/// Quarantine semantics over the wire: point ops on the down shard refuse
+/// typed, navigation that could land there refuses typed, exact hits and
+/// provably-complete answers still flow, and `RESTORE` heals it — all via
+/// protocol ops, exercising the `&self` restore path under the server's
+/// read lock.
+#[test]
+fn quarantined_shard_refuses_typed_over_the_wire_and_restores() {
+    let mut server = spawn(config());
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    // Keys 0, 10, …, 630 spread over 4 shards by ShardRouter. The gaps
+    // let navigation probes distinguish exact hits (provably complete even
+    // with a shard down) from between-key probes (the down shard could own
+    // the true answer).
+    for k in 0..64u64 {
+        c.put(k * 10, k + 100).expect("put");
+    }
+
+    let quarantine = |c: &mut Client, shard: u64| {
+        let resp = c
+            .request(&Request::Quarantine {
+                shard,
+                reason: "battery".to_string(),
+            })
+            .expect("quarantine");
+        assert_eq!(resp, Response::Done);
+    };
+    let restore = |c: &mut Client, shard: u64| {
+        assert_eq!(
+            c.request(&Request::Restore { shard }).expect("restore"),
+            Response::Done
+        );
+    };
+
+    quarantine(&mut c, 2);
+    let (shards, down) = c.health().expect("health");
+    assert_eq!(shards, 4);
+    assert_eq!(down.len(), 1);
+    assert_eq!(down[0].0, 2);
+    assert!(down[0].1.contains("battery"), "{:?}", down[0].1);
+
+    let mut degraded_gets = 0usize;
+    let mut exact_hits = 0usize;
+    let mut degraded_navs = 0usize;
+    for k in 0..64u64 {
+        match c.request(&Request::Get { key: k * 10 }).expect("get") {
+            Response::Degraded { reason, .. } => {
+                degraded_gets += 1;
+                assert!(reason.contains("battery"), "{reason}");
+                // Writes to the same key must refuse too — a dropped write
+                // would be a silent wrong answer later.
+                match c
+                    .request(&Request::Put {
+                        key: k * 10,
+                        value: 0,
+                    })
+                    .expect("put")
+                {
+                    Response::Degraded { .. } => {}
+                    other => panic!("put on down shard answered {other:?}"),
+                }
+            }
+            Response::Value(v) => assert_eq!(v, k + 100),
+            other => panic!("get({k}) answered {other:?}"),
+        }
+        // An exact hit on a healthy shard is provably complete (each key
+        // lives on exactly one shard); it must flow even while shard 2 is
+        // down. A hit owned by the down shard, or a between-key probe (the
+        // true answer could live on the down shard), must refuse.
+        match c.request(&Request::Succ { key: k * 10 }).expect("succ") {
+            Response::Entry(sk, sv) => {
+                assert_eq!((sk, sv), (k * 10, k + 100), "probe {k}");
+                exact_hits += 1;
+            }
+            Response::Degraded { .. } => degraded_navs += 1,
+            other => panic!("succ({}) answered {other:?}", k * 10),
+        }
+        match c.request(&Request::Succ { key: k * 10 + 5 }).expect("succ") {
+            Response::Degraded { .. } => degraded_navs += 1,
+            other => panic!(
+                "between-key succ({}) must refuse while a shard is down, got {other:?}",
+                k * 10 + 5
+            ),
+        }
+    }
+    assert!(degraded_gets > 0, "shard 2 owned no probed key");
+    assert!(exact_hits > 0, "no exact-hit navigation flowed");
+    assert!(
+        degraded_navs > 0,
+        "no navigation could have landed on shard 2"
+    );
+    // Past-the-end and between-key pred probes could be owned by the down
+    // shard: both must refuse.
+    assert!(matches!(
+        c.request(&Request::Succ { key: 1 << 40 }).expect("succ"),
+        Response::Degraded { .. }
+    ));
+    assert!(matches!(
+        c.request(&Request::Pred { key: 5 }).expect("pred"),
+        Response::Degraded { .. }
+    ));
+
+    restore(&mut c, 2);
+    assert!(c.health().expect("health").1.is_empty());
+    for k in 0..64u64 {
+        assert_eq!(c.get(k * 10).expect("get"), Some(k + 100), "after restore");
+    }
+
+    // Out-of-range shard indices refuse typed instead of panicking.
+    assert!(matches!(
+        c.request(&Request::Quarantine {
+            shard: 99,
+            reason: "x".to_string()
+        })
+        .expect("quarantine"),
+        Response::BadRequest(_)
+    ));
+    server.shutdown();
+}
+
+/// Backpressure: a queue bound of 1 under a long epoch sheds pipelined
+/// requests with `OVERLOADED` — a typed refusal the client can retry —
+/// while everything admitted is answered correctly.
+#[test]
+fn saturated_queues_shed_typed_overloaded() {
+    let mut cfg = config();
+    cfg.shards = 1;
+    cfg.server = ServerConfig {
+        epoch_micros: 200_000, // 200ms: the engine stays asleep while we pile on
+        epoch_ops: 10_000,
+        queue_bound: 1,
+        ..cfg.server
+    };
+    let mut server = spawn(cfg);
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    const N: u64 = 50;
+    for k in 0..N {
+        c.send(&Request::Put { key: k, value: k }).expect("send");
+    }
+    c.flush().expect("flush");
+    let mut done = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..N {
+        match c.recv().expect("recv") {
+            Response::Done => done += 1,
+            Response::Overloaded => shed += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "bound-1 queue never shed across {N} pipelined puts"
+    );
+    assert!(done > 0, "admitted requests must still complete");
+    server.shutdown();
+}
+
+/// Shutdown answers every in-flight request: a pipeline cut off by server
+/// shutdown receives only typed responses (possibly `UNAVAILABLE`), and the
+/// stream ends with EOF rather than a hang or a torn frame.
+#[test]
+fn shutdown_answers_or_refuses_every_inflight_request() {
+    let mut server = spawn(config());
+    let mut c = Client::connect(server.addr()).expect("connect");
+    for k in 0..256u64 {
+        c.send(&Request::Put { key: k, value: k }).expect("send");
+    }
+    c.flush().expect("flush");
+    server.shutdown();
+    let mut answered = 0usize;
+    loop {
+        match c.recv() {
+            Ok(Response::Done) | Ok(Response::Unavailable(_)) => answered += 1,
+            Ok(other) => panic!("unexpected {other:?}"),
+            Err(_) => break, // clean EOF once the server finishes draining
+        }
+        if answered == 256 {
+            break;
+        }
+    }
+    // Anything unanswered must be due to the connection closing — never a
+    // wrong answer; and the server must not leave the writer mid-frame.
+}
