@@ -65,11 +65,16 @@ AP_BENCH_JSON=target/ci_loadgen_rows.json \
 kill "${DICT_SERVER_PID}" 2>/dev/null || true
 trap - EXIT
 
+echo "==> smoke-run the net-fault-overhead harness (exactly-once cost gate)"
+AP_BENCH_JSON=target/ci_netfault_rows.json \
+    cargo run --release --quiet --bin net_fault_overhead -- --smoke >/dev/null
+
 echo "==> validate the bench JSON row dumps (malformed rows fail CI)"
 cargo run --release --quiet --bin json_check \
     target/ci_update_rows.json target/ci_shard_rows.json \
     target/ci_batch_rows.json target/ci_blockstore_rows.json \
     target/ci_fault_rows.json target/ci_loadgen_rows.json \
+    target/ci_netfault_rows.json \
     BENCH_baseline.json
 
 echo "==> run the sharded HI / stress batteries explicitly"
@@ -83,6 +88,9 @@ cargo test -q --test server_protocol --test server_determinism >/dev/null
 
 echo "==> run the chaos soak battery (fixed seeds, smoke sweep)"
 CHAOS_SMOKE=1 cargo test -q --test chaos_soak >/dev/null
+
+echo "==> run the network chaos soak battery (wire faults, smoke sweep)"
+CHAOS_SMOKE=1 cargo test -q --test net_chaos_soak >/dev/null
 
 echo "==> run every example (builder/DynDict API regressions fail here)"
 for example in quickstart range_query_engine secure_delete_audit io_model_explorer; do

@@ -24,8 +24,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use ap_bench::{emit, env_usize, Row};
-use dict_server::protocol::{read_frame, write_frame, Frame};
-use dict_server::{Client, Request, Response};
+use dict_server::protocol::{decode_response, encode_request, read_frame, write_frame, Frame};
+use dict_server::{Client, ClientError, Request, Response};
 
 /// splitmix64, the stateless key scrambler used across the benches.
 fn scramble(i: u64) -> u64 {
@@ -59,7 +59,7 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
 
 /// Preloads `keyspace` keys over one pipelined connection so the mix's
 /// gets mostly hit.
-fn preload(addr: SocketAddr, keyspace: u64) -> std::io::Result<()> {
+fn preload(addr: SocketAddr, keyspace: u64) -> Result<(), ClientError> {
     let mut c = Client::connect(addr)?;
     for k in 0..keyspace {
         c.send(&Request::Put {
@@ -71,7 +71,7 @@ fn preload(addr: SocketAddr, keyspace: u64) -> std::io::Result<()> {
     for _ in 0..keyspace {
         match c.recv()? {
             Response::Done => {}
-            other => return Err(std::io::Error::other(format!("preload answered {other:?}"))),
+            other => return Err(ClientError::Unexpected(other)),
         }
     }
     Ok(())
@@ -90,7 +90,7 @@ fn closed_loop(addr: SocketAddr, clients: usize, ops: usize, keyspace: u64) -> M
     let start = Instant::now();
     let mut handles = Vec::with_capacity(clients);
     for c in 0..clients {
-        handles.push(std::thread::spawn(move || -> std::io::Result<_> {
+        handles.push(std::thread::spawn(move || -> Result<_, ClientError> {
             let mut client = Client::connect(addr)?;
             let salt = 0xC105_ED00 + c as u64;
             let mut lat = Vec::with_capacity(ops);
@@ -143,9 +143,12 @@ fn open_loop(addr: SocketAddr, rate: f64, ops: usize, keyspace: u64) -> Measured
             if due > now {
                 std::thread::sleep(due - now);
             }
+            // Raw enveloped frames (token = i + 1, anonymous connection):
+            // correlation without dedup, so the open loop measures the
+            // untokened fast path.
             write_frame(
                 &mut writer,
-                &mix_op(i as u64, 0x0FE2_10AD, keyspace).encode(),
+                &encode_request(i as u64 + 1, &mix_op(i as u64, 0x0FE2_10AD, keyspace)),
             )?;
             writer.flush()?;
         }
@@ -155,7 +158,7 @@ fn open_loop(addr: SocketAddr, rate: f64, ops: usize, keyspace: u64) -> Measured
     let mut shed = 0usize;
     for i in 0..ops {
         let resp = match read_frame(&mut reader).expect("loadgen recv failed") {
-            Frame::Body(body) => Response::decode(&body).expect("response decodes"),
+            Frame::Body(body) => decode_response(&body).expect("response decodes").1,
             other => panic!("server hung up mid-run: {other:?}"),
         };
         if matches!(resp, Response::Overloaded) {

@@ -9,7 +9,12 @@
 //!   engine and responds in arrival order, with bounded queues
 //!   (shed-on-overload) and typed degradation for quarantined shards.
 //! - [`client`] — a small blocking client used by the load generator and
-//!   the protocol/determinism batteries.
+//!   the protocol/determinism batteries, with count-based exactly-once
+//!   retries (one idempotency token per logical operation, resent
+//!   verbatim; the server dedups inside a bounded per-client window).
+//! - [`netfault`] — deterministic, count-based wire-fault injection (a
+//!   [`netfault::ChaosProxy`] armed with [`netfault::NetFaultPlan`]s),
+//!   the network mirror of `block_store`'s disk fault plans.
 //!
 //! The load-bearing invariant is stated and argued in `server`'s module
 //! docs and pinned by `tests/server_determinism.rs`: request interleaving,
@@ -20,9 +25,11 @@
 
 pub mod client;
 mod clock;
+pub mod netfault;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, ClientError};
+pub use netfault::{ChaosProxy, NetFault, NetFaultPlan};
 pub use protocol::{Frame, Request, Response, MAX_FRAME};
 pub use server::{Server, ServerOptions};

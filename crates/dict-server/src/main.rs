@@ -5,6 +5,8 @@
 //!             [--backend hi-pma] [--seed N] [--shards N]
 //!             [--epoch-micros N] [--epoch-ops N] [--queue-bound N]
 //!             [--acceptors N] [--parallel-threshold N]
+//!             [--max-frame N] [--dedup-window N] [--inflight-bound N]
+//!             [--write-timeout-millis N] [--idle-timeout-millis N]
 //!             [--persist PATH]
 //! ```
 //!
@@ -70,6 +72,29 @@ fn parse_args() -> Result<Args, String> {
             "--parallel-threshold" => {
                 args.config.parallel_threshold =
                     parse_num(&value("--parallel-threshold")?, "--parallel-threshold")?;
+            }
+            "--max-frame" => {
+                args.config.server.max_frame = parse_num(&value("--max-frame")?, "--max-frame")?;
+            }
+            "--dedup-window" => {
+                args.config.server.dedup_window =
+                    parse_num(&value("--dedup-window")?, "--dedup-window")?;
+            }
+            "--inflight-bound" => {
+                args.config.server.inflight_bound =
+                    parse_num(&value("--inflight-bound")?, "--inflight-bound")?;
+            }
+            "--write-timeout-millis" => {
+                args.config.server.write_timeout = std::time::Duration::from_millis(parse_num(
+                    &value("--write-timeout-millis")?,
+                    "--write-timeout-millis",
+                )?);
+            }
+            "--idle-timeout-millis" => {
+                args.config.server.idle_timeout = std::time::Duration::from_millis(parse_num(
+                    &value("--idle-timeout-millis")?,
+                    "--idle-timeout-millis",
+                )?);
             }
             other => return Err(format!("unknown flag {other:?} (see the crate docs)")),
         }

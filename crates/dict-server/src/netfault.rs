@@ -1,0 +1,511 @@
+//! Deterministic wire-fault injection: the network mirror of
+//! `block_store`'s disk fault plans.
+//!
+//! A [`NetFaultPlan`] is a list of count-based [`NetFault`]s over the
+//! *frame index* of one proxied direction — frame 0 is the first complete
+//! length-prefixed frame relayed, frame 1 the second, and so on. No fault
+//! consults a clock or a random source at injection time: which frame is
+//! dropped, duplicated, truncated, delayed, flipped, or reset is a pure
+//! function of the plan and the frame count, so a chaos run replays
+//! bit-identically (the same discipline `block_store::FaultPlan` pins for
+//! torn disk writes).
+//!
+//! A [`ChaosProxy`] sits between a real client and a real server, relays
+//! whole frames in both directions, and applies one plan per direction.
+//! Plan clones share their counters, and the counters span proxied
+//! connections: a fault armed at frame `N` fires exactly once no matter
+//! how many times the client reconnects through the proxy, which is what
+//! makes "retry until the budget runs out" convergent in the soak tests.
+//!
+//! Faults are **frame-granular** except [`NetFault::Truncate`], which
+//! cuts *inside* its frame (prefix, envelope, or body) and then severs
+//! the connection — the wire-level torn write.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked proxy read waits before re-checking shutdown.
+const RELAY_POLL: Duration = Duration::from_millis(10);
+
+/// Largest frame the proxy will buffer (prefix excluded). Generous —
+/// the served protocol caps frames far lower; a prefix beyond this is a
+/// corrupt stream and severs the connection.
+const PROXY_MAX_FRAME: usize = 1 << 20;
+
+/// One deterministic wire fault, addressed by frame index within its
+/// plan's direction. All indices are counts, never times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Frame `at` is read off the source and never forwarded — the
+    /// lost-request / lost-ack case.
+    Drop { at: u64 },
+    /// Frame `at` is forwarded twice back to back — the network-level
+    /// duplicate the dedup window must suppress.
+    Duplicate { at: u64 },
+    /// Only the first `bytes` bytes of frame `at` (length prefix
+    /// included) are forwarded, then both directions sever — the torn
+    /// frame. `bytes` past the frame end degrades to a plain reset after
+    /// a whole forward.
+    Truncate { at: u64, bytes: usize },
+    /// Frame `at` is held back and released only after `hold` subsequent
+    /// frames pass (or at end of stream) — reordering it into a later
+    /// epoch.
+    Delay { at: u64, hold: u64 },
+    /// Every frame whose index satisfies `mix(seed ^ index) % one_in == 0`
+    /// has one seeded bit flipped past the length prefix — corruption the
+    /// envelope checksum must catch. `one_in` of 0 never fires.
+    BitFlip { seed: u64, one_in: u64 },
+    /// The connection severs (both directions) just before frame `at`
+    /// would forward.
+    Reset { at: u64 },
+    /// From frame `at` on, this direction goes half-open: bytes are read
+    /// and discarded, nothing is forwarded, and the connection is *not*
+    /// closed — the silent blackhole a deadline must escape.
+    Stall { at: u64 },
+}
+
+/// What the proxy does with one frame (first matching fault wins; no
+/// fault means forward unchanged).
+enum Action {
+    Forward,
+    Drop,
+    Duplicate,
+    Truncate(usize),
+    Delay(u64),
+    FlipBit(u64),
+    Reset,
+    Stall,
+}
+
+struct PlanState {
+    /// Next frame index to claim (monotonic across proxied connections).
+    next: u64,
+}
+
+/// A deterministic, count-based wire-fault plan for one relay direction.
+/// Clones share state, so the test keeps a handle while the proxy injects
+/// — and frame counts keep advancing across reconnects.
+#[derive(Clone, Default)]
+pub struct NetFaultPlan {
+    faults: Vec<NetFault>,
+    shared: Option<Arc<Mutex<PlanState>>>,
+}
+
+impl NetFaultPlan {
+    /// The no-fault plan: every frame forwards unchanged.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan armed with `faults` (checked per frame in order; the first
+    /// match decides the frame's fate).
+    pub fn new(faults: Vec<NetFault>) -> Self {
+        Self {
+            faults,
+            shared: Some(Arc::new(Mutex::new(PlanState { next: 0 }))),
+        }
+    }
+
+    fn state(&self) -> Option<std::sync::MutexGuard<'_, PlanState>> {
+        self.shared
+            .as_ref()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Claims the next frame index for this direction.
+    fn begin_frame(&self) -> u64 {
+        match self.state() {
+            Some(mut st) => {
+                let idx = st.next;
+                st.next += 1;
+                idx
+            }
+            None => 0,
+        }
+    }
+
+    /// How many frames this plan has seen so far (test observability).
+    pub fn frames_seen(&self) -> u64 {
+        self.state().map(|st| st.next).unwrap_or(0)
+    }
+
+    /// The fate of frame `index`: the first matching armed fault wins.
+    fn action(&self, index: u64) -> Action {
+        for fault in &self.faults {
+            match *fault {
+                NetFault::Drop { at } if index == at => return Action::Drop,
+                NetFault::Duplicate { at } if index == at => return Action::Duplicate,
+                NetFault::Truncate { at, bytes } if index == at => return Action::Truncate(bytes),
+                NetFault::Delay { at, hold } if index == at => return Action::Delay(hold),
+                NetFault::BitFlip { seed, one_in }
+                    if one_in > 0 && mix(seed ^ index).is_multiple_of(one_in) =>
+                {
+                    return Action::FlipBit(seed)
+                }
+                NetFault::Reset { at } if index == at => return Action::Reset,
+                NetFault::Stall { at } if index >= at => return Action::Stall,
+                _ => {}
+            }
+        }
+        Action::Forward
+    }
+}
+
+/// SplitMix64 finalizer — seeded bit selection for [`NetFault::BitFlip`].
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Flips one seeded bit of `framed` past the 4-byte length prefix, so
+/// framing survives but the envelope (or body) is corrupt. Frames with no
+/// payload past the prefix pass unchanged.
+fn flip_bit(framed: &mut [u8], seed: u64, index: u64) {
+    let payload_bits = framed.len().saturating_sub(4) * 8;
+    if payload_bits == 0 {
+        return;
+    }
+    let bit = (mix(seed ^ index ^ 0xF11B) % payload_bits as u64) as usize;
+    framed[4 + bit / 8] ^= 1 << (bit % 8);
+}
+
+/// A TCP proxy that relays whole frames between a client and an upstream
+/// server, applying one [`NetFaultPlan`] per direction. Arm it from a
+/// test, point the client at [`ChaosProxy::addr`], and every fault is a
+/// deterministic function of frame counts.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    relays: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and relays every accepted connection
+    /// to `upstream`, with `c2s` governing client→server frames and `s2c`
+    /// server→client frames.
+    pub fn spawn(
+        upstream: impl ToSocketAddrs,
+        c2s: NetFaultPlan,
+        s2c: NetFaultPlan,
+    ) -> io::Result<ChaosProxy> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "upstream resolved to nothing")
+        })?;
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let relays: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let relays = Arc::clone(&relays);
+            std::thread::spawn(move || {
+                accept_loop(&listener, upstream, &c2s, &s2c, &stop, &relays);
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            relays,
+        })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs in-flight relays, and joins every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // A nudge connection unblocks the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .relays
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    c2s: &NetFaultPlan,
+    s2c: &NetFaultPlan,
+    stop: &Arc<AtomicBool>,
+    relays: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(RELAY_POLL);
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(server) = TcpStream::connect(upstream) else {
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        let up = {
+            let plan = c2s.clone();
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || relay(client_rd, server, &plan, &stop))
+        };
+        let down = {
+            let plan = s2c.clone();
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || relay(server_rd, client, &plan, &stop))
+        };
+        let mut guard = relays.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.push(up);
+        guard.push(down);
+    }
+}
+
+/// What one poll-tolerant attempt to fill a buffer observed.
+enum Pull {
+    Full,
+    Closed,
+    Stopped,
+}
+
+/// Fills `buf` from `src`, tolerating read-timeout polls (used to observe
+/// `stop`) and preserving partial progress. A close — clean boundary or
+/// mid-buffer — just ends the relay, so both collapse into
+/// [`Pull::Closed`].
+fn pull(src: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> Pull {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match src.read(&mut buf[filled..]) {
+            Ok(0) => return Pull::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Pull::Stopped;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Pull::Closed,
+        }
+    }
+    Pull::Full
+}
+
+/// Severs both halves of the relayed connection.
+fn sever(src: &TcpStream, dst: &TcpStream) {
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// One relay direction: read whole frames off `src`, consult the plan,
+/// write the survivors to `dst`. Held (delayed) frames release after
+/// their hold count elapses, or all together at end of stream — never
+/// silently vanish.
+fn relay(mut src: TcpStream, dst: TcpStream, plan: &NetFaultPlan, stop: &Arc<AtomicBool>) {
+    let _ = src.set_read_timeout(Some(RELAY_POLL));
+    let _ = dst.set_write_timeout(Some(Duration::from_secs(5)));
+    // `&TcpStream` implements `Write`, so the writer view and the
+    // `sever(&src, &dst)` view coexist without a second descriptor.
+    let mut w = &dst;
+    // Frames held by a Delay fault: `(release_at_index, frame_bytes)`.
+    let mut held: Vec<(u64, Vec<u8>)> = Vec::new();
+    // Once stalled, the relay blackholes: reads and discards forever.
+    let mut stalled = false;
+    loop {
+        let mut prefix = [0u8; 4];
+        match pull(&mut src, &mut prefix, stop) {
+            Pull::Full => {}
+            Pull::Closed => break,
+            Pull::Stopped => {
+                sever(&src, &dst);
+                return;
+            }
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len == 0 || len > PROXY_MAX_FRAME {
+            // Corrupt stream past repair: sever rather than guess.
+            sever(&src, &dst);
+            return;
+        }
+        let mut framed = vec![0u8; 4 + len];
+        framed[..4].copy_from_slice(&prefix);
+        match pull(&mut src, &mut framed[4..], stop) {
+            Pull::Full => {}
+            Pull::Closed => break,
+            Pull::Stopped => {
+                sever(&src, &dst);
+                return;
+            }
+        }
+        if stalled {
+            continue;
+        }
+        let index = plan.begin_frame();
+        let wrote = match plan.action(index) {
+            Action::Forward => w.write_all(&framed),
+            Action::Drop => Ok(()),
+            Action::Duplicate => w.write_all(&framed).and_then(|()| w.write_all(&framed)),
+            Action::Truncate(bytes) => {
+                let cut = bytes.min(framed.len());
+                let _ = w.write_all(&framed[..cut]);
+                let _ = w.flush();
+                sever(&src, &dst);
+                return;
+            }
+            Action::Delay(hold) => {
+                held.push((index + hold, framed));
+                Ok(())
+            }
+            Action::FlipBit(seed) => {
+                flip_bit(&mut framed, seed, index);
+                w.write_all(&framed)
+            }
+            Action::Reset => {
+                sever(&src, &dst);
+                return;
+            }
+            Action::Stall => {
+                stalled = true;
+                continue;
+            }
+        };
+        if wrote.is_err() {
+            break;
+        }
+        // Release any held frames whose hold has elapsed, in order.
+        let mut i = 0;
+        let mut dead = false;
+        while i < held.len() {
+            if held[i].0 <= index {
+                let (_, frame) = held.remove(i);
+                if w.write_all(&frame).is_err() {
+                    dead = true;
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if dead || w.flush().is_err() {
+            break;
+        }
+    }
+    // End of stream: flush held frames (delayed, not lost), then pass the
+    // close through so the peer observes EOF.
+    if !stalled {
+        for (_, frame) in held.drain(..) {
+            let _ = w.write_all(&frame);
+        }
+        let _ = w.flush();
+    }
+    let _ = src.shutdown(Shutdown::Read);
+    let _ = dst.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_counts_frames_and_fires_by_index() {
+        let plan = NetFaultPlan::new(vec![NetFault::Drop { at: 1 }, NetFault::Reset { at: 3 }]);
+        let clone = plan.clone();
+        assert!(matches!(plan.action(0), Action::Forward));
+        assert!(matches!(plan.action(1), Action::Drop));
+        assert!(matches!(plan.action(2), Action::Forward));
+        assert!(matches!(plan.action(3), Action::Reset));
+        // Clones share the counter.
+        assert_eq!(plan.begin_frame(), 0);
+        assert_eq!(clone.begin_frame(), 1);
+        assert_eq!(plan.frames_seen(), 2);
+    }
+
+    #[test]
+    fn first_matching_fault_wins() {
+        let plan = NetFaultPlan::new(vec![
+            NetFault::Duplicate { at: 2 },
+            NetFault::Drop { at: 2 },
+        ]);
+        assert!(matches!(plan.action(2), Action::Duplicate));
+    }
+
+    #[test]
+    fn stall_is_sticky_from_its_index() {
+        let plan = NetFaultPlan::new(vec![NetFault::Stall { at: 2 }]);
+        assert!(matches!(plan.action(1), Action::Forward));
+        assert!(matches!(plan.action(2), Action::Stall));
+        assert!(matches!(plan.action(7), Action::Stall));
+    }
+
+    #[test]
+    fn bit_flip_is_seed_deterministic_and_spares_the_prefix() {
+        let mut a = vec![0u8; 4 + 16];
+        let mut b = a.clone();
+        flip_bit(&mut a, 7, 3);
+        flip_bit(&mut b, 7, 3);
+        assert_eq!(a, b, "same seed and index flip the same bit");
+        assert_eq!(&a[..4], &[0u8; 4], "length prefix is never touched");
+        let flipped: u32 = a.iter().map(|x| x.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flips");
+    }
+
+    #[test]
+    fn bare_proxy_relays_frames_untouched() {
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let up_addr = upstream.local_addr().expect("upstream addr");
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().expect("accept");
+            let mut buf = [0u8; 9];
+            s.read_exact(&mut buf).expect("read framed");
+            s.write_all(&buf).expect("echo back");
+        });
+        let mut proxy = ChaosProxy::spawn(up_addr, NetFaultPlan::none(), NetFaultPlan::none())
+            .expect("proxy spawns");
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect via proxy");
+        let frame = [0u8, 0, 0, 5, b'h', b'e', b'l', b'l', b'o'];
+        c.write_all(&frame).expect("send");
+        let mut back = [0u8; 9];
+        c.read_exact(&mut back).expect("recv");
+        assert_eq!(back, frame);
+        echo.join().expect("echo thread");
+        proxy.shutdown();
+    }
+}

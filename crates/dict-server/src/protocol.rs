@@ -1,10 +1,11 @@
 //! The wire format: length-prefixed binary frames, hand-rolled on
 //! `std::io` — no serde, no crates.io.
 //!
-//! # Frame grammar
+//! # Frame grammar (protocol v2)
 //!
 //! ```text
-//! frame    := len:u32be body
+//! frame    := len:u32be envelope
+//! envelope := token:u64be sum:u32be body
 //! body     := request | response          (direction decides which)
 //!
 //! request  := 0x01 key:u64be              GET
@@ -18,6 +19,7 @@
 //!           | 0x09 shard:u64be reason:…   QUARANTINE (reason = rest of body, utf-8)
 //!           | 0x0A shard:u64be            RESTORE
 //!           | 0x0B                        PING
+//!           | 0x0C client:u64be           HELLO (bind a client identity)
 //!
 //! response := 0x00                        DONE
 //!           | 0x01 val:u64be              VALUE
@@ -32,13 +34,35 @@
 //!           | 0x13 msg:…                  UNAVAILABLE
 //! ```
 //!
-//! `len` counts the body only and must lie in `1..=MAX_FRAME`; a peer that
-//! announces more is told `BAD_REQUEST` and disconnected before any byte of
-//! the oversized body is read, so a hostile length prefix cannot reserve
-//! memory. Every numeric field is big-endian. Strings are UTF-8 and always
-//! the *last* field of their body, so their length is `len` minus the fixed
-//! prefix — no separate count to cross-validate (the one exception is the
-//! HEALTH reason list, whose entries carry an explicit `rlen` each).
+//! `len` counts the envelope only and must lie in `1..=MAX_FRAME` (servers
+//! may narrow the cap via configuration); a peer that announces more is told
+//! `BAD_REQUEST` and disconnected before any byte of the oversized body is
+//! read, so a hostile length prefix cannot reserve memory. Every numeric
+//! field is big-endian. Strings are UTF-8 and always the *last* field of
+//! their body, so their length is `len` minus the fixed prefix — no separate
+//! count to cross-validate (the one exception is the HEALTH reason list,
+//! whose entries carry an explicit `rlen` each).
+//!
+//! # The envelope: correlation, exactly-once, and integrity
+//!
+//! Every frame in *both* directions opens with a 12-byte envelope:
+//!
+//! * `token` — a client-drawn correlation id. The server echoes it verbatim
+//!   on the response, so a pipelined client can match answers to requests
+//!   even when a chaotic network duplicates or delays response frames. On
+//!   mutating requests (`PUT`/`DEL`/`FLUSH`) from a `HELLO`-bound client it
+//!   doubles as an **idempotency token**: the server's dedup window
+//!   suppresses re-application of a token it has already answered and
+//!   replays the retained response, making retries exactly-once.
+//! * `sum` — a seeded checksum over `(token, body)` ([`frame_sum`]). TCP's
+//!   16-bit checksum is famously porous; a flipped bit in a `PUT` value
+//!   would otherwise be *applied* and acked. A sum mismatch decodes to a
+//!   typed error — refused as `BAD_REQUEST` server-side, surfaced as a
+//!   decode failure (and retried over a fresh connection) client-side —
+//!   never a silently wrong value.
+//!
+//! Token 0 is reserved for "no correlation" (servers answer it but never
+//! dedup it); `HELLO` with client id 0 is the anonymous default.
 
 use std::io::{self, Read, Write};
 
@@ -74,6 +98,11 @@ pub enum Request {
     Restore { shard: u64 },
     /// Liveness probe; also a pure ordering marker in pipelined streams.
     Ping,
+    /// Binds this connection to a client identity. The server keys its
+    /// idempotency dedup window by this id, so a client that reconnects
+    /// and re-HELLOs with the same id keeps its retry protection across
+    /// connections. Id 0 is anonymous: answered, never deduped.
+    Hello { client: u64 },
 }
 
 /// A server-to-client answer. Every variant is self-describing: a client
@@ -122,6 +151,7 @@ const OP_HEALTH: u8 = 0x08;
 const OP_QUARANTINE: u8 = 0x09;
 const OP_RESTORE: u8 = 0x0A;
 const OP_PING: u8 = 0x0B;
+const OP_HELLO: u8 = 0x0C;
 
 const ST_DONE: u8 = 0x00;
 const ST_VALUE: u8 = 0x01;
@@ -269,6 +299,10 @@ impl Request {
                 out.extend_from_slice(&shard.to_be_bytes());
             }
             Request::Ping => out.push(OP_PING),
+            Request::Hello { client } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&client.to_be_bytes());
+            }
         }
         out
     }
@@ -295,6 +329,7 @@ impl Request {
             },
             OP_RESTORE => Request::Restore { shard: c.u64()? },
             OP_PING => Request::Ping,
+            OP_HELLO => Request::Hello { client: c.u64()? },
             other => return Err(err(format!("unknown request opcode 0x{other:02X}"))),
         };
         c.finish()?;
@@ -393,6 +428,96 @@ impl Response {
     }
 }
 
+/// Bytes the v2 envelope prepends to every body: `token:u64be sum:u32be`.
+pub const ENVELOPE_BYTES: usize = 12;
+
+/// SplitMix64 finalizer — the workspace's stand-in for a seeded hash.
+/// Pure function of its input; no entropy.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The envelope checksum: a splitmix64 fold over the token, the body
+/// length and every body word. Deterministic, dependency-free, and strong
+/// enough that any single flipped bit (the fault model's unit of wire
+/// corruption) changes the sum.
+pub fn frame_sum(token: u64, body: &[u8]) -> u32 {
+    let mut acc = mix(token ^ (body.len() as u64));
+    for chunk in body.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = mix(acc ^ u64::from_be_bytes(word));
+    }
+    (acc ^ (acc >> 32)) as u32
+}
+
+fn encode_envelope(token: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_BYTES + body.len());
+    out.extend_from_slice(&token.to_be_bytes());
+    out.extend_from_slice(&frame_sum(token, body).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn decode_envelope(framed: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    if framed.len() < ENVELOPE_BYTES {
+        return Err(err(format!(
+            "envelope truncated: {} byte(s), need at least {ENVELOPE_BYTES}",
+            framed.len()
+        )));
+    }
+    let mut t = [0u8; 8];
+    t.copy_from_slice(&framed[..8]);
+    let token = u64::from_be_bytes(t);
+    let mut s = [0u8; 4];
+    s.copy_from_slice(&framed[8..ENVELOPE_BYTES]);
+    let sum = u32::from_be_bytes(s);
+    let body = &framed[ENVELOPE_BYTES..];
+    if frame_sum(token, body) != sum {
+        return Err(err("frame checksum mismatch"));
+    }
+    Ok((token, body))
+}
+
+/// Best-effort token extraction for error replies: the first 8 bytes of
+/// the envelope when present, 0 otherwise. Used to echo a token back on a
+/// frame whose body (or checksum) failed to decode.
+pub fn envelope_token(framed: &[u8]) -> u64 {
+    match framed.get(..8) {
+        Some(raw) => {
+            let mut t = [0u8; 8];
+            t.copy_from_slice(raw);
+            u64::from_be_bytes(t)
+        }
+        None => 0,
+    }
+}
+
+/// Serializes one enveloped request frame body (no length prefix).
+pub fn encode_request(token: u64, req: &Request) -> Vec<u8> {
+    encode_envelope(token, &req.encode())
+}
+
+/// Parses one enveloped request frame body, validating the checksum.
+pub fn decode_request(framed: &[u8]) -> Result<(u64, Request), DecodeError> {
+    let (token, body) = decode_envelope(framed)?;
+    Ok((token, Request::decode(body)?))
+}
+
+/// Serializes one enveloped response frame body (no length prefix).
+pub fn encode_response(token: u64, resp: &Response) -> Vec<u8> {
+    encode_envelope(token, &resp.encode())
+}
+
+/// Parses one enveloped response frame body, validating the checksum.
+pub fn decode_response(framed: &[u8]) -> Result<(u64, Response), DecodeError> {
+    let (token, body) = decode_envelope(framed)?;
+    Ok((token, Response::decode(body)?))
+}
+
 /// What [`read_frame`] observed on the wire.
 #[derive(Debug)]
 pub enum Frame {
@@ -400,15 +525,22 @@ pub enum Frame {
     Body(Vec<u8>),
     /// The peer closed cleanly between frames.
     Eof,
-    /// The length prefix exceeded [`MAX_FRAME`] (or was zero). The body was
-    /// *not* read; the connection should answer `BAD_REQUEST` and close.
+    /// The length prefix exceeded the reader's bound ([`MAX_FRAME`] by
+    /// default) or was zero. The body was *not* read; the connection
+    /// should answer `BAD_REQUEST` and close.
     Oversized(u32),
 }
 
-/// Reads one length-prefixed frame. A disconnect *inside* a frame (after
-/// some prefix or body bytes arrived) is an `UnexpectedEof` error —
-/// distinct from the clean between-frames [`Frame::Eof`].
+/// Reads one length-prefixed frame with the default [`MAX_FRAME`] bound.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Frame> {
+    read_frame_limit(stream, MAX_FRAME)
+}
+
+/// Reads one length-prefixed frame, bounding the body at `max_frame`
+/// bytes. A disconnect *inside* a frame (after some prefix or body bytes
+/// arrived) is an `UnexpectedEof` error — distinct from the clean
+/// between-frames [`Frame::Eof`].
+pub fn read_frame_limit(stream: &mut impl Read, max_frame: usize) -> io::Result<Frame> {
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < prefix.len() {
@@ -426,7 +558,7 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Frame> {
         }
     }
     let len = u32::from_be_bytes(prefix);
-    if len == 0 || len as usize > MAX_FRAME {
+    if len == 0 || len as usize > max_frame {
         return Ok(Frame::Oversized(len));
     }
     let mut body = vec![0u8; len as usize];
@@ -474,6 +606,8 @@ mod tests {
         });
         round_trip_request(Request::Restore { shard: 5 });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::Hello { client: 0 });
+        round_trip_request(Request::Hello { client: u64::MAX });
     }
 
     #[test]
@@ -558,6 +692,51 @@ mod tests {
         body.extend_from_slice(&1u64.to_be_bytes());
         body.extend_from_slice(&u64::MAX.to_be_bytes());
         assert!(Response::decode(&body).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trips_and_rejects_every_single_bit_corruption() {
+        let req = Request::Put { key: 7, value: 9 };
+        let framed = encode_request(0xDEAD_BEEF_u64, &req);
+        assert_eq!(decode_request(&framed), Ok((0xDEAD_BEEF_u64, req.clone())));
+        assert_eq!(envelope_token(&framed), 0xDEAD_BEEF_u64);
+
+        let resp = Response::Value(42);
+        let framed_resp = encode_response(3, &resp);
+        assert_eq!(decode_response(&framed_resp), Ok((3, resp)));
+
+        // Any single flipped bit anywhere in the envelope — token, sum,
+        // or body — must surface as a typed decode error, never a
+        // different (token, request) pair.
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut hurt = framed.clone();
+                hurt[byte] ^= 1 << bit;
+                match decode_request(&hurt) {
+                    Err(_) => {}
+                    Ok((t, r)) => panic!("bit {bit} of byte {byte} flipped silently: ({t}, {r:?})"),
+                }
+            }
+        }
+        // Every proper prefix of the enveloped frame is typed-rejected.
+        for cut in 0..framed.len() {
+            assert!(decode_request(&framed[..cut]).is_err(), "cut at {cut}");
+        }
+        assert_eq!(envelope_token(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn frame_reader_respects_a_custom_limit() {
+        let body = vec![7u8; 64];
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).expect("vec write");
+        let mut rd: &[u8] = &framed;
+        assert!(matches!(
+            read_frame_limit(&mut rd, 32),
+            Ok(Frame::Oversized(64))
+        ));
+        let mut rd: &[u8] = &framed;
+        assert!(matches!(read_frame_limit(&mut rd, 64), Ok(Frame::Body(b)) if b == body));
     }
 
     #[test]

@@ -53,11 +53,12 @@
 //! refuses rather than persist partial contents. Never a silent wrong
 //! answer.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -69,7 +70,9 @@ use hi_common::traits::Dictionary;
 use shard::{ShardError, ShardedDict};
 
 use crate::clock;
-use crate::protocol::{write_frame, Request, Response, MAX_FRAME};
+use crate::protocol::{
+    decode_request, encode_response, envelope_token, write_frame, Request, Response,
+};
 
 /// The concrete dictionary this front-end serves.
 pub type ServedDict = ShardedDict<DynDict<u64, u64>>;
@@ -81,6 +84,11 @@ const READ_POLL: Duration = Duration::from_millis(25);
 
 /// Engine idle poll when no request is queued (shutdown-latency bound).
 const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Hard bound on distinct HELLO-bound clients with live dedup windows.
+/// Beyond it the least-recently-used client's window is evicted whole —
+/// a count-based bound, so the registry can never grow with client churn.
+const MAX_DEDUP_CLIENTS: usize = 1024;
 
 /// Everything the server hands to [`Server::spawn`] besides the address.
 pub struct ServerOptions {
@@ -130,11 +138,14 @@ impl Slot {
 }
 
 /// A queued operation: its global arrival sequence number, the request,
-/// and the response slot its connection's writer is waiting on.
+/// the response slot its connection's writer is waiting on, and — for
+/// mutating requests from a HELLO-bound client — the `(client, token)`
+/// idempotency identity the engine dedups on.
 struct Ticket {
     seq: u64,
     req: Request,
     slot: Arc<Slot>,
+    idem: Option<Idem>,
 }
 
 /// One bounded shard queue (the last queue holds the order-sensitive
@@ -202,7 +213,7 @@ impl Shared {
     /// Stamps, bounds-checks and enqueues one operation; fills the slot
     /// immediately with the typed shed/refusal response when the queue is
     /// full or closed.
-    fn enqueue(&self, queue: usize, req: Request, slot: &Arc<Slot>) {
+    fn enqueue(&self, queue: usize, req: Request, slot: &Arc<Slot>, idem: Option<Idem>) {
         let mut q = locked(&self.queues[queue]);
         if q.closed {
             slot.fill(Response::Unavailable("server is shutting down".into()));
@@ -220,6 +231,7 @@ impl Shared {
             seq,
             req,
             slot: Arc::clone(slot),
+            idem,
         });
         drop(q);
         let mut pacing = locked(&self.pacing);
@@ -371,12 +383,29 @@ fn accept_loop(
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
                 };
-                let (tx, rx) = mpsc::channel::<Arc<Slot>>();
+                // Bounded response buffer: once `inflight_bound` responses
+                // are queued for this connection's writer, the *reader*
+                // blocks admitting new frames (its TCP window fills and the
+                // slow client backpressures itself). The engine fills slots
+                // through independent `Arc`s and never touches this channel.
+                let (tx, rx) = mpsc::sync_channel::<(u64, Arc<Slot>)>(shared.cfg.inflight_bound);
+                let write_timeout = shared.cfg.write_timeout;
                 let reader = {
                     let shared = Arc::clone(shared);
-                    std::thread::spawn(move || connection_reader(&shared, stream, &tx))
+                    // A panic in either half is contained to its connection:
+                    // the unwind drops `tx`/`rx`, the peer half drains out,
+                    // and the engine and every other connection keep serving.
+                    std::thread::spawn(move || {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            connection_reader(&shared, stream, &tx);
+                        }));
+                    })
                 };
-                let writer = std::thread::spawn(move || connection_writer(write_half, &rx));
+                let writer = std::thread::spawn(move || {
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        connection_writer(write_half, &rx, write_timeout);
+                    }));
+                });
                 let mut guard = locked(conns);
                 guard.push(reader);
                 guard.push(writer);
@@ -401,17 +430,33 @@ enum Wire {
     Eof,
     /// The peer vanished with a partial prefix or body on the wire.
     MidFrameCut,
-    /// Length prefix of zero or beyond [`MAX_FRAME`]; body unread.
+    /// Length prefix of zero or beyond the configured `max_frame`; body
+    /// unread.
     Oversized(u32),
     /// The server is shutting down.
     Shutdown,
+    /// The idle budget ran out: the peer sent nothing — not even a PING —
+    /// for `idle_timeout` worth of read polls. Reap the connection.
+    Idle,
     /// Hard socket error.
     Dead,
 }
 
 /// Fills `buf` completely, tolerating read timeouts (used to poll the
-/// shutdown flag) and preserving partial progress across them.
-fn fill_buf(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared, at_boundary: bool) -> Wire {
+/// shutdown flag) and preserving partial progress across them. `idle`
+/// counts consecutive empty read polls across calls — any received byte
+/// resets it, `budget` exhausts it. The reap decision is therefore a
+/// *count* of poll intervals, not a wall-clock read: determinism-hygiene
+/// keeps clocks out of the reaper the same way it keeps them out of the
+/// retry budget.
+fn fill_buf(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    at_boundary: bool,
+    idle: &mut usize,
+    budget: usize,
+) -> Wire {
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -422,12 +467,19 @@ fn fill_buf(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared, at_boundary
                     Wire::MidFrameCut
                 }
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                *idle = 0;
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return Wire::Shutdown;
+                }
+                *idle += 1;
+                if *idle >= budget {
+                    return Wire::Idle;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -437,61 +489,89 @@ fn fill_buf(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared, at_boundary
     Wire::Body(Vec::new())
 }
 
-fn read_wire_frame(stream: &mut TcpStream, shared: &Shared) -> Wire {
+fn read_wire_frame(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    idle: &mut usize,
+    budget: usize,
+) -> Wire {
     let mut prefix = [0u8; 4];
-    match fill_buf(stream, &mut prefix, shared, true) {
+    match fill_buf(stream, &mut prefix, shared, true, idle, budget) {
         Wire::Body(_) => {}
         other => return other,
     }
     let len = u32::from_be_bytes(prefix);
-    if len == 0 || len as usize > MAX_FRAME {
+    if len == 0 || len as usize > shared.cfg.max_frame {
         return Wire::Oversized(len);
     }
     let mut body = vec![0u8; len as usize];
-    match fill_buf(stream, &mut body, shared, false) {
+    match fill_buf(stream, &mut body, shared, false, idle, budget) {
         Wire::Body(_) => Wire::Body(body),
         other => other,
     }
 }
 
-fn connection_reader(shared: &Arc<Shared>, mut stream: TcpStream, tx: &Sender<Arc<Slot>>) {
+fn connection_reader(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    tx: &SyncSender<(u64, Arc<Slot>)>,
+) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Idle reaper: a count-based budget of consecutive empty read polls.
+    // Any received byte — a PING included — resets it.
+    let budget = ((shared.cfg.idle_timeout.as_millis() / READ_POLL.as_millis()).max(1)) as usize;
+    let mut idle = 0usize;
+    // The client identity bound by HELLO; 0 until then (anonymous — no
+    // dedup protection).
+    let mut client = 0u64;
     loop {
-        let body = match read_wire_frame(&mut stream, shared) {
+        let body = match read_wire_frame(&mut stream, shared, &mut idle, budget) {
             Wire::Body(body) => body,
-            // A clean close, a mid-frame disconnect, or a dead socket all
-            // end the connection silently — there is no peer left to tell.
-            Wire::Eof | Wire::MidFrameCut | Wire::Dead | Wire::Shutdown => return,
+            // A clean close, a mid-frame disconnect, a dead socket, or a
+            // reaped idler all end the connection silently — there is no
+            // peer left (or entitled) to tell.
+            Wire::Eof | Wire::MidFrameCut | Wire::Dead | Wire::Shutdown | Wire::Idle => return,
             Wire::Oversized(len) => {
                 // Refuse before reading a single body byte, then close:
                 // a hostile prefix cannot make the server stage memory.
                 let slot = Slot::new();
                 slot.fill(Response::BadRequest(format!(
-                    "frame length {len} outside 1..={MAX_FRAME}"
+                    "frame length {len} outside 1..={}",
+                    shared.cfg.max_frame
                 )));
-                let _ = tx.send(slot);
+                let _ = tx.send((0, slot));
                 return;
             }
         };
-        let req = match Request::decode(&body) {
-            Ok(req) => req,
+        let (token, req) = match decode_request(&body) {
+            Ok(pair) => pair,
             Err(e) => {
+                // Echo whatever token prefix arrived so a retrying client
+                // can correlate the refusal, then close: after a checksum
+                // mismatch the stream offset can no longer be trusted.
                 let slot = Slot::new();
                 slot.fill(Response::BadRequest(e.0));
-                let _ = tx.send(slot);
+                let _ = tx.send((envelope_token(&body), slot));
                 return;
             }
         };
         let slot = Slot::new();
+        // Mutating requests from a HELLO-bound client with a nonzero token
+        // carry an idempotency identity the engine dedups on.
+        let idem = match (client, token, &req) {
+            (0, _, _) | (_, 0, _) => None,
+            (c, t, Request::Put { .. } | Request::Del { .. } | Request::Flush) => Some((c, t)),
+            _ => None,
+        };
         match req {
             // Data operations ride the epoch pipeline, routed by shard.
             Request::Get { key } | Request::Put { key, .. } | Request::Del { key } => {
                 let queue = shared.shard_queue(key);
-                shared.enqueue(queue, req, &slot);
+                shared.enqueue(queue, req, &slot, idem);
             }
             // Order-sensitive operations are barriers in the engine.
             Request::Succ { .. } | Request::Pred { .. } | Request::Len | Request::Flush => {
-                shared.enqueue(shared.barrier_queue(), req, &slot);
+                shared.enqueue(shared.barrier_queue(), req, &slot, idem);
             }
             // Health management answers inline under a *read* lock: the
             // quarantine ledger is interior-mutable and both transitions
@@ -539,19 +619,27 @@ fn connection_reader(shared: &Arc<Shared>, mut stream: TcpStream, tx: &Sender<Ar
                 }
             }
             Request::Ping => slot.fill(Response::Done),
+            Request::Hello { client: id } => {
+                client = id;
+                slot.fill(Response::Done);
+            }
         }
-        if tx.send(slot).is_err() {
+        if tx.send((token, slot)).is_err() {
             // Writer died (peer stopped reading); no point parsing more.
             return;
         }
     }
 }
 
-fn connection_writer(stream: TcpStream, rx: &Receiver<Arc<Slot>>) {
+fn connection_writer(stream: TcpStream, rx: &Receiver<(u64, Arc<Slot>)>, write_timeout: Duration) {
+    // A peer that stops draining responses is shed after `write_timeout`
+    // (the write errors, the writer exits, the reader's next send fails):
+    // slow clients cost themselves the connection, never an engine stall.
+    let _ = stream.set_write_timeout(Some(write_timeout));
     let mut out = BufWriter::new(stream);
-    while let Ok(slot) = rx.recv() {
+    while let Ok((token, slot)) = rx.recv() {
         let resp = slot.wait();
-        if write_frame(&mut out, &resp.encode()).is_err() || out.flush().is_err() {
+        if write_frame(&mut out, &encode_response(token, &resp)).is_err() || out.flush().is_err() {
             return;
         }
     }
@@ -561,19 +649,95 @@ fn connection_writer(stream: TcpStream, rx: &Receiver<Arc<Slot>>) {
 // The epoch engine
 // ---------------------------------------------------------------------------
 
+/// One client's retained responses, keyed by idempotency token, with
+/// FIFO token order for window eviction and a logical-use tick for LRU
+/// client eviction. Both bounds are counts — no clock is consulted.
+struct DedupWindow {
+    retained: BTreeMap<u64, Response>,
+    order: VecDeque<u64>,
+    last_use: u64,
+}
+
+/// The engine-owned exactly-once ledger: per HELLO-bound client, the last
+/// `dedup_window` successfully-applied mutating tokens and their retained
+/// responses. Owned by the engine thread alone (no lock), consulted before
+/// a mutating ticket joins a segment and appended to when its write
+/// commits healthy.
+///
+/// Memory bound: at most [`MAX_DEDUP_CLIENTS`] clients × `dedup_window`
+/// retained responses, each a small fixed-size variant (`Done` /
+/// `Generation`) — both factors are configuration constants, so the ledger
+/// cannot grow with traffic, churn, or time.
+struct DedupRegistry {
+    clients: BTreeMap<u64, DedupWindow>,
+    window: usize,
+    tick: u64,
+}
+
+impl DedupRegistry {
+    fn new(window: usize) -> Self {
+        Self {
+            clients: BTreeMap::new(),
+            window,
+            tick: 0,
+        }
+    }
+
+    /// The retained response for `(client, token)`, if the token is still
+    /// inside the client's window. Bumps the client's LRU tick.
+    fn lookup(&mut self, client: u64, token: u64) -> Option<Response> {
+        self.tick += 1;
+        let w = self.clients.get_mut(&client)?;
+        w.last_use = self.tick;
+        w.retained.get(&token).cloned()
+    }
+
+    /// Retains `resp` for `(client, token)`, evicting the oldest token
+    /// beyond the window and the least-recently-used client beyond
+    /// [`MAX_DEDUP_CLIENTS`].
+    fn record(&mut self, client: u64, token: u64, resp: Response) {
+        self.tick += 1;
+        if !self.clients.contains_key(&client) && self.clients.len() >= MAX_DEDUP_CLIENTS {
+            let lru = self
+                .clients
+                .iter()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(id, _)| *id);
+            if let Some(id) = lru {
+                self.clients.remove(&id);
+            }
+        }
+        let w = self.clients.entry(client).or_insert_with(|| DedupWindow {
+            retained: BTreeMap::new(),
+            order: VecDeque::new(),
+            last_use: 0,
+        });
+        w.last_use = self.tick;
+        if w.retained.insert(token, resp).is_none() {
+            w.order.push_back(token);
+            while w.order.len() > self.window {
+                if let Some(old) = w.order.pop_front() {
+                    w.retained.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 fn engine_loop(shared: &Arc<Shared>) {
+    let mut dedup = DedupRegistry::new(shared.cfg.dedup_window);
     loop {
         let shutting = wait_for_epoch(shared);
         let epoch = drain_epoch(shared, shutting);
         if !epoch.is_empty() {
-            process_epoch(shared, epoch);
+            process_epoch(shared, epoch, &mut dedup);
         }
         if shutting {
             // Final sweep: `closed` is now set under every queue lock, so
             // nothing can slip in after this drain.
             let tail = drain_epoch(shared, true);
             if !tail.is_empty() {
-                process_epoch(shared, tail);
+                process_epoch(shared, tail, &mut dedup);
             }
             return;
         }
@@ -635,15 +799,26 @@ fn drain_epoch(shared: &Arc<Shared>, closing: bool) -> Vec<Ticket> {
     epoch
 }
 
+/// An idempotency identity: `(client id, token)`.
+type Idem = (u64, u64);
+
 /// One epoch's worth of point operations between two barriers: the batch
 /// in arrival order plus an overlay so later reads in the same segment
 /// observe earlier writes, and the deferred reads that missed the overlay.
 #[derive(Default)]
 struct Segment {
     overlay: BTreeMap<u64, Option<u64>>,
-    /// `(key, slot)` of every write, in arrival order.
-    writes: Vec<(u64, Arc<Slot>)>,
+    /// `(key, slot, idem)` of every write, in arrival order.
+    writes: Vec<(u64, Arc<Slot>, Option<Idem>)>,
     batch: Vec<BatchOp<u64, u64>>,
+    /// Idempotency identities already writing in this segment — a
+    /// duplicate arriving in the *same* epoch (registry not yet updated)
+    /// is caught here instead.
+    pending: BTreeSet<Idem>,
+    /// Same-segment duplicates: `(key, slot)` answered at commit exactly
+    /// like their originals (same shard-health check), without a second
+    /// application.
+    dups: Vec<(u64, Arc<Slot>)>,
     /// Reads that hit the overlay: `(key, observed value, slot)` — answered
     /// only after the batch commits, so a shard that panics mid-apply
     /// degrades them instead of letting them claim an uncommitted write.
@@ -660,24 +835,38 @@ impl Segment {
         }
     }
 
-    fn push_write(&mut self, key: u64, value: Option<u64>, slot: Arc<Slot>) {
+    fn push_write(&mut self, key: u64, value: Option<u64>, slot: Arc<Slot>, idem: Option<Idem>) {
+        // A duplicate of a write already in this segment joins as a
+        // *waiter*, not a second application — exactly-once holds even
+        // when the retry lands in the same epoch as the original.
+        if let Some(id) = idem {
+            if !self.pending.insert(id) {
+                self.dups.push((key, slot));
+                return;
+            }
+        }
         self.overlay.insert(key, value);
         self.batch.push(match value {
             Some(v) => BatchOp::Put(key, v),
             None => BatchOp::Remove(key),
         });
-        self.writes.push((key, slot));
+        self.writes.push((key, slot, idem));
     }
 
     fn is_empty(&self) -> bool {
-        self.batch.is_empty() && self.overlay_reads.is_empty() && self.deferred_reads.is_empty()
+        self.batch.is_empty()
+            && self.overlay_reads.is_empty()
+            && self.deferred_reads.is_empty()
+            && self.dups.is_empty()
     }
 
     /// Commits the segment: deferred reads answer from the pre-batch
     /// state, the batch drains through `multi_apply`, and every response
     /// is checked against post-apply shard health so nothing a quarantined
-    /// shard owned is reported as a clean answer.
-    fn commit(&mut self, dict: &mut ServedDict) {
+    /// shard owned is reported as a clean answer. Healthy tokened writes
+    /// are recorded in the dedup registry — degraded ones are *not*, so a
+    /// retry after repair re-attempts instead of replaying the refusal.
+    fn commit(&mut self, dict: &mut ServedDict, dedup: &mut DedupRegistry) {
         if self.is_empty() {
             return;
         }
@@ -699,20 +888,42 @@ impl Segment {
                 }),
             }
         }
-        for (key, slot) in self.writes.drain(..) {
+        for (key, slot, idem) in self.writes.drain(..) {
+            match dict.shard_status(dict.shard_of(&key)) {
+                Some(err) => slot.fill(degraded(err)),
+                None => {
+                    if let Some((client, token)) = idem {
+                        dedup.record(client, token, Response::Done);
+                    }
+                    slot.fill(Response::Done);
+                }
+            }
+        }
+        for (key, slot) in self.dups.drain(..) {
             match dict.shard_status(dict.shard_of(&key)) {
                 Some(err) => slot.fill(degraded(err)),
                 None => slot.fill(Response::Done),
             }
         }
+        self.pending.clear();
         self.overlay.clear();
     }
 }
 
-fn process_epoch(shared: &Arc<Shared>, epoch: Vec<Ticket>) {
+fn process_epoch(shared: &Arc<Shared>, epoch: Vec<Ticket>, dedup: &mut DedupRegistry) {
     let mut dict = write_locked(&shared.dict);
     let mut segment = Segment::default();
     for ticket in epoch {
+        // Exactly-once: a mutating retry whose token is still inside its
+        // client's window replays the retained response — the write is
+        // not re-applied, so `PUT a; DEL a; retry PUT a` cannot resurrect
+        // the key.
+        if let Some((client, token)) = ticket.idem {
+            if let Some(retained) = dedup.lookup(client, token) {
+                ticket.slot.fill(retained);
+                continue;
+            }
+        }
         match ticket.req {
             Request::Get { key } => {
                 // A read on a quarantined shard refuses before joining the
@@ -725,20 +936,28 @@ fn process_epoch(shared: &Arc<Shared>, epoch: Vec<Ticket>) {
             }
             Request::Put { key, value } => match dict.shard_status(dict.shard_of(&key)) {
                 Some(err) => ticket.slot.fill(degraded(err)),
-                None => segment.push_write(key, Some(value), ticket.slot),
+                None => segment.push_write(key, Some(value), ticket.slot, ticket.idem),
             },
             Request::Del { key } => match dict.shard_status(dict.shard_of(&key)) {
                 Some(err) => ticket.slot.fill(degraded(err)),
-                None => segment.push_write(key, None, ticket.slot),
+                None => segment.push_write(key, None, ticket.slot, ticket.idem),
             },
             barrier => {
-                segment.commit(&mut dict);
+                segment.commit(&mut dict, dedup);
                 let resp = barrier_response(shared, &mut dict, barrier);
+                // FLUSH is the one mutating barrier: retain its success
+                // (the committed generation) so a retried FLUSH replays
+                // the same generation instead of committing twice.
+                if let Some((client, token)) = ticket.idem {
+                    if matches!(resp, Response::Generation(_)) {
+                        dedup.record(client, token, resp.clone());
+                    }
+                }
                 ticket.slot.fill(resp);
             }
         }
     }
-    segment.commit(&mut dict);
+    segment.commit(&mut dict, dedup);
 }
 
 fn barrier_response(shared: &Shared, dict: &mut ServedDict, req: Request) -> Response {

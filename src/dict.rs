@@ -43,6 +43,7 @@ use std::io;
 use std::ops::{Deref, DerefMut, RangeBounds};
 use std::path::Path;
 use std::str::FromStr;
+use std::time::Duration;
 
 use block_store::{layout_fingerprint, BlockStore, StoreOptions};
 use btree::BTree;
@@ -191,6 +192,29 @@ pub struct ServerConfig {
     pub queue_bound: usize,
     /// Accept-loop thread count (`≥ 1`).
     pub acceptors: usize,
+    /// Largest frame the server will read, in bytes (`≥ 1`, envelope
+    /// included). A hostile or corrupt length prefix beyond this refuses
+    /// typed before a single body byte is staged.
+    pub max_frame: usize,
+    /// Per-client idempotency dedup window (`≥ 1`): how many recent
+    /// mutating-request tokens the server retains per HELLO-bound client.
+    /// A retry whose token is still inside the window replays the retained
+    /// response instead of re-applying the write.
+    pub dedup_window: usize,
+    /// Per-connection response-buffer bound (`≥ 1` slots): the reader
+    /// stops admitting new frames once this many responses are queued for
+    /// a connection's writer, so a slow client backpressures its own TCP
+    /// stream — never the epoch engine.
+    pub inflight_bound: usize,
+    /// Socket write timeout (nonzero): a client that stops draining
+    /// responses for this long is shed (disconnected) instead of pinning
+    /// a writer thread forever.
+    pub write_timeout: Duration,
+    /// Idle-connection bound (nonzero): a connection that sends no bytes —
+    /// not even a PING — for this long is reaped. Enforced as a
+    /// count-based budget of read-poll intervals, so the reap decision is
+    /// a frame count, not a wall-clock read.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -200,6 +224,11 @@ impl Default for ServerConfig {
             epoch_ops: 512,
             queue_bound: 4096,
             acceptors: 2,
+            max_frame: 4096,
+            dedup_window: 1024,
+            inflight_bound: 1024,
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -257,6 +286,25 @@ pub enum DictConfigError {
     /// Accept-loop thread count of 0: the server could never accept a
     /// connection.
     ZeroAcceptors,
+    /// Frame bound of 0 bytes: every frame would refuse as oversized.
+    ZeroMaxFrame,
+    /// Dedup window of 0 tokens: every retry would re-apply, so the
+    /// exactly-once contract would silently not exist.
+    ZeroDedupWindow,
+    /// Response-buffer bound of 0 slots: the reader could never admit a
+    /// request.
+    ZeroInflightBound,
+    /// Write timeout of zero: every response write would time out before
+    /// a byte left the socket.
+    ZeroWriteTimeout,
+    /// Idle timeout of zero: every connection would reap on its first
+    /// read poll.
+    ZeroIdleTimeout,
+    /// Client retry budget of 0 attempts: no request could ever be sent.
+    ZeroRetryBudget,
+    /// Client read timeout of zero: every response wait would expire
+    /// before the server could answer.
+    ZeroReadTimeout,
 }
 
 impl fmt::Display for DictConfigError {
@@ -293,6 +341,27 @@ impl fmt::Display for DictConfigError {
             }
             DictConfigError::ZeroAcceptors => {
                 write!(f, "server.acceptors must be at least 1")
+            }
+            DictConfigError::ZeroMaxFrame => {
+                write!(f, "server.max_frame must be at least 1 byte")
+            }
+            DictConfigError::ZeroDedupWindow => {
+                write!(f, "server.dedup_window must be at least 1 token")
+            }
+            DictConfigError::ZeroInflightBound => {
+                write!(f, "server.inflight_bound must be at least 1 slot")
+            }
+            DictConfigError::ZeroWriteTimeout => {
+                write!(f, "server.write_timeout must be nonzero")
+            }
+            DictConfigError::ZeroIdleTimeout => {
+                write!(f, "server.idle_timeout must be nonzero")
+            }
+            DictConfigError::ZeroRetryBudget => {
+                write!(f, "client retry_budget must be at least 1 attempt")
+            }
+            DictConfigError::ZeroReadTimeout => {
+                write!(f, "client read_timeout must be nonzero")
             }
         }
     }
@@ -337,6 +406,21 @@ impl DictConfig {
         }
         if self.server.acceptors == 0 {
             return Err(DictConfigError::ZeroAcceptors);
+        }
+        if self.server.max_frame == 0 {
+            return Err(DictConfigError::ZeroMaxFrame);
+        }
+        if self.server.dedup_window == 0 {
+            return Err(DictConfigError::ZeroDedupWindow);
+        }
+        if self.server.inflight_bound == 0 {
+            return Err(DictConfigError::ZeroInflightBound);
+        }
+        if self.server.write_timeout.is_zero() {
+            return Err(DictConfigError::ZeroWriteTimeout);
+        }
+        if self.server.idle_timeout.is_zero() {
+            return Err(DictConfigError::ZeroIdleTimeout);
         }
         Ok(())
     }
@@ -1272,6 +1356,41 @@ mod tests {
                     ..ServerConfig::default()
                 },
                 DictConfigError::ZeroAcceptors,
+            ),
+            (
+                ServerConfig {
+                    max_frame: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroMaxFrame,
+            ),
+            (
+                ServerConfig {
+                    dedup_window: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroDedupWindow,
+            ),
+            (
+                ServerConfig {
+                    inflight_bound: 0,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroInflightBound,
+            ),
+            (
+                ServerConfig {
+                    write_timeout: Duration::ZERO,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroWriteTimeout,
+            ),
+            (
+                ServerConfig {
+                    idle_timeout: Duration::ZERO,
+                    ..ServerConfig::default()
+                },
+                DictConfigError::ZeroIdleTimeout,
             ),
         ] {
             let err = Dict::builder()

@@ -18,10 +18,12 @@
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use anti_persistence::dict::{Backend, DictConfig, ServerConfig};
-use dict_server::{Client, Request, Response, Server, ServerOptions, MAX_FRAME};
+use dict_server::protocol::{decode_response, encode_request, encode_response, frame_sum};
+use dict_server::{Client, ClientConfig, Request, Response, Server, ServerOptions, MAX_FRAME};
 
 fn config() -> DictConfig {
     DictConfig {
@@ -57,14 +59,42 @@ fn drain(stream: &mut TcpStream) -> Vec<u8> {
     buf
 }
 
-/// A raw frame: length prefix plus body.
-fn frame(body: &[u8]) -> Vec<u8> {
-    let mut out = (body.len() as u32).to_be_bytes().to_vec();
-    out.extend_from_slice(body);
+/// A raw frame: length prefix plus enveloped body (valid checksum), so
+/// arbitrary `body` bytes reach the request decoder itself.
+fn frame(token: u64, body: &[u8]) -> Vec<u8> {
+    let mut enveloped = token.to_be_bytes().to_vec();
+    enveloped.extend_from_slice(&frame_sum(token, body).to_be_bytes());
+    enveloped.extend_from_slice(body);
+    let mut out = (enveloped.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&enveloped);
     out
 }
 
-const STATUS_BAD_REQUEST: u8 = 0x12;
+/// A request frame ready for the wire: length prefix plus envelope.
+fn request_frame(token: u64, req: &Request) -> Vec<u8> {
+    let enveloped = encode_request(token, req);
+    let mut out = (enveloped.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&enveloped);
+    out
+}
+
+/// Parses the first enveloped response out of raw reply bytes.
+fn parse_reply(reply: &[u8]) -> (u64, Response) {
+    assert!(reply.len() >= 4, "no length prefix in {reply:?}");
+    let len = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) as usize;
+    assert!(reply.len() >= 4 + len, "torn reply frame {reply:?}");
+    decode_response(&reply[4..4 + len]).expect("reply decodes")
+}
+
+/// Reads exactly one response frame off a raw stream.
+fn read_reply(stream: &mut TcpStream) -> (u64, Response) {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).expect("reply prefix");
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("reply body");
+    decode_response(&body).expect("reply decodes")
+}
 
 /// The malformed-input sweep: every abusive byte stream gets its own fresh
 /// connection; afterwards a well-formed client still works, proving the
@@ -75,11 +105,28 @@ fn wire_fuzz_never_panics_and_never_poisons_other_connections() {
     let addr = server.addr();
 
     // Mid-frame disconnects: cut a valid PUT frame at every byte boundary.
-    let put = frame(&Request::Put { key: 9, value: 9 }.encode());
+    let put = request_frame(7, &Request::Put { key: 9, value: 9 });
     for cut in 0..put.len() {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(&put[..cut]).expect("partial write");
         drop(s); // disconnect mid-frame
+    }
+
+    // Single-byte corruption of a valid frame: every flipped byte past the
+    // length prefix must refuse typed (the envelope checksum catches what
+    // the opcode grammar alone would let through).
+    for hurt_at in 4..put.len() {
+        let mut hurt = put.clone();
+        hurt[hurt_at] ^= 0x40;
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&hurt).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        let reply = drain(&mut s);
+        let (_, resp) = parse_reply(&reply);
+        assert!(
+            matches!(resp, Response::BadRequest(_)),
+            "byte {hurt_at} corrupt, got {resp:?}"
+        );
     }
 
     // Truncated body: the length prefix promises more bytes than ever
@@ -87,7 +134,7 @@ fn wire_fuzz_never_panics_and_never_poisons_other_connections() {
     // the connection (EOF/close), not block forever waiting for the rest.
     {
         let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(&frame(&[0x01u8; 32])[..20]).expect("write");
+        s.write_all(&frame(1, &[0x01u8; 32])[..20]).expect("write");
         s.shutdown(std::net::Shutdown::Write).expect("shutdown");
         drain(&mut s);
     }
@@ -98,20 +145,26 @@ fn wire_fuzz_never_panics_and_never_poisons_other_connections() {
         s.write_all(&((MAX_FRAME as u32) * 16).to_be_bytes())
             .expect("write");
         let reply = drain(&mut s);
-        assert!(reply.len() >= 5, "typed reply expected, got {reply:?}");
-        assert_eq!(reply[4], STATUS_BAD_REQUEST, "reply {reply:?}");
+        let (_, resp) = parse_reply(&reply);
+        assert!(matches!(resp, Response::BadRequest(_)), "got {resp:?}");
     }
 
-    // Garbage opcodes and malformed bodies: typed BAD_REQUEST, then close.
+    // Garbage opcodes and malformed bodies (wrapped in a *valid* envelope
+    // so they reach the request decoder): typed BAD_REQUEST, then close.
     let mut state = 0xF00Du64;
     for len in [0usize, 1, 2, 7, 9, 17, 64] {
         let body: Vec<u8> = (0..len).map(|_| (lcg(&mut state) | 0x40) as u8).collect();
         let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(&frame(&body)).expect("write");
+        s.write_all(&frame(9, &body)).expect("write");
         s.shutdown(std::net::Shutdown::Write).expect("shutdown");
         let reply = drain(&mut s);
-        assert!(reply.len() >= 5, "typed reply expected for {body:?}");
-        assert_eq!(reply[4], STATUS_BAD_REQUEST, "body {body:?}");
+        let (token, resp) = parse_reply(&reply);
+        assert!(
+            matches!(resp, Response::BadRequest(_)),
+            "body {body:?} got {resp:?}"
+        );
+        // The refusal echoes the offending frame's token for correlation.
+        assert_eq!(token, 9, "body {body:?}");
     }
 
     // The server survived all of it.
@@ -387,4 +440,151 @@ fn shutdown_answers_or_refuses_every_inflight_request() {
     }
     // Anything unanswered must be due to the connection closing — never a
     // wrong answer; and the server must not leave the writer mid-frame.
+}
+
+/// The response-direction mirror of the wire fuzz: a fake server answers a
+/// real client's GET with every truncation and every single-byte
+/// corruption of a valid `VALUE` frame. Each abuse must surface as a
+/// *typed* client error — never `Ok` with a wrong value, never a panic,
+/// never a hang.
+#[test]
+fn response_truncation_and_corruption_surface_typed_on_the_client() {
+    // The canonical response a fresh anonymous client would be owed for
+    // its first request (token 1 — the client's counter starts there).
+    let canonical = {
+        let enveloped = encode_response(1, &Response::Value(42));
+        let mut out = (enveloped.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&enveloped);
+        out
+    };
+
+    // Every proper prefix, plus every single-byte corruption.
+    let mut abuses: Vec<Vec<u8>> = (0..canonical.len())
+        .map(|cut| canonical[..cut].to_vec())
+        .collect();
+    for hurt_at in 0..canonical.len() {
+        let mut hurt = canonical.clone();
+        hurt[hurt_at] ^= 0x10;
+        abuses.push(hurt);
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr");
+    let total = abuses.len();
+    let fake = std::thread::spawn(move || {
+        for abuse in abuses {
+            let (mut s, _) = listener.accept().expect("accept");
+            // Read the client's one request frame, then answer abusively
+            // and close.
+            let mut prefix = [0u8; 4];
+            s.read_exact(&mut prefix).expect("request prefix");
+            let len = u32::from_be_bytes(prefix) as usize;
+            let mut body = vec![0u8; len];
+            s.read_exact(&mut body).expect("request body");
+            s.write_all(&abuse).expect("write abuse");
+        }
+    });
+
+    let cfg = ClientConfig {
+        read_timeout: Duration::from_millis(300),
+        ..ClientConfig::default()
+    };
+    for case in 0..total {
+        let mut c = Client::connect_with(addr, cfg).expect("connect");
+        match c.request(&Request::Get { key: 1 }) {
+            Err(_) => {} // typed: Decode, Timeout, ServerReset, Desync, …
+            Ok(resp) => panic!("abuse case {case} produced an answer: {resp:?}"),
+        }
+    }
+    fake.join().expect("fake server");
+}
+
+/// Dedup-window eviction over the wire: with a window of 4, a token reused
+/// five mutations later has been evicted (the resend re-applies), while a
+/// token still inside the window is suppressed and its retained response
+/// replayed.
+#[test]
+fn dedup_window_suppresses_inside_and_evicts_past_the_window() {
+    let mut cfg = config();
+    cfg.server = ServerConfig {
+        dedup_window: 4,
+        ..cfg.server
+    };
+    let mut server = spawn(cfg);
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    let roundtrip = |s: &mut TcpStream, token: u64, req: &Request| -> Response {
+        let enveloped = encode_request(token, req);
+        let mut out = (enveloped.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&enveloped);
+        s.write_all(&out).expect("write");
+        let (got, resp) = read_reply(s);
+        assert_eq!(got, token, "response correlates");
+        resp
+    };
+
+    // Bind an identity, then burn tokens 2..=6 on five distinct PUTs —
+    // token 2 falls out of the 4-deep window when token 6 lands.
+    assert_eq!(
+        roundtrip(&mut s, 1, &Request::Hello { client: 77 }),
+        Response::Done
+    );
+    for t in 2..=6u64 {
+        assert_eq!(
+            roundtrip(
+                &mut s,
+                t,
+                &Request::Put {
+                    key: t,
+                    value: 100 + t
+                }
+            ),
+            Response::Done
+        );
+    }
+
+    // Token 2 was evicted: its "retry" with a different payload applies.
+    assert_eq!(
+        roundtrip(&mut s, 2, &Request::Put { key: 2, value: 999 }),
+        Response::Done
+    );
+    assert_eq!(
+        roundtrip(&mut s, 100, &Request::Get { key: 2 }),
+        Response::Value(999),
+        "evicted token re-applied"
+    );
+
+    // Token 6 is still inside the window: the retained response replays
+    // and the conflicting payload is NOT applied.
+    assert_eq!(
+        roundtrip(&mut s, 6, &Request::Put { key: 6, value: 0 }),
+        Response::Done
+    );
+    assert_eq!(
+        roundtrip(&mut s, 101, &Request::Get { key: 6 }),
+        Response::Value(106),
+        "in-window token suppressed"
+    );
+
+    // Anonymous connections (no HELLO) get no dedup: the same token
+    // re-applies freely.
+    let mut anon = TcpStream::connect(server.addr()).expect("connect anon");
+    anon.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    assert_eq!(
+        roundtrip(&mut anon, 5, &Request::Put { key: 50, value: 1 }),
+        Response::Done
+    );
+    assert_eq!(
+        roundtrip(&mut anon, 5, &Request::Put { key: 50, value: 2 }),
+        Response::Done
+    );
+    assert_eq!(
+        roundtrip(&mut anon, 6, &Request::Get { key: 50 }),
+        Response::Value(2),
+        "anonymous retries are not deduped"
+    );
+    server.shutdown();
 }
